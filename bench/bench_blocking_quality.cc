@@ -1,0 +1,87 @@
+// Supplementary blocking-quality analysis: pairs completeness (the
+// share of true matches surviving blocking) and reduction ratio (the
+// share of the full comparison space removed), the standard blocking
+// metrics (Papadakis et al. 2020, cited by the paper), for the LSH
+// configurations and the optional phonetic key.
+
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+#include "blocking/lsh_blocker.h"
+
+namespace snaps {
+namespace {
+
+void Evaluate(const char* label, const BlockingConfig& cfg,
+              const Dataset& ds) {
+  const auto pairs = LshBlocker(cfg).CandidatePairs(ds);
+  std::set<std::pair<RecordId, RecordId>> found(pairs.begin(), pairs.end());
+
+  // True matches among role-plausible cross-certificate pairs.
+  size_t total_true = 0, covered = 0;
+  std::unordered_map<PersonId, std::vector<RecordId>> by_person;
+  for (const Record& r : ds.records()) {
+    if (r.true_person != kUnknownPersonId) {
+      by_person[r.true_person].push_back(r.id);
+    }
+  }
+  for (const auto& [person, records] : by_person) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      for (size_t j = i + 1; j < records.size(); ++j) {
+        const Record& a = ds.record(records[i]);
+        const Record& b = ds.record(records[j]);
+        if (a.cert_id == b.cert_id) continue;
+        if (!RolePairPlausible(a.role, b.role)) continue;
+        ++total_true;
+        RecordId lo = records[i], hi = records[j];
+        if (lo > hi) std::swap(lo, hi);
+        covered += found.count({lo, hi});
+      }
+    }
+  }
+  const double n = static_cast<double>(ds.num_records());
+  const double full_space = n * (n - 1) / 2.0;
+  std::printf("  %-24s pairs=%9zu  PC=%6.2f%%  RR=%8.4f%%\n", label,
+              pairs.size(), 100.0 * covered / total_true,
+              100.0 * (1.0 - pairs.size() / full_space));
+}
+
+}  // namespace
+}  // namespace snaps
+
+int main() {
+  using namespace snaps;
+  using namespace snaps::bench;
+  PrintHeader(
+      "Blocking quality on the IOS-like data set (supplementary):\n"
+      "pairs completeness (PC) over true matches, reduction ratio (RR)");
+
+  const Dataset& ds = IosData().dataset;
+  {
+    BlockingConfig cfg;
+    Evaluate("default (8 bands x 8)", cfg, ds);
+  }
+  {
+    BlockingConfig cfg;
+    cfg.band_size = 4;
+    Evaluate("16 bands x 4 (loose)", cfg, ds);
+  }
+  {
+    BlockingConfig cfg;
+    cfg.band_size = 16;
+    Evaluate("4 bands x 16 (tight)", cfg, ds);
+  }
+  {
+    BlockingConfig cfg;
+    cfg.use_phonetic_key = true;
+    Evaluate("default + phonetic key", cfg, ds);
+  }
+
+  std::printf(
+      "\nNote: PC is bounded by name changes at marriage and missing\n"
+      "names; the maiden-surname key recovers much of the former. Looser\n"
+      "banding buys completeness at the cost of the reduction ratio.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 2: frequency distribution of the 100 most common
+// first names, surnames and addresses of deceased people in the
+// IOS-like and KIL-like data sets. Printed as rank/share series
+// (log-log in the paper's plot); every 10th rank is shown.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/statistics.h"
+
+namespace snaps {
+namespace {
+
+std::vector<double> TopShares(const Dataset& ds, Attr attr, size_t top_n) {
+  std::vector<double> shares = TopValueShares(ds, Role::kDd, attr, top_n);
+  for (double& s : shares) s *= 100.0;
+  return shares;
+}
+
+void PrintSeries(const char* dataset, const char* qid,
+                 const std::vector<double>& shares) {
+  std::printf("%-8s %-12s", dataset, qid);
+  for (size_t rank = 0; rank < shares.size(); rank += 10) {
+    std::printf(" r%-3zu=%5.2f%%", rank + 1, shares[rank]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace snaps
+
+int main() {
+  using namespace snaps;
+  using namespace snaps::bench;
+  PrintHeader(
+      "Figure 2: frequency distribution of the 100 most common first names,\n"
+      "surnames, and addresses of deceased people (share of records, by "
+      "rank)");
+
+  for (const auto& [name, data] :
+       {std::pair<const char*, const GeneratedData*>{"IOS-like", &IosData()},
+        std::pair<const char*, const GeneratedData*>{"KIL-like",
+                                                     &KilData()}}) {
+    PrintSeries(name, "first_name",
+                TopShares(data->dataset, Attr::kFirstName, 100));
+    PrintSeries(name, "surname", TopShares(data->dataset, Attr::kSurname, 100));
+    PrintSeries(name, "address", TopShares(data->dataset, Attr::kAddress, 100));
+  }
+
+  std::printf(
+      "\nShape check vs paper: skewed (Zipf-like) decay; the most common\n"
+      "first name and surname each cover several percent of all records,\n"
+      "with IOS-like more skewed than KIL-like.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark) for the online-phase building
+// blocks: blocking signatures, keyword lookups and similarity-aware
+// index retrievals.
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/lsh_blocker.h"
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/pedigree_graph.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+namespace {
+
+/// Shared small pipeline (built once).
+struct Fixture {
+  GeneratedData data;
+  ErResult result;
+  PedigreeGraph graph;
+  std::unique_ptr<KeywordIndex> keyword;
+  std::unique_ptr<SimilarityIndex> similarity;
+  std::unique_ptr<QueryProcessor> processor;
+
+  static const Fixture& Get() {
+    static const Fixture* f = [] {
+      auto* fx = new Fixture();
+      SimulatorConfig cfg;
+      cfg.seed = 11;
+      cfg.num_founder_couples = 40;
+      fx->data = PopulationSimulator(cfg).Generate();
+      fx->result = ErEngine().Resolve(fx->data.dataset);
+      fx->graph = PedigreeGraph::Build(fx->data.dataset, fx->result);
+      fx->keyword = std::make_unique<KeywordIndex>(&fx->graph);
+      fx->similarity = std::make_unique<SimilarityIndex>(fx->keyword.get());
+      fx->processor = std::make_unique<QueryProcessor>(fx->keyword.get(),
+                                                       fx->similarity.get());
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_MinHashSignature(benchmark::State& state) {
+  const LshBlocker blocker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocker.Signature("catherine macdonald"));
+  }
+}
+BENCHMARK(BM_MinHashSignature);
+
+void BM_KeywordLookup(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const auto& values = f.keyword->Values(QueryField::kSurname);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.keyword->Lookup(QueryField::kSurname, values[i % values.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_KeywordLookup);
+
+void BM_SimilarityIndexHit(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const auto& values = f.keyword->Values(QueryField::kSurname);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.similarity->Similar(QueryField::kSurname, values[i % values.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SimilarityIndexHit);
+
+void BM_FullQuery(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Query q;
+  q.first_name = "john";
+  q.surname = "macdonald";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.processor->Search(q));
+  }
+}
+BENCHMARK(BM_FullQuery);
+
+}  // namespace
+}  // namespace snaps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Micro-benchmarks (google-benchmark) for the string similarity
+// kernels that dominate the offline ER inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include "strsim/comparator.h"
+#include "strsim/similarity.h"
+
+namespace snaps {
+namespace {
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaroWinklerSimilarity("catherine macdonald", "katherine mcdonald"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LevenshteinDistance("catherine macdonald", "katherine mcdonald"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaccardBigram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaccardBigramSimilarity("23 high street", "32 high street"));
+  }
+}
+BENCHMARK(BM_JaccardBigram);
+
+void BM_JaccardToken(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaccardTokenSimilarity("agricultural labourer", "farm labourer"));
+  }
+}
+BENCHMARK(BM_JaccardToken);
+
+void BM_CompareValuesDispatch(benchmark::State& state) {
+  const ComparatorParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareValues(ComparatorKind::kJaroWinkler,
+                                           "margaret", "margarett", params));
+  }
+}
+BENCHMARK(BM_CompareValuesDispatch);
+
+void BM_Haversine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HaversineKm(57.41, -6.19, 57.30, -6.30));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+}  // namespace
+}  // namespace snaps
+
+BENCHMARK_MAIN();

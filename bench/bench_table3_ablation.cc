@@ -1,0 +1,65 @@
+// Reproduces Table 3: ablation analysis of the SNAPS key techniques
+// on the IOS-like data set. One column per removed technique: PROP
+// (PROP-A + PROP-C), AMB, REL, REF.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/er_engine.h"
+
+namespace snaps {
+namespace {
+
+void RunConfig(const char* label, const ErConfig& cfg, const Dataset& ds) {
+  const ErResult res = ErEngine(cfg).Resolve(ds);
+  const auto pairs = res.MatchedPairs();
+  std::printf("\n%s (%.1fs):\n", label, res.stats.total_seconds);
+  for (RolePairClass cls : {RolePairClass::kBpBp, RolePairClass::kBpDp}) {
+    bench::PrintQuality(RolePairClassName(cls),
+                        EvaluatePairs(ds, pairs, cls));
+  }
+}
+
+}  // namespace
+}  // namespace snaps
+
+int main() {
+  using namespace snaps;
+  using namespace snaps::bench;
+  PrintHeader(
+      "Table 3: ablation analysis for SNAPS on the IOS-like data set\n"
+      "(each key technique of Section 4.2 removed in turn)");
+
+  const Dataset& ds = IosData().dataset;
+
+  RunConfig("SNAPS (full)", ErConfig(), ds);
+  {
+    ErConfig cfg;
+    cfg.enable_prop_a = false;
+    cfg.enable_prop_c = false;
+    RunConfig("without PROP-A and PROP-C", cfg, ds);
+  }
+  {
+    ErConfig cfg;
+    cfg.enable_amb = false;
+    RunConfig("without AMB", cfg, ds);
+  }
+  {
+    ErConfig cfg;
+    cfg.enable_rel = false;
+    RunConfig("without REL", cfg, ds);
+  }
+  {
+    ErConfig cfg;
+    cfg.enable_ref = false;
+    RunConfig("without REF", cfg, ds);
+  }
+
+  std::printf(
+      "\nShape check vs paper: removing AMB collapses precision (ambiguous\n"
+      "same-name merges); removing REL costs recall (partial-match groups\n"
+      "block whole-group merges); removing REF costs precision (wrong links\n"
+      "survive); removing PROP costs overall quality (no propagated\n"
+      "positive/negative evidence).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 4: precision, recall and F*-measure of SNAPS
+// compared to Attr-Sim, Dep-Graph, Rel-Cluster and the supervised
+// (Magellan-substitute) baseline, on the IOS-like and KIL-like data
+// sets for the Bp-Bp and Bp-Dp role pairs. The supervised baseline is
+// reported as mean +- standard deviation over four classifiers and
+// two training regimes, as in the paper.
+
+#include <cstdio>
+
+#include "baselines/attr_sim.h"
+#include "baselines/dep_graph.h"
+#include "baselines/rel_cluster.h"
+#include "bench/bench_util.h"
+#include "core/er_engine.h"
+#include "learn/magellan.h"
+
+namespace snaps {
+namespace {
+
+void RunDataset(const char* name, const Dataset& ds) {
+  std::printf("\n----- %s -----\n", name);
+
+  const auto snaps_pairs = ErEngine().Resolve(ds).MatchedPairs();
+  const auto attr_pairs = AttrSimBaseline().Link(ds);
+  const auto dep_pairs = DepGraphBaseline().Link(ds).MatchedPairs();
+  const auto rel_pairs = RelClusterBaseline().Link(ds).MatchedPairs();
+  const auto magellan_outcomes = MagellanBaseline().Run(
+      ds, {RolePairClass::kBpBp, RolePairClass::kBpDp});
+  const auto magellan = MagellanBaseline::Summarize(magellan_outcomes);
+
+  for (RolePairClass cls : {RolePairClass::kBpBp, RolePairClass::kBpDp}) {
+    std::printf("\n%s (%s):\n", name, RolePairClassName(cls));
+    bench::PrintQuality("SNAPS", EvaluatePairs(ds, snaps_pairs, cls));
+    bench::PrintQuality("Attr-Sim", EvaluatePairs(ds, attr_pairs, cls));
+    bench::PrintQuality("Dep-Graph", EvaluatePairs(ds, dep_pairs, cls));
+    bench::PrintQuality("Rel-Cluster", EvaluatePairs(ds, rel_pairs, cls));
+    for (const MagellanSummary& s : magellan) {
+      if (s.role_pair != cls) continue;
+      std::printf(
+          "  %-12s P=%6.1f±%-4.1f R=%6.1f±%-4.1f F*=%6.1f±%-4.1f (%zu runs)\n",
+          "Magellan", s.precision_mean, s.precision_std, s.recall_mean,
+          s.recall_std, s.fstar_mean, s.fstar_std, s.runs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snaps
+
+int main() {
+  using namespace snaps;
+  using namespace snaps::bench;
+  PrintHeader(
+      "Table 4: precision (P), recall (R) and F*-measure of SNAPS compared\n"
+      "to the baselines (Magellan substitute: averages ± standard "
+      "deviations)");
+
+  RunDataset("IOS-like", IosData().dataset);
+  RunDataset("KIL-like", KilData().dataset);
+
+  std::printf(
+      "\nShape check vs paper: SNAPS wins on F* everywhere; Attr-Sim has\n"
+      "high recall but poor precision; Dep-Graph and Rel-Cluster sit in\n"
+      "between; the supervised baseline shows large standard deviations\n"
+      "across classifiers and training regimes.\n");
+  return 0;
+}

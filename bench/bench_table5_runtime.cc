@@ -1,0 +1,64 @@
+// Reproduces Table 5: runtime of the offline component of SNAPS and
+// the baselines, with the dependency-graph sizes |N_A| and |N_R|.
+
+#include <cstdio>
+
+#include "baselines/attr_sim.h"
+#include "baselines/dep_graph.h"
+#include "baselines/rel_cluster.h"
+#include "bench/bench_util.h"
+#include "core/er_engine.h"
+#include "learn/magellan.h"
+#include "util/timer.h"
+
+namespace snaps {
+namespace {
+
+void RunDataset(const char* name, const Dataset& ds) {
+  const ErResult snaps_res = ErEngine().Resolve(ds);
+
+  Timer attr_timer;
+  AttrSimBaseline().Link(ds);
+  const double attr_seconds = attr_timer.ElapsedSeconds();
+
+  const DepGraphResult dep_res = DepGraphBaseline().Link(ds);
+  const RelClusterResult rel_res = RelClusterBaseline().Link(ds);
+
+  double magellan_seconds = 0.0;
+  MagellanBaseline().Run(ds, {RolePairClass::kBpBp, RolePairClass::kBpDp},
+                         &magellan_seconds);
+
+  std::printf("\n%s:  |N_A|=%zu  |N_R|=%zu\n", name,
+              snaps_res.stats.num_atomic_nodes,
+              snaps_res.stats.num_rel_nodes);
+  std::printf("  %-12s %10s\n", "Method", "Time (s)");
+  std::printf("  %-12s %10.2f\n", "SNAPS", snaps_res.stats.total_seconds);
+  std::printf("  %-12s %10.2f\n", "Attr-Sim", attr_seconds);
+  std::printf("  %-12s %10.2f\n", "Dep-Graph", dep_res.stats.total_seconds);
+  std::printf("  %-12s %10.2f\n", "Rel-Cluster", rel_res.stats.total_seconds);
+  std::printf("  %-12s %10.2f\n", "Magellan", magellan_seconds);
+}
+
+}  // namespace
+}  // namespace snaps
+
+int main() {
+  using namespace snaps;
+  using namespace snaps::bench;
+  PrintHeader(
+      "Table 5: runtime results (seconds) for the offline component of\n"
+      "SNAPS and the baselines");
+
+  RunDataset("IOS-like", IosData().dataset);
+  RunDataset("KIL-like", KilData().dataset);
+
+  std::printf(
+      "\nShape check vs paper: Attr-Sim is the fastest (pairwise only)\n"
+      "and SNAPS costs more than Dep-Graph (it addresses all the\n"
+      "challenges). Divergences: our Magellan substitute caps training\n"
+      "at a labelled sample (Section 10's cost argument), so unlike the\n"
+      "paper's full-corpus Python training it is cheap; our Rel-Cluster\n"
+      "bounds the re-evaluation rounds, so it does not dominate the\n"
+      "runtime as the paper's does on KIL.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table 6: scalability of the offline component of SNAPS
+// on growing time windows of the BHIC-like data set. The window end
+// is fixed (1935) and the start moves earlier, exactly as in the
+// paper; reported are graph sizes, per-phase runtimes and linkage
+// time per node / per edge.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+
+int main() {
+  using namespace snaps;
+  using namespace snaps::bench;
+  PrintHeader(
+      "Table 6: runtimes of the offline component of SNAPS for different\n"
+      "graph sizes of the BHIC-like data set (growing time windows)");
+
+  std::printf(
+      "  %-12s %9s %9s %8s %8s %8s %8s %10s %10s\n", "Window", "Nodes",
+      "Edges", "N_A(s)", "N_R(s)", "Boot(s)", "Merge(s)", "ms/node",
+      "ms/edge");
+
+  for (int start : {1915, 1905, 1895, 1885}) {
+    GeneratedData data =
+        PopulationSimulator(SimulatorConfig::BhicLike(start)).Generate();
+    const ErResult res = ErEngine().Resolve(data.dataset);
+    const double linkage_seconds =
+        res.stats.bootstrap_seconds + res.stats.merge_seconds;
+    const double ms_per_node =
+        res.stats.num_rel_nodes == 0
+            ? 0.0
+            : 1e3 * linkage_seconds / res.stats.num_rel_nodes;
+    const double ms_per_edge =
+        res.stats.num_rel_edges == 0
+            ? 0.0
+            : 1e3 * linkage_seconds / res.stats.num_rel_edges;
+    std::printf(
+        "  %d-1935    %9zu %9zu %8.1f %8.1f %8.1f %8.1f %10.4f %10.4f\n",
+        start, res.stats.num_rel_nodes, res.stats.num_rel_edges,
+        res.stats.atomic_gen_seconds, res.stats.rel_gen_seconds,
+        res.stats.bootstrap_seconds, res.stats.merge_seconds, ms_per_node,
+        ms_per_edge);
+  }
+
+  std::printf(
+      "\nShape check vs paper: the merging step dominates the runtime and\n"
+      "the linkage time per node / per edge grows slowly with the graph\n"
+      "size (near-linear scalability).\n");
+  return 0;
+}

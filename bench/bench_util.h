@@ -1,0 +1,46 @@
+#ifndef SNAPS_BENCH_BENCH_UTIL_H_
+#define SNAPS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/simulator.h"
+#include "eval/metrics.h"
+
+namespace snaps {
+namespace bench {
+
+/// Prints a separator + table title like the paper's table captions.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Formats one linkage-quality row (percentages).
+inline void PrintQuality(const char* label, const LinkageQuality& q) {
+  std::printf("  %-12s P=%6.2f  R=%6.2f  F*=%6.2f  (tp=%zu fp=%zu fn=%zu)\n",
+              label, 100.0 * q.Precision(), 100.0 * q.Recall(),
+              100.0 * q.FStar(), q.tp, q.fp, q.fn);
+}
+
+/// The evaluation data sets (Section 10): laptop-scale synthetic
+/// stand-ins for the Isle of Skye and Kilmarnock data (see DESIGN.md
+/// for the substitution rationale). Cached per process.
+inline const GeneratedData& IosData() {
+  static const GeneratedData* data = new GeneratedData(
+      PopulationSimulator(SimulatorConfig::IosLike()).Generate());
+  return *data;
+}
+
+inline const GeneratedData& KilData() {
+  static const GeneratedData* data = new GeneratedData(
+      PopulationSimulator(SimulatorConfig::KilLike()).Generate());
+  return *data;
+}
+
+}  // namespace bench
+}  // namespace snaps
+
+#endif  // SNAPS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,91 @@
+// Graph-data anonymisation demo (the paper's Section 9): generate a
+// "sensitive" synthetic data set, anonymise it (cluster-based name
+// mapping, secret global date shift, k-anonymous causes of death) and
+// show records before/after plus the anonymisation report. Optionally
+// writes both versions to CSV.
+//
+//   ./anonymise_dataset [--out-dir <dir>] [--k <k>]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "anon/anonymizer.h"
+#include "datagen/simulator.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+void PrintRecord(const snaps::Record& r, const snaps::Certificate& cert) {
+  std::printf("    [%s/%s %d] %s %s%s%s  parish=%s%s%s\n",
+              snaps::CertTypeName(cert.type), snaps::RoleName(r.role),
+              cert.year, r.value(snaps::Attr::kFirstName).c_str(),
+              r.value(snaps::Attr::kSurname).c_str(),
+              r.has_value(snaps::Attr::kMaidenSurname) ? " ms " : "",
+              r.value(snaps::Attr::kMaidenSurname).c_str(),
+              r.value(snaps::Attr::kParish).c_str(),
+              r.has_value(snaps::Attr::kCauseOfDeath) ? " cause=" : "",
+              r.value(snaps::Attr::kCauseOfDeath).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snaps;
+
+  std::printf("Generating the 'sensitive' data set (IOS-like)...\n");
+  GeneratedData data =
+      PopulationSimulator(SimulatorConfig::IosLike()).Generate();
+  const Dataset original = data.dataset;
+  std::printf("  %zu certificates, %zu records\n",
+              original.num_certificates(), original.num_records());
+
+  AnonConfig cfg;
+  if (const char* v = FlagValue(argc, argv, "--k")) cfg.k = std::atoi(v);
+  std::printf("\nAnonymising (k=%d)...\n", cfg.k);
+  const AnonReport report = AnonymizeDataset(&data.dataset, cfg);
+
+  std::printf("  first names mapped: %zu female, %zu male\n",
+              report.female_first_names_mapped,
+              report.male_first_names_mapped);
+  std::printf("  surnames mapped:    %zu\n", report.surnames_mapped);
+  std::printf("  year offset:        %+d (kept secret in production)\n",
+              report.year_offset);
+  std::printf("  causes of death:    %zu frequent kept, %zu rare replaced\n",
+              report.frequent_causes, report.rare_causes_replaced);
+
+  std::printf("\nSample records before -> after:\n");
+  size_t shown = 0;
+  for (RecordId i = 0; i < original.num_records() && shown < 6; i += 97) {
+    const Record& before = original.record(i);
+    if (!before.has_value(Attr::kFirstName)) continue;
+    std::printf("  before:\n");
+    PrintRecord(before, original.certificate(before.cert_id));
+    std::printf("  after:\n");
+    PrintRecord(data.dataset.record(i),
+                data.dataset.certificate(before.cert_id));
+    ++shown;
+  }
+
+  if (const char* dir = FlagValue(argc, argv, "--out-dir")) {
+    const std::string sensitive_path = std::string(dir) + "/sensitive.csv";
+    const std::string anon_path = std::string(dir) + "/anonymised.csv";
+    Status s1 = original.SaveCsv(sensitive_path);
+    Status s2 = data.dataset.SaveCsv(anon_path);
+    if (!s1.ok() || !s2.ok()) {
+      std::fprintf(stderr, "write failed: %s / %s\n",
+                   s1.ToString().c_str(), s2.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nWrote %s and %s\n", sensitive_path.c_str(),
+                anon_path.c_str());
+  }
+  return 0;
+}

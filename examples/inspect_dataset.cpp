@@ -1,0 +1,67 @@
+// Data-set inspection tool: validates a CSV record set and prints its
+// statistical profile (the Table 1 / Figure 2 statistics) -- the
+// first thing to run on externally transcribed data before feeding it
+// to the ER pipeline.
+//
+//   ./inspect_dataset <records.csv>
+
+#include <cstdio>
+
+#include "data/statistics.h"
+#include "data/validation.h"
+
+int main(int argc, char** argv) {
+  using namespace snaps;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <records.csv>\n", argv[0]);
+    return 2;
+  }
+  Result<Dataset> loaded = Dataset::LoadCsv(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& ds = *loaded;
+  std::printf("%zu certificates, %zu records\n", ds.num_certificates(),
+              ds.num_records());
+
+  // ---- Validation. ----
+  const ValidationReport report = ValidateDataset(ds);
+  std::printf("validation: %zu errors, %zu warnings%s\n", report.errors(),
+              report.warnings(), report.ok ? "" : "  (NOT USABLE)");
+  size_t shown = 0;
+  for (const ValidationIssue& issue : report.issues) {
+    if (shown++ >= 10) {
+      std::printf("  ... %zu more\n", report.issues.size() - 10);
+      break;
+    }
+    std::printf("  [%s] cert %u: %s\n",
+                issue.severity == IssueSeverity::kError ? "error" : "warn",
+                issue.cert, issue.message.c_str());
+  }
+
+  // ---- Role composition. ----
+  const auto roles = RoleCounts(ds);
+  std::printf("\nrole counts:");
+  for (int r = 0; r < kNumRoles; ++r) {
+    if (roles[r] > 0) {
+      std::printf(" %s=%zu", RoleName(static_cast<Role>(r)), roles[r]);
+    }
+  }
+  std::printf("\n");
+
+  // ---- QID profile of the deceased (Table 1's view). ----
+  if (roles[static_cast<size_t>(Role::kDd)] > 0) {
+    std::printf("\ndeceased QID profile:\n");
+    std::printf("  %-12s %8s %9s %6s %8s %8s\n", "QID", "missing",
+                "distinct", "min", "avg", "max");
+    for (Attr attr : {Attr::kFirstName, Attr::kSurname, Attr::kAddress,
+                      Attr::kOccupation}) {
+      const AttrProfile p = ProfileAttribute(ds, Role::kDd, attr);
+      std::printf("  %-12s %8zu %9zu %6zu %8.1f %8zu\n", AttrName(attr),
+                  p.missing, p.distinct, p.distinct == 0 ? 0 : p.min_freq,
+                  p.avg_freq, p.max_freq);
+    }
+  }
+  return report.ok ? 0 : 1;
+}

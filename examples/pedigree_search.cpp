@@ -1,0 +1,120 @@
+// Family pedigree search CLI: the textual counterpart of the SNAPS
+// web interface (the paper's Figures 5-8). Builds the search universe
+// from a dataset CSV (or a built-in IOS-like synthetic town) and
+// answers one query from the command line.
+//
+//   ./pedigree_search --first <name> --surname <name>
+//                     [--kind birth|death] [--gender f|m]
+//                     [--from <year>] [--to <year>] [--parish <name>]
+//                     [--data <records.csv>] [--generations <g>]
+//
+// Example:
+//   ./pedigree_search --first douglas --surname macdonald --kind birth
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/extraction.h"
+#include "pedigree/pedigree_graph.h"
+#include "query/query_processor.h"
+#include "query/result_format.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snaps;
+
+  Query query;
+  if (const char* v = FlagValue(argc, argv, "--first")) query.first_name = v;
+  if (const char* v = FlagValue(argc, argv, "--surname")) query.surname = v;
+  if (query.first_name.empty() || query.surname.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --first <name> --surname <name> [--kind "
+                 "birth|death] [--gender f|m] [--from y] [--to y] "
+                 "[--parish p] [--data records.csv] [--generations g]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (const char* v = FlagValue(argc, argv, "--kind")) {
+    if (std::strcmp(v, "birth") == 0) query.kind = SearchKind::kBirth;
+    if (std::strcmp(v, "death") == 0) query.kind = SearchKind::kDeath;
+  }
+  if (const char* v = FlagValue(argc, argv, "--gender")) {
+    if (*v == 'f') query.gender = Gender::kFemale;
+    if (*v == 'm') query.gender = Gender::kMale;
+  }
+  if (const char* v = FlagValue(argc, argv, "--from")) {
+    query.year_from = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--to")) {
+    query.year_to = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--parish")) query.parish = v;
+  int generations = 2;
+  if (const char* v = FlagValue(argc, argv, "--generations")) {
+    generations = std::atoi(v);
+  }
+
+  // ---- Load or generate the record universe. ----
+  Dataset dataset;
+  if (const char* path = FlagValue(argc, argv, "--data")) {
+    std::printf("Loading records from %s ...\n", path);
+    Result<Dataset> loaded = Dataset::LoadCsv(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+  } else {
+    std::printf("No --data given; generating the IOS-like synthetic town "
+                "(this takes a few seconds)...\n");
+    dataset = PopulationSimulator(SimulatorConfig::IosLike())
+                  .Generate()
+                  .dataset;
+  }
+  std::printf("  %zu certificates, %zu records\n",
+              dataset.num_certificates(), dataset.num_records());
+
+  // ---- Offline phase. ----
+  const ErResult result = ErEngine().Resolve(dataset);
+  const PedigreeGraph graph = PedigreeGraph::Build(dataset, result);
+  KeywordIndex keyword(&graph);
+  SimilarityIndex similarity(&keyword);
+  QueryProcessor processor(&keyword, &similarity);
+
+  // ---- Query, ranked results (the paper's Figure 6). ----
+  const auto results = processor.Search(query);
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (json) {
+    std::printf("%s\n", FormatResultsJson(graph, results).c_str());
+  } else {
+    std::printf("\nQuery results:\n%s",
+                FormatResultsTable(graph, results).c_str());
+  }
+  if (results.empty()) return 0;
+
+  // ---- "Explore" the top result (the paper's Figures 7-8). ----
+  const FamilyPedigree pedigree =
+      ExtractPedigree(graph, results[0].node, generations);
+  std::printf("\nFamily pedigree of the top-ranked result:\n\n%s",
+              RenderPedigreeTree(graph, pedigree).c_str());
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Interactive SNAPS shell: the closest CLI equivalent of the paper's
+// web interface workflow (Figures 5-8) — enter query fields, get a
+// ranked result table, "explore" a result into a family tree, export
+// it. Reads commands from stdin:
+//
+//   search <first> <surname> [birth|death]   ranked results
+//   gender f|m                                set/clear refinements
+//   years <from> <to>
+//   parish <name>
+//   near <place> <km>                         geographic limit
+//   explore <rank> [generations]              family tree of a result
+//   gedcom <rank> <path>                      export a pedigree
+//   json                                      toggle JSON output
+//   help / quit
+//
+//   ./snaps_repl [--data records.csv]
+
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "geo/gazetteer.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/extraction.h"
+#include "pedigree/pedigree_graph.h"
+#include "query/query_processor.h"
+#include "query/result_format.h"
+#include "util/csv.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  search <first> <surname> [birth|death]\n"
+      "  gender <f|m|any>      years <from> <to>      parish <name>\n"
+      "  near <place> <km>     explore <rank> [g]     gedcom <rank> <path>\n"
+      "  json                  help                   quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snaps;
+
+  Dataset dataset;
+  const char* data_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--data") == 0) data_path = argv[i + 1];
+  }
+  if (data_path != nullptr) {
+    Result<Dataset> loaded = Dataset::LoadCsv(data_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+  } else {
+    std::printf("Generating the IOS-like synthetic town...\n");
+    dataset =
+        PopulationSimulator(SimulatorConfig::IosLike()).Generate().dataset;
+  }
+
+  std::printf("Resolving %zu records...\n", dataset.num_records());
+  const ErResult result = ErEngine().Resolve(dataset);
+  const PedigreeGraph graph = PedigreeGraph::Build(dataset, result);
+  const Gazetteer gazetteer = Gazetteer::FromDataset(dataset);
+  KeywordIndex keyword(&graph);
+  SimilarityIndex similarity(&keyword);
+  QueryProcessor processor(&keyword, &similarity);
+  processor.set_gazetteer(&gazetteer);
+  std::printf("Ready: %zu entities, %zu relationships. Type 'help'.\n",
+              graph.num_nodes(), graph.num_edges());
+
+  Query query;
+  std::vector<RankedResult> last_results;
+  bool json = false;
+  std::string line;
+
+  while (std::printf("snaps> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "json") {
+      json = !json;
+      std::printf("json output %s\n", json ? "on" : "off");
+    } else if (cmd == "gender") {
+      std::string g;
+      in >> g;
+      query.gender = g == "f"   ? Gender::kFemale
+                     : g == "m" ? Gender::kMale
+                                : Gender::kUnknown;
+    } else if (cmd == "years") {
+      int from = 0, to = 0;
+      if (in >> from >> to) {
+        query.year_from = from;
+        query.year_to = to;
+      } else {
+        query.year_from.reset();
+        query.year_to.reset();
+      }
+    } else if (cmd == "parish") {
+      in >> query.parish;
+    } else if (cmd == "near") {
+      in >> query.near_place >> query.within_km;
+    } else if (cmd == "search") {
+      std::string kind;
+      in >> query.first_name >> query.surname >> kind;
+      query.kind = kind == "birth"   ? SearchKind::kBirth
+                   : kind == "death" ? SearchKind::kDeath
+                                     : SearchKind::kAny;
+      if (query.first_name.empty() || query.surname.empty()) {
+        std::printf("usage: search <first> <surname> [birth|death]\n");
+        continue;
+      }
+      last_results = processor.Search(query);
+      std::printf("%s", json
+                            ? (FormatResultsJson(graph, last_results) + "\n")
+                                  .c_str()
+                            : FormatResultsTable(graph, last_results).c_str());
+    } else if (cmd == "explore" || cmd == "gedcom") {
+      size_t rank = 0;
+      in >> rank;
+      if (rank == 0 || rank > last_results.size()) {
+        std::printf("no result at rank %zu (search first)\n", rank);
+        continue;
+      }
+      const PedigreeNodeId node = last_results[rank - 1].node;
+      if (cmd == "explore") {
+        int generations = 2;
+        in >> generations;
+        const FamilyPedigree p = ExtractPedigree(graph, node, generations);
+        std::printf("%s", RenderPedigreeTree(graph, p).c_str());
+      } else {
+        std::string path;
+        in >> path;
+        if (path.empty()) {
+          std::printf("usage: gedcom <rank> <path>\n");
+          continue;
+        }
+        const FamilyPedigree p = ExtractPedigree(graph, node, 2);
+        const Status s = WriteStringToFile(path, ExportGedcomLike(graph, p));
+        std::printf("%s\n", s.ok() ? ("wrote " + path).c_str()
+                                   : s.ToString().c_str());
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "anon/anonymizer.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "anon/name_mapper.h"
+#include "datagen/name_pool.h"
+#include "strsim/similarity.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+AgeBand AgeBandOf(int age_years) {
+  if (age_years <= 20) return AgeBand::kYoung;
+  if (age_years <= 40) return AgeBand::kMiddle;
+  return AgeBand::kOld;
+}
+
+const char* AgeBandName(AgeBand band) {
+  switch (band) {
+    case AgeBand::kYoung:
+      return "young";
+    case AgeBand::kMiddle:
+      return "middle";
+    case AgeBand::kOld:
+      return "old";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Collects (value, frequency) of one attribute over records passing
+/// `pred`.
+template <typename Pred>
+std::vector<std::pair<std::string, int>> CollectValues(const Dataset& ds,
+                                                       Attr attr,
+                                                       Pred pred) {
+  std::unordered_map<std::string, int> freq;
+  for (const Record& r : ds.records()) {
+    if (!pred(r)) continue;
+    const std::string& v = r.value(attr);
+    if (!v.empty()) freq[v]++;
+  }
+  std::vector<std::pair<std::string, int>> out(freq.begin(), freq.end());
+  return out;
+}
+
+/// k-anonymises causes of death within gender x age-band strata.
+size_t AnonymizeCauses(Dataset* ds, int k, size_t* frequent_out) {
+  // Stratum key: gender * 3 + band.
+  auto stratum = [](const Record& r) {
+    const int g = static_cast<int>(r.gender());
+    const int age = std::atoi(r.value(Attr::kAgeAtDeath).c_str());
+    return g * 3 + static_cast<int>(AgeBandOf(age));
+  };
+  std::map<int, std::unordered_map<std::string, int>> freq;
+  for (const Record& r : ds->records()) {
+    if (r.role != Role::kDd || !r.has_value(Attr::kCauseOfDeath)) continue;
+    freq[stratum(r)][r.value(Attr::kCauseOfDeath)]++;
+  }
+  // Frequent causes per stratum.
+  std::map<int, std::vector<std::string>> frequent;
+  size_t total_frequent = 0;
+  for (const auto& [s, causes] : freq) {
+    for (const auto& [cause, n] : causes) {
+      if (n >= k) {
+        frequent[s].push_back(cause);
+        ++total_frequent;
+      }
+    }
+  }
+  if (frequent_out != nullptr) *frequent_out = total_frequent;
+
+  size_t replaced = 0;
+  for (size_t i = 0; i < ds->num_records(); ++i) {
+    Record& r = ds->mutable_record(static_cast<RecordId>(i));
+    if (r.role != Role::kDd || !r.has_value(Attr::kCauseOfDeath)) continue;
+    const int s = stratum(r);
+    const std::string& cause = r.value(Attr::kCauseOfDeath);
+    if (freq[s][cause] >= k) continue;  // Already frequent.
+    // Replace with the most similar frequent cause of the stratum
+    // (Jaccard token similarity), or "not known".
+    const auto it = frequent.find(s);
+    std::string best = "not known";
+    double best_sim = 0.0;
+    if (it != frequent.end()) {
+      for (const std::string& candidate : it->second) {
+        const double sim = JaccardTokenSimilarity(cause, candidate);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = candidate;
+        }
+      }
+    }
+    r.set_value(Attr::kCauseOfDeath, best);
+    ++replaced;
+  }
+  return replaced;
+}
+
+}  // namespace
+
+AnonReport AnonymizeDataset(Dataset* dataset, const AnonConfig& config) {
+  AnonReport report;
+  Rng rng(config.seed);
+
+  // ---- Name mapping (cluster-based, per name universe). ----
+  const auto female_firsts =
+      CollectValues(*dataset, Attr::kFirstName, [](const Record& r) {
+        return r.gender() == Gender::kFemale;
+      });
+  const auto male_firsts =
+      CollectValues(*dataset, Attr::kFirstName, [](const Record& r) {
+        return r.gender() != Gender::kFemale;
+      });
+  auto surnames = CollectValues(*dataset, Attr::kSurname,
+                                [](const Record&) { return true; });
+  {
+    // Maiden surnames share the surname universe.
+    const auto maiden = CollectValues(*dataset, Attr::kMaidenSurname,
+                                      [](const Record&) { return true; });
+    std::unordered_map<std::string, int> merged(surnames.begin(),
+                                                surnames.end());
+    for (const auto& [name, n] : maiden) merged[name] += n;
+    surnames.assign(merged.begin(), merged.end());
+  }
+
+  const NameMapper female_map(female_firsts, PublicFemaleFirstNames(),
+                              config.name_cluster_threshold, rng.Next());
+  const NameMapper male_map(male_firsts, PublicMaleFirstNames(),
+                            config.name_cluster_threshold, rng.Next());
+  const NameMapper surname_map(surnames, PublicSurnames(),
+                               config.name_cluster_threshold, rng.Next());
+  report.female_first_names_mapped = female_firsts.size();
+  report.male_first_names_mapped = male_firsts.size();
+  report.surnames_mapped = surnames.size();
+
+  // ---- Secret global year offset. ----
+  int offset = static_cast<int>(
+      rng.NextInt(config.min_year_offset, config.max_year_offset));
+  if (rng.NextBool(0.5)) offset = -offset;
+  report.year_offset = offset;
+
+  for (size_t i = 0; i < dataset->num_records(); ++i) {
+    Record& r = dataset->mutable_record(static_cast<RecordId>(i));
+    if (r.has_value(Attr::kFirstName)) {
+      const NameMapper& m =
+          r.gender() == Gender::kFemale ? female_map : male_map;
+      r.set_value(Attr::kFirstName, m.Map(r.value(Attr::kFirstName)));
+    }
+    if (r.has_value(Attr::kSurname)) {
+      r.set_value(Attr::kSurname, surname_map.Map(r.value(Attr::kSurname)));
+    }
+    if (r.has_value(Attr::kMaidenSurname)) {
+      r.set_value(Attr::kMaidenSurname,
+                  surname_map.Map(r.value(Attr::kMaidenSurname)));
+    }
+  }
+  dataset->ShiftYears(offset);
+
+  // ---- k-anonymous causes of death. ----
+  report.rare_causes_replaced =
+      AnonymizeCauses(dataset, config.k, &report.frequent_causes);
+
+  return report;
+}
+
+}  // namespace snaps

@@ -1,0 +1,53 @@
+#ifndef SNAPS_ANON_ANONYMIZER_H_
+#define SNAPS_ANON_ANONYMIZER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// Configuration of the graph-data anonymisation of Section 9.
+struct AnonConfig {
+  uint64_t seed = 1855;
+  /// k of the k-anonymous cause-of-death replacement: causes occurring
+  /// fewer than k times within a gender x age stratum are replaced by
+  /// their most similar frequent cause.
+  int k = 10;
+  double name_cluster_threshold = 0.82;
+  /// The secret global year offset is drawn uniformly from this range
+  /// (sign chosen randomly).
+  int min_year_offset = 7;
+  int max_year_offset = 40;
+};
+
+/// Summary of one anonymisation run.
+struct AnonReport {
+  int year_offset = 0;  // Exposed for tests; secret in production.
+  size_t female_first_names_mapped = 0;
+  size_t male_first_names_mapped = 0;
+  size_t surnames_mapped = 0;
+  size_t frequent_causes = 0;
+  size_t rare_causes_replaced = 0;
+};
+
+/// Anonymises a data set in place: first names (per gender) and
+/// surnames (including maiden surnames) are replaced via cluster-based
+/// mapping onto a public name universe; every certificate and record
+/// year is shifted by a global secret offset; rare causes of death are
+/// replaced k-anonymously within gender x age-band strata
+/// (young <= 20 < middle <= 40 < old), falling back to "not known".
+AnonReport AnonymizeDataset(Dataset* dataset, const AnonConfig& config);
+
+/// Age band used for the cause-of-death strata.
+enum class AgeBand : uint8_t { kYoung = 0, kMiddle = 1, kOld = 2 };
+
+/// Maps an age in years to its band (young: <= 20, middle: 21-40,
+/// old: > 40, matching Section 9).
+AgeBand AgeBandOf(int age_years);
+
+const char* AgeBandName(AgeBand band);
+
+}  // namespace snaps
+
+#endif  // SNAPS_ANON_ANONYMIZER_H_

@@ -1,0 +1,169 @@
+#include "anon/name_mapper.h"
+
+#include <algorithm>
+
+#include "strsim/similarity.h"
+#include "util/rng.h"
+
+namespace snaps {
+
+namespace {
+
+/// Leader clustering: names are visited most-frequent-first and join
+/// the first cluster whose leader is at least `threshold` similar,
+/// else found a new cluster.
+struct Cluster {
+  std::vector<size_t> members;  // Indices into the name list.
+  double intra_similarity = 1.0;
+};
+
+std::vector<Cluster> LeaderCluster(const std::vector<std::string>& names,
+                                   double threshold) {
+  std::vector<Cluster> clusters;
+  std::vector<size_t> leaders;  // Name index of each cluster's leader.
+  for (size_t i = 0; i < names.size(); ++i) {
+    int best = -1;
+    double best_sim = threshold;
+    for (size_t c = 0; c < leaders.size(); ++c) {
+      const double sim = JaroWinklerSimilarity(names[leaders[c]], names[i]);
+      if (sim >= best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) {
+      leaders.push_back(i);
+      clusters.emplace_back();
+      clusters.back().members.push_back(i);
+    } else {
+      clusters[static_cast<size_t>(best)].members.push_back(i);
+    }
+  }
+  // Intra-cluster similarity profile: average similarity of members
+  // to the leader.
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    Cluster& cl = clusters[c];
+    if (cl.members.size() < 2) {
+      cl.intra_similarity = 1.0;
+      continue;
+    }
+    double total = 0.0;
+    for (size_t m = 1; m < cl.members.size(); ++m) {
+      total += JaroWinklerSimilarity(names[cl.members[0]],
+                                     names[cl.members[m]]);
+    }
+    cl.intra_similarity =
+        total / static_cast<double>(cl.members.size() - 1);
+  }
+  return clusters;
+}
+
+/// Derives extra distinct replacement values from a base name when a
+/// public cluster is smaller than its sensitive counterpart.
+std::string DeriveName(const std::string& base, size_t ordinal) {
+  static const char* kSuffixes[] = {"a", "e", "o", "ie", "ina", "ette",
+                                    "son", "s",  "y",  "el"};
+  std::string out = base;
+  size_t n = ordinal;
+  do {
+    out += kSuffixes[n % (sizeof(kSuffixes) / sizeof(kSuffixes[0]))];
+    n /= sizeof(kSuffixes) / sizeof(kSuffixes[0]);
+  } while (n > 0);
+  return out;
+}
+
+}  // namespace
+
+NameMapper::NameMapper(
+    const std::vector<std::pair<std::string, int>>& sensitive,
+    const std::vector<std::string>& public_names, double cluster_threshold,
+    uint64_t seed) {
+  // Rank sensitive names by frequency (most common first).
+  std::vector<std::pair<std::string, int>> ranked = sensitive;
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> sens_names;
+  sens_names.reserve(ranked.size());
+  for (const auto& [name, freq] : ranked) sens_names.push_back(name);
+
+  const std::vector<Cluster> sens_clusters =
+      LeaderCluster(sens_names, cluster_threshold);
+  const std::vector<Cluster> pub_clusters =
+      LeaderCluster(public_names, cluster_threshold);
+  num_clusters_ = sens_clusters.size();
+
+  // Map each sensitive cluster to the unused public cluster whose
+  // intra-cluster similarity profile (and size) is closest; recycle
+  // public clusters when the sensitive side has more.
+  std::vector<bool> used(pub_clusters.size(), false);
+  Rng rng(seed);
+  for (size_t sc = 0; sc < sens_clusters.size(); ++sc) {
+    const Cluster& s = sens_clusters[sc];
+    int best = -1;
+    double best_score = -1.0;
+    for (size_t pc = 0; pc < pub_clusters.size(); ++pc) {
+      if (used[pc]) continue;
+      const Cluster& p = pub_clusters[pc];
+      const double sim_match =
+          1.0 - std::abs(s.intra_similarity - p.intra_similarity);
+      const double size_match =
+          1.0 - std::abs(static_cast<double>(s.members.size()) -
+                         static_cast<double>(p.members.size())) /
+                    static_cast<double>(
+                        std::max(s.members.size(), p.members.size()));
+      const double score = 0.6 * sim_match + 0.4 * size_match;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(pc);
+      }
+    }
+    if (best < 0) {
+      // All public clusters consumed: recycle by hashing.
+      best = static_cast<int>(rng.NextUint64(pub_clusters.size()));
+    } else {
+      used[static_cast<size_t>(best)] = true;
+    }
+    const Cluster& p = pub_clusters[static_cast<size_t>(best)];
+    for (size_t m = 0; m < s.members.size(); ++m) {
+      const std::string& from = sens_names[s.members[m]];
+      std::string to;
+      if (m < p.members.size()) {
+        to = public_names[p.members[m]];
+      } else {
+        // Public cluster exhausted: derive a distinct variant of its
+        // leader so similarity structure within the cluster persists.
+        to = DeriveName(public_names[p.members[0]],
+                        m - p.members.size());
+      }
+      mapping_[from] = std::move(to);
+      cluster_of_[from] = static_cast<int>(sc);
+    }
+  }
+
+  // Ensure injectivity: de-duplicate accidental collisions from
+  // recycled clusters.
+  std::unordered_map<std::string, int> seen;
+  for (auto& [from, to] : mapping_) {
+    int& count = seen[to];
+    if (count > 0) {
+      to = DeriveName(to, static_cast<size_t>(count) + 31);
+    }
+    ++count;
+  }
+
+  fallback_ = public_names.empty() ? std::string("anon") : public_names[0];
+}
+
+const std::string& NameMapper::Map(const std::string& name) const {
+  const auto it = mapping_.find(name);
+  return it == mapping_.end() ? fallback_ : it->second;
+}
+
+int NameMapper::ClusterOf(const std::string& name) const {
+  const auto it = cluster_of_.find(name);
+  return it == cluster_of_.end() ? -1 : it->second;
+}
+
+}  // namespace snaps

@@ -1,0 +1,51 @@
+#ifndef SNAPS_ANON_NAME_MAPPER_H_
+#define SNAPS_ANON_NAME_MAPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace snaps {
+
+/// Cluster-based name anonymisation (Section 9, following Nanayakkara
+/// et al. 2020): sensitive names and public names are independently
+/// clustered so highly similar names share a cluster; each sensitive
+/// cluster is mapped to the public cluster with the closest intra-
+/// cluster similarity profile, and names are mapped rank-to-rank by
+/// frequency within the matched clusters. The mapping is injective
+/// (distinct sensitive names get distinct replacements) and preserves
+/// the structure of string similarities across names.
+class NameMapper {
+ public:
+  /// `sensitive` carries (name, frequency) pairs; `public_names` is
+  /// the replacement universe ranked most-common-first (the stand-in
+  /// for the US voter data base the paper uses).
+  NameMapper(const std::vector<std::pair<std::string, int>>& sensitive,
+             const std::vector<std::string>& public_names,
+             double cluster_threshold = 0.82, uint64_t seed = 17);
+
+  /// Replacement for a sensitive name. Unknown names map to a
+  /// deterministically derived value.
+  const std::string& Map(const std::string& name) const;
+
+  /// True if `name` was in the sensitive universe.
+  bool Contains(const std::string& name) const {
+    return mapping_.find(name) != mapping_.end();
+  }
+
+  size_t num_clusters() const { return num_clusters_; }
+
+  /// Cluster id a sensitive name was assigned to (for tests).
+  int ClusterOf(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, std::string> mapping_;
+  std::unordered_map<std::string, int> cluster_of_;
+  size_t num_clusters_ = 0;
+  std::string fallback_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_ANON_NAME_MAPPER_H_

@@ -1,0 +1,50 @@
+#include "baselines/attr_sim.h"
+
+#include "strsim/comparator.h"
+
+namespace snaps {
+
+AttrSimBaseline::AttrSimBaseline(AttrSimConfig config)
+    : config_(std::move(config)) {}
+
+double AttrSimBaseline::PairSimilarity(const Record& a,
+                                       const Record& b) const {
+  const Schema& schema = config_.schema;
+  double sums[3] = {0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (Attr attr : schema.SimilarityAttrs()) {
+    const std::string& va = a.value(attr);
+    const std::string& vb = b.value(attr);
+    if (va.empty() || vb.empty()) continue;
+    const double sim = CompareValues(schema.comparator(attr), va, vb,
+                                     schema.comparator_params);
+    const int c = static_cast<int>(schema.category(attr));
+    sums[c] += sim;
+    counts[c] += 1;
+  }
+  const double weights[3] = {schema.must_weight, schema.core_weight,
+                             schema.extra_weight};
+  double num = 0.0, den = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    if (counts[c] == 0) continue;
+    num += weights[c] * (sums[c] / counts[c]);
+    den += weights[c];
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+std::vector<std::pair<RecordId, RecordId>> AttrSimBaseline::Link(
+    const Dataset& dataset) const {
+  const LshBlocker blocker(config_.blocking);
+  std::vector<std::pair<RecordId, RecordId>> matches;
+  for (const CandidatePair& p : blocker.CandidatePairs(dataset)) {
+    const Record& a = dataset.record(p.first);
+    const Record& b = dataset.record(p.second);
+    if (PairSimilarity(a, b) >= config_.match_threshold) {
+      matches.push_back(p);
+    }
+  }
+  return matches;
+}
+
+}  // namespace snaps

@@ -1,0 +1,43 @@
+#ifndef SNAPS_BASELINES_ATTR_SIM_H_
+#define SNAPS_BASELINES_ATTR_SIM_H_
+
+#include <utility>
+#include <vector>
+
+#include "blocking/lsh_blocker.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace snaps {
+
+/// The Attr-Sim baseline (Section 10): traditional pairwise record
+/// linkage. Blocked candidate pairs are classified as matches when
+/// their category-weighted attribute similarity reaches a threshold;
+/// no relationships, no constraints, no propagation.
+struct AttrSimConfig {
+  Schema schema = Schema::Default();
+  BlockingConfig blocking;
+  double match_threshold = 0.85;
+};
+
+class AttrSimBaseline {
+ public:
+  explicit AttrSimBaseline(AttrSimConfig config = AttrSimConfig());
+
+  /// Classifies all blocked pairs; returns the predicted match pairs
+  /// (ordered, first < second).
+  std::vector<std::pair<RecordId, RecordId>> Link(
+      const Dataset& dataset) const;
+
+  /// The pairwise similarity used for classification: the Must /
+  /// Core / Extra weighted average of the per-attribute similarities
+  /// (missing values drop out of their category average).
+  double PairSimilarity(const Record& a, const Record& b) const;
+
+ private:
+  AttrSimConfig config_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_BASELINES_ATTR_SIM_H_

@@ -1,0 +1,152 @@
+#include "blocking/lsh_blocker.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "strsim/phonetic.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+LshBlocker::LshBlocker(BlockingConfig config) : config_(config) {
+  Rng rng(config_.seed);
+  hash_seeds_.reserve(static_cast<size_t>(config_.num_hashes));
+  for (int i = 0; i < config_.num_hashes; ++i) {
+    hash_seeds_.push_back(rng.Next());
+  }
+}
+
+std::string LshBlocker::BlockingKey(const Record& record) {
+  std::string key = record.value(Attr::kFirstName);
+  const std::string& surname = record.value(Attr::kSurname);
+  if (!key.empty() && !surname.empty()) key.push_back(' ');
+  key += surname;
+  return NormalizeValue(key);
+}
+
+std::vector<uint32_t> LshBlocker::Signature(const std::string& key) const {
+  std::vector<uint32_t> sig(hash_seeds_.size(),
+                            std::numeric_limits<uint32_t>::max());
+  for (const std::string& gram : DistinctBigrams(key)) {
+    const uint64_t base = Fnv1a(gram);
+    for (size_t i = 0; i < hash_seeds_.size(); ++i) {
+      const uint32_t h = static_cast<uint32_t>(Mix(base ^ hash_seeds_[i]));
+      sig[i] = std::min(sig[i], h);
+    }
+  }
+  return sig;
+}
+
+std::string LshBlocker::MaidenBlockingKey(const Record& record) {
+  const std::string& maiden = record.value(Attr::kMaidenSurname);
+  if (maiden.empty()) return std::string();
+  std::string key = record.value(Attr::kFirstName);
+  if (!key.empty()) key.push_back(' ');
+  key += maiden;
+  return NormalizeValue(key);
+}
+
+std::vector<CandidatePair> LshBlocker::CandidatePairs(
+    const Dataset& dataset) const {
+  const int num_bands =
+      std::max(1, config_.num_hashes / std::max(1, config_.band_size));
+
+  // band index -> bucket hash -> record ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> bands(
+      static_cast<size_t>(num_bands));
+
+  auto insert_key = [&](const std::string& key, RecordId id) {
+    if (key.empty()) return;
+    const std::vector<uint32_t> sig = Signature(key);
+    for (int b = 0; b < num_bands; ++b) {
+      uint64_t bucket = 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(b);
+      for (int row = 0; row < config_.band_size; ++row) {
+        const size_t idx =
+            static_cast<size_t>(b * config_.band_size + row);
+        if (idx >= sig.size()) break;
+        bucket = Mix(bucket ^ sig[idx]);
+      }
+      auto& slot = bands[static_cast<size_t>(b)][bucket];
+      if (slot.empty() || slot.back() != id) slot.push_back(id);
+    }
+  };
+
+  // Optional exact phonetic buckets live in a dedicated pseudo-band.
+  std::unordered_map<uint64_t, std::vector<RecordId>> phonetic_band;
+
+  for (const Record& r : dataset.records()) {
+    insert_key(BlockingKey(r), r.id);
+    // Women are additionally indexed under their maiden name so that
+    // their pre-marriage records block with post-marriage ones.
+    insert_key(MaidenBlockingKey(r), r.id);
+    if (config_.use_phonetic_key) {
+      const std::string code = Soundex(r.value(Attr::kFirstName)) + "|" +
+                               Soundex(r.value(Attr::kSurname));
+      if (code != "|") {
+        auto& slot = phonetic_band[Fnv1a(code)];
+        if (slot.empty() || slot.back() != r.id) slot.push_back(r.id);
+      }
+    }
+  }
+  if (config_.use_phonetic_key) {
+    bands.push_back(std::move(phonetic_band));
+  }
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<CandidatePair> pairs;
+  for (const auto& band : bands) {
+    for (const auto& [bucket, ids] : band) {
+      if (ids.size() < 2 || ids.size() > config_.max_bucket) continue;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        for (size_t j = i + 1; j < ids.size(); ++j) {
+          RecordId a = ids[i], b = ids[j];
+          if (a > b) std::swap(a, b);
+          const Record& ra = dataset.record(a);
+          const Record& rb = dataset.record(b);
+          if (ra.cert_id == rb.cert_id) continue;
+          if (!RolePairPlausible(ra.role, rb.role)) continue;
+          const Gender ga = ra.gender();
+          const Gender gb = rb.gender();
+          if (ga != Gender::kUnknown && gb != Gender::kUnknown && ga != gb) {
+            continue;
+          }
+          const uint64_t packed =
+              (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+          if (seen.insert(packed).second) {
+            pairs.emplace_back(a, b);
+          }
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace snaps

@@ -1,0 +1,60 @@
+#ifndef SNAPS_BLOCKING_LSH_BLOCKER_H_
+#define SNAPS_BLOCKING_LSH_BLOCKER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// Configuration of the locality-sensitive-hashing blocker the paper
+/// uses to reduce the comparison space (Section 4.1): records whose
+/// name bigram sets are similar land in the same block with high
+/// probability.
+struct BlockingConfig {
+  int num_hashes = 64;     // MinHash signature length.
+  int band_size = 8;       // Rows per LSH band (8 bands by default).
+  size_t max_bucket = 400; // Skip degenerate buckets larger than this.
+  /// Additionally bucket records by the Soundex codes of their names
+  /// (exact phonetic blocking), catching spelling variants whose
+  /// bigram overlap is too low for the MinHash bands.
+  bool use_phonetic_key = false;
+  uint64_t seed = 0x5a9f00d5;
+};
+
+/// A candidate record pair emitted by blocking, always ordered
+/// (first < second).
+using CandidatePair = std::pair<RecordId, RecordId>;
+
+/// MinHash + banded LSH blocking over the concatenated name bigrams,
+/// followed by the paper's role filter (impossible role pairs and
+/// conflicting genders are dropped; same-certificate pairs are never
+/// candidates).
+class LshBlocker {
+ public:
+  explicit LshBlocker(BlockingConfig config = BlockingConfig());
+
+  /// Generates the deduplicated candidate pairs for a data set.
+  std::vector<CandidatePair> CandidatePairs(const Dataset& dataset) const;
+
+  /// The MinHash signature of one blocking key (exposed for tests).
+  std::vector<uint32_t> Signature(const std::string& key) const;
+
+  /// Blocking key of a record: normalised "first_name surname".
+  static std::string BlockingKey(const Record& record);
+
+  /// Secondary blocking key "first_name maiden_surname" for records
+  /// carrying a maiden surname (empty otherwise). Lets a woman's
+  /// married-name records collide with her maiden-name records.
+  static std::string MaidenBlockingKey(const Record& record);
+
+ private:
+  BlockingConfig config_;
+  std::vector<uint64_t> hash_seeds_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_BLOCKING_LSH_BLOCKER_H_

@@ -1,0 +1,102 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+
+namespace snaps {
+
+TemporalConstraints::TemporalConstraints() {
+  // Paper-motivated domain knowledge for 19th-century vital records.
+  set_range(Role::kBb, {0, 0});
+  set_range(Role::kBm, {15, 55});
+  set_range(Role::kBf, {15, 75});
+  set_range(Role::kDd, {0, 110});
+  set_range(Role::kDm, {15, 110});
+  set_range(Role::kDf, {15, 110});
+  set_range(Role::kDs, {15, 100});
+  set_range(Role::kMb, {15, 60});
+  set_range(Role::kMg, {15, 70});
+  set_range(Role::kMbm, {30, 110});
+  set_range(Role::kMbf, {30, 110});
+  set_range(Role::kMgm, {30, 110});
+  set_range(Role::kMgf, {30, 110});
+  set_range(Role::kCh, {16, 110});
+  set_range(Role::kCw, {16, 110});
+  set_range(Role::kCc, {0, 30});
+}
+
+void TemporalConstraints::BirthYearInterval(Role role, int event_year,
+                                            int* lo, int* hi) const {
+  if (event_year == 0) {
+    *lo = -100000;
+    *hi = 100000;
+    return;
+  }
+  const RoleAgeRange& r = range(role);
+  *lo = event_year - r.max_age;
+  *hi = event_year - r.min_age;
+}
+
+bool TemporalConstraints::CompatibleRecords(const Record& a,
+                                            const Record& b) const {
+  int alo, ahi, blo, bhi;
+  BirthYearInterval(a.role, a.event_year(), &alo, &ahi);
+  BirthYearInterval(b.role, b.event_year(), &blo, &bhi);
+  if (std::max(alo, blo) > std::min(ahi, bhi)) return false;
+
+  // Death dominance: no role that requires the person alive after
+  // their death. Passive mentions (a parent or spouse named on a
+  // later death or marriage certificate) are exempt; a father may be
+  // named on a birth up to a year after his death.
+  auto check_death = [](const Record& death, const Record& other) {
+    if (death.role != Role::kDd) return true;
+    if (!RoleRequiresAlive(other.role)) return true;
+    const int dy = death.event_year();
+    const int oy = other.event_year();
+    if (dy == 0 || oy == 0) return true;
+    const int slack = other.role == Role::kBf ? 1 : 0;
+    return oy <= dy + slack;
+  };
+  return check_death(a, b) && check_death(b, a);
+}
+
+void LinkConstraints::AddRecord(ClusterProfile* profile,
+                                const Record& record) const {
+  int lo, hi;
+  temporal_.BirthYearInterval(record.role, record.event_year(), &lo, &hi);
+  profile->birth_lo = std::max(profile->birth_lo, lo);
+  profile->birth_hi = std::min(profile->birth_hi, hi);
+  profile->record_count++;
+  if (record.role == Role::kBb) profile->bb_count++;
+  if (record.role == Role::kDd) {
+    profile->dd_count++;
+    profile->death_year = record.event_year();
+  }
+  if (RoleRequiresAlive(record.role)) {
+    profile->latest_event =
+        std::max(profile->latest_event, record.event_year());
+  }
+  const Gender g = record.gender();
+  if (profile->gender == Gender::kUnknown) profile->gender = g;
+}
+
+bool LinkConstraints::CanMerge(const ClusterProfile& a,
+                               const ClusterProfile& b) const {
+  if (a.record_count + b.record_count > max_cluster_records_) return false;
+  if (a.bb_count + b.bb_count > 1) return false;
+  if (a.dd_count + b.dd_count > 1) return false;
+  if (a.gender != Gender::kUnknown && b.gender != Gender::kUnknown &&
+      a.gender != b.gender) {
+    return false;
+  }
+  if (std::max(a.birth_lo, b.birth_lo) > std::min(a.birth_hi, b.birth_hi)) {
+    return false;
+  }
+  // Death dominance with a year of slack (posthumous registrations).
+  const int death = a.death_year != 0 ? a.death_year : b.death_year;
+  if (death != 0 && std::max(a.latest_event, b.latest_event) > death + 1) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snaps

@@ -1,0 +1,95 @@
+#ifndef SNAPS_CORE_CONSTRAINTS_H_
+#define SNAPS_CORE_CONSTRAINTS_H_
+
+#include <array>
+#include <utility>
+
+#include "data/record.h"
+
+namespace snaps {
+
+/// Temporal constraints (PROP-C, Section 4.2.2), modelled as the
+/// plausible age range a person can have when appearing in each role
+/// (domain knowledge; e.g. a birth mother is between 15 and 55 years
+/// old, so the Bb -> Bm gap of the paper's example is 15 to 55 years).
+/// A role occurrence at event year y constrains the person's birth
+/// year to [y - max_age, y - min_age]; two records can refer to the
+/// same person only if their birth-year intervals intersect.
+struct RoleAgeRange {
+  int min_age = 0;
+  int max_age = 110;
+};
+
+/// Table of per-role age ranges; user-overridable for other domains.
+class TemporalConstraints {
+ public:
+  /// Builds the default table encoding the paper's examples.
+  TemporalConstraints();
+
+  const RoleAgeRange& range(Role role) const {
+    return ranges_[static_cast<size_t>(role)];
+  }
+  void set_range(Role role, RoleAgeRange r) {
+    ranges_[static_cast<size_t>(role)] = r;
+  }
+
+  /// Birth-year interval implied by a record (role + event year).
+  /// Records without a year are unconstrained.
+  void BirthYearInterval(Role role, int event_year, int* lo, int* hi) const;
+
+  /// Checks whether two records can refer to the same person:
+  /// birth-year intervals intersect, and no event strictly after an
+  /// observed death (with one year of slack for posthumous fathers).
+  bool CompatibleRecords(const Record& a, const Record& b) const;
+
+ private:
+  std::array<RoleAgeRange, kNumRoles> ranges_;
+};
+
+/// Link constraints (PROP-C): entity-level cardinality caps. A person
+/// has exactly one birth and one death certificate, so a record
+/// cluster may contain at most one Bb and at most one Dd record; all
+/// records must agree on gender.
+struct ClusterProfile {
+  int birth_lo = -100000;  // Birth-year interval intersection.
+  int birth_hi = 100000;
+  int death_year = 0;      // Year of the Dd record, 0 if none.
+  int latest_event = 0;    // Latest alive-requiring event year.
+  int bb_count = 0;
+  int dd_count = 0;
+  int record_count = 0;
+  Gender gender = Gender::kUnknown;
+
+  /// Profile of an empty cluster.
+  static ClusterProfile Empty() { return ClusterProfile(); }
+};
+
+/// Maintains and checks cluster profiles against the link and
+/// temporal constraints.
+class LinkConstraints {
+ public:
+  explicit LinkConstraints(TemporalConstraints temporal = TemporalConstraints(),
+                           int max_cluster_records = 60)
+      : temporal_(std::move(temporal)),
+        max_cluster_records_(max_cluster_records) {}
+
+  /// Folds one record into a profile (no validity check).
+  void AddRecord(ClusterProfile* profile, const Record& record) const;
+
+  /// Whether merging two cluster profiles stays valid: at most one
+  /// birth / death record, intersecting birth-year intervals,
+  /// consistent gender, and no event after the death year.
+  bool CanMerge(const ClusterProfile& a, const ClusterProfile& b) const;
+
+  const TemporalConstraints& temporal() const { return temporal_; }
+
+ private:
+  TemporalConstraints temporal_;
+  /// A real person appears on a bounded number of certificates; caps
+  /// runaway same-name clusters (complements the REF t_n split).
+  int max_cluster_records_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_CORE_CONSTRAINTS_H_

@@ -1,0 +1,92 @@
+#ifndef SNAPS_CORE_ENTITY_STORE_H_
+#define SNAPS_CORE_ENTITY_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraints.h"
+#include "data/dataset.h"
+#include "graph/dependency_graph.h"
+
+namespace snaps {
+
+using EntityId = uint32_t;
+inline constexpr EntityId kInvalidEntityId = 0xffffffffu;
+
+/// A resolved entity: a cluster of records (R_o, Section 3) plus the
+/// merged relational nodes (links) that hold it together, and the
+/// cached constraint profile.
+struct EntityCluster {
+  std::vector<RecordId> records;
+  std::vector<RelNodeId> links;
+  ClusterProfile profile;
+  /// Distinct non-empty attribute values over the cluster's records,
+  /// per attribute. Kept up to date on merge/split so PROP-A can scan
+  /// value pairs instead of record pairs.
+  std::array<std::vector<std::string>, kNumAttrs> values;
+  /// Incremented whenever the cluster's membership changes; lets
+  /// cached per-node propagation results be invalidated cheaply.
+  uint32_t version = 0;
+  bool alive = false;
+};
+
+/// Manages the record clusters produced by bootstrapping and merging.
+/// Every record starts in a singleton cluster; linking two records
+/// (accepting a relational node) unions their clusters; the REF step
+/// can drop links again, splitting clusters into the connected
+/// components of their remaining links.
+class EntityStore {
+ public:
+  EntityStore(const Dataset* dataset, LinkConstraints constraints);
+
+  /// Entity currently containing `record`.
+  EntityId entity_of(RecordId record) const { return entity_of_[record]; }
+
+  const EntityCluster& cluster(EntityId id) const { return clusters_[id]; }
+
+  /// Whether accepting this link keeps the constraints satisfied
+  /// (PROP-C at the entity level: if the two records already belong to
+  /// clusters, the merged cluster is validated).
+  bool CanLink(RecordId a, RecordId b) const;
+
+  /// Accepts a merged relational node: unions the two records'
+  /// clusters and remembers the link. Caller must have checked
+  /// CanLink. Returns the surviving entity id.
+  EntityId Link(RelNodeId node, RecordId a, RecordId b,
+                DependencyGraph* graph);
+
+  /// Removes a set of links from one entity and splits it into the
+  /// connected components of the remaining links. The affected
+  /// relational nodes are marked unmerged in `graph`.
+  void RemoveLinksAndSplit(EntityId id, const std::vector<RelNodeId>& to_drop,
+                           DependencyGraph* graph);
+
+  /// Ids of all live clusters with at least 2 records.
+  std::vector<EntityId> NonSingletonEntities() const;
+
+  /// Ids of all live clusters (including singletons) -- every record
+  /// is in exactly one.
+  std::vector<EntityId> AllEntities() const;
+
+  /// Number of live clusters with >= 2 records.
+  size_t NumMergedEntities() const;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+  const LinkConstraints& constraints() const { return constraints_; }
+
+ private:
+  /// Recomputes a cluster's profile from scratch.
+  void RebuildProfile(EntityCluster* cluster) const;
+
+  const Dataset* dataset_;
+  LinkConstraints constraints_;
+  std::vector<EntityId> entity_of_;     // Per record.
+  std::vector<EntityCluster> clusters_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_CORE_ENTITY_STORE_H_

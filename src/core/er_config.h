@@ -1,0 +1,75 @@
+#ifndef SNAPS_CORE_ER_CONFIG_H_
+#define SNAPS_CORE_ER_CONFIG_H_
+
+#include <functional>
+#include <string>
+
+#include "blocking/lsh_blocker.h"
+#include "core/constraints.h"
+#include "data/schema.h"
+
+namespace snaps {
+
+/// Configuration of the SNAPS graph-based ER engine. Defaults are the
+/// paper's parameter settings (Section 10): t_m = 0.85, t_a = 0.9,
+/// gamma = 0.6, t_n = 15, t_d = 0.3, t_b = 0.95. The `enable_*` flags
+/// are the ablation toggles of Table 3.
+struct ErConfig {
+  Schema schema = Schema::Default();
+  BlockingConfig blocking;
+  TemporalConstraints temporal;
+
+  double atomic_threshold = 0.9;     // t_a
+  double bootstrap_threshold = 0.95; // t_b
+  double bootstrap_ambiguity_min = 0.45;  // Min avg s_d to bootstrap
+                                          // a group (AMB only).
+  double merge_threshold = 0.85;     // t_m
+  /// A group that has shrunk to a single relational node carries no
+  /// corroborating relationship evidence; such solo merges need
+  /// stronger similarity (Section 4.2.6 bootstraps groups, not
+  /// individuals, for the same reason).
+  double solo_merge_threshold = 0.95;
+  double gamma = 0.6;                // Weight of s_a vs s_d (Eq. 3).
+  int refine_max_cluster = 15;       // t_n: split clusters larger than
+                                     // this at their bridges.
+  double refine_density = 0.3;       // t_d: prune clusters sparser
+                                     // than this.
+  int merge_passes = 2;              // Global merging iterations.
+
+  /// Optional progress callback, invoked at the start of each offline
+  /// phase with a short phase name ("blocking", "graph", "bootstrap",
+  /// "merge pass 1", "refine", ...). Full-registry runs take hours
+  /// (Table 6); callers use this for logging / progress bars.
+  std::function<void(const std::string&)> progress;
+
+  // Ablation toggles (Table 3). PROP covers both PROP-A (value
+  // propagation) and PROP-C (constraint propagation), as in the
+  // paper: disabling it stops both the positive evidence (propagated
+  // values) and the negative evidence (entity-level temporal and link
+  // constraints).
+  bool enable_prop_a = true;  // Value propagation (PROP-A).
+  bool enable_prop_c = true;  // Constraint propagation (PROP-C).
+  bool enable_amb = true;
+  bool enable_rel = true;
+  bool enable_ref = true;
+};
+
+/// Timing and size statistics of one ER run (Tables 5 and 6).
+struct ErStats {
+  size_t num_atomic_nodes = 0;
+  size_t num_rel_nodes = 0;
+  size_t num_rel_edges = 0;
+  size_t num_groups = 0;
+  size_t num_merged_nodes = 0;
+  size_t num_entities = 0;  // Clusters with >= 2 records.
+  double atomic_gen_seconds = 0.0;
+  double rel_gen_seconds = 0.0;
+  double bootstrap_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_CORE_ER_CONFIG_H_

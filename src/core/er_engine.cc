@@ -1,0 +1,399 @@
+#include "core/er_engine.h"
+
+#include "core/graph_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "blocking/lsh_blocker.h"
+#include "graph/algorithms.h"
+#include "strsim/comparator.h"
+#include "util/timer.h"
+
+namespace snaps {
+
+std::vector<std::pair<RecordId, RecordId>> ErResult::MatchedPairs() const {
+  std::vector<std::pair<RecordId, RecordId>> pairs;
+  for (EntityId e : entities->NonSingletonEntities()) {
+    const auto& records = entities->cluster(e).records;
+    for (size_t i = 0; i < records.size(); ++i) {
+      for (size_t j = i + 1; j < records.size(); ++j) {
+        RecordId a = records[i], b = records[j];
+        if (a > b) std::swap(a, b);
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+namespace {
+
+/// Internal mutable state of one Resolve run.
+struct RunState {
+  const Dataset* dataset;
+  const ErConfig* config;
+  DependencyGraph graph;
+  std::unique_ptr<EntityStore> entities;
+  std::unique_ptr<SimilarityModel> simmodel;
+  ErStats stats;
+};
+
+/// PROP-A (Section 4.2.1): rewires the node's atomic edges using the
+/// propagated QID values of the entities the two records belong to.
+/// For each attribute, the best-matching value pair between the two
+/// entities' value sets replaces a worse current atomic node.
+void PropagateAttributeValues(RunState& st, RelNodeId id) {
+  RelationalNode& node = st.graph.mutable_rel_node(id);
+  const Schema& schema = st.config->schema;
+  const EntityCluster& ca =
+      st.entities->cluster(st.entities->entity_of(node.rec_a));
+  const EntityCluster& cb =
+      st.entities->cluster(st.entities->entity_of(node.rec_b));
+  if (ca.records.size() == 1 && cb.records.size() == 1) return;
+  // Only name-anchored pairs benefit from propagation: a pair whose
+  // Must attribute (first name) already disagrees is not the
+  // changed-QID case PROP-A exists for, and boosting its other
+  // attributes from cluster values would let wrong merges reinforce
+  // themselves.
+  if (node.base_sims[static_cast<size_t>(Attr::kFirstName)] <
+      static_cast<float>(st.config->atomic_threshold)) {
+    return;
+  }
+
+  const Record& rec_a = st.dataset->record(node.rec_a);
+  const Record& rec_b = st.dataset->record(node.rec_b);
+  for (Attr attr : schema.SimilarityAttrs()) {
+    const size_t ai = static_cast<size_t>(attr);
+    double best = node.base_sims[ai];
+    const std::string* best_a = nullptr;
+    const std::string* best_b = nullptr;
+    // As in the paper's example (Section 4.2.1): compare one record's
+    // own value against the propagated value set of the *other*
+    // record's entity, in both directions. The record value anchors
+    // one side, so two polluted clusters cannot pair foreign values.
+    // Scans are bounded for robustness against degenerate clusters.
+    constexpr size_t kMaxScan = 8;
+    auto scan = [&](const std::string& anchor,
+                    const std::vector<std::string>& others,
+                    bool anchor_is_a) {
+      if (anchor.empty()) return;
+      const size_t limit = std::min(others.size(), kMaxScan);
+      for (size_t i = 0; i < limit; ++i) {
+        const double sim = CompareValues(schema.comparator(attr), anchor,
+                                         others[i], schema.comparator_params);
+        if (sim > best) {
+          best = sim;
+          best_a = anchor_is_a ? &anchor : &others[i];
+          best_b = anchor_is_a ? &others[i] : &anchor;
+        }
+      }
+    };
+    scan(rec_a.value(attr), cb.values[ai], /*anchor_is_a=*/true);
+    scan(rec_b.value(attr), ca.values[ai], /*anchor_is_a=*/false);
+    node.raw_sims[ai] = static_cast<float>(best);
+    if (best_a != nullptr && best >= st.config->atomic_threshold) {
+      node.atomic[ai] =
+          st.graph.InternAtomicNode(attr, *best_a, *best_b, best);
+    }
+  }
+}
+
+/// Recomputes and caches the similarity of one node (with PROP-A and
+/// AMB applied according to the configuration). Skips the work when
+/// neither record's cluster has changed since the last refresh.
+double RefreshNodeSimilarity(RunState& st, RelNodeId id) {
+  RelationalNode& node = st.graph.mutable_rel_node(id);
+  const EntityId ea = st.entities->entity_of(node.rec_a);
+  const EntityId eb = st.entities->entity_of(node.rec_b);
+  const uint32_t va = st.entities->cluster(ea).version;
+  const uint32_t vb = st.entities->cluster(eb).version;
+  if (node.last_entity_a == ea && node.last_entity_b == eb &&
+      node.last_version_a == va && node.last_version_b == vb) {
+    return node.similarity;
+  }
+  if (st.config->enable_prop_a) {
+    PropagateAttributeValues(st, id);
+  }
+  node.similarity =
+      st.simmodel->NodeSimilarity(st.graph, node, st.config->enable_amb);
+  node.last_entity_a = ea;
+  node.last_entity_b = eb;
+  node.last_version_a = va;
+  node.last_version_b = vb;
+  return node.similarity;
+}
+
+/// Merges every surviving node of a group (marks nodes merged and
+/// links the records in the entity store). Nodes whose link has become
+/// constraint-invalid in the meantime are skipped.
+void MergeGroupNodes(RunState& st, const std::vector<RelNodeId>& nodes) {
+  for (RelNodeId id : nodes) {
+    RelationalNode& node = st.graph.mutable_rel_node(id);
+    if (node.merged) continue;
+    if (st.config->enable_prop_c &&
+        !st.entities->CanLink(node.rec_a, node.rec_b)) {
+      continue;
+    }
+    st.entities->Link(id, node.rec_a, node.rec_b, &st.graph);
+    st.stats.num_merged_nodes++;
+  }
+}
+
+/// Bootstrapping (Section 4.2.6): merge groups of at least two nodes
+/// whose average atomic similarity reaches t_b. Constraints are
+/// checked per node; the group must be conflict-free to bootstrap.
+void Bootstrap(RunState& st) {
+  Timer timer;
+  for (GroupId g = 0; g < st.graph.num_groups(); ++g) {
+    const std::vector<RelNodeId>& members = st.graph.GroupMembers(g);
+    if (members.size() < 2) continue;
+    double total = 0.0;
+    double ambiguity_total = 0.0;
+    bool ok = true;
+    for (RelNodeId id : members) {
+      const RelationalNode& node = st.graph.rel_node(id);
+      total += st.simmodel->AtomicSimilarity(st.graph, node);
+      ambiguity_total +=
+          st.simmodel->DisambiguationSimilarity(node.rec_a, node.rec_b);
+      if (st.config->enable_prop_c &&
+          !st.entities->CanLink(node.rec_a, node.rec_b)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    const double denom = static_cast<double>(members.size());
+    if (total / denom < st.config->bootstrap_threshold) continue;
+    // AMB at bootstrap time: ambiguous groups (common QID value
+    // combinations) are left for the constraint- and relationship-
+    // aware merging phase instead of being linked on name evidence
+    // alone (Section 4.2.3: unique pairs are prioritised).
+    if (st.config->enable_amb &&
+        ambiguity_total / denom < st.config->bootstrap_ambiguity_min) {
+      continue;
+    }
+    MergeGroupNodes(st, members);
+  }
+  st.stats.bootstrap_seconds = timer.ElapsedSeconds();
+}
+
+/// One merging pass (Section 4.2.6): a priority queue of groups
+/// (larger first, then higher average similarity) is processed; for
+/// each group the REL loop drops constraint violators and the lowest-
+/// similarity node until the group average reaches t_m, then merges.
+void MergePass(RunState& st) {
+  struct QueueEntry {
+    size_t size;
+    double avg_sim;
+    GroupId group;
+    bool operator<(const QueueEntry& o) const {
+      if (size != o.size) return size < o.size;
+      if (avg_sim != o.avg_sim) return avg_sim < o.avg_sim;
+      return group < o.group;  // Deterministic tie-break.
+    }
+  };
+  std::priority_queue<QueueEntry> queue;
+  for (GroupId g = 0; g < st.graph.num_groups(); ++g) {
+    const auto& members = st.graph.GroupMembers(g);
+    size_t active = 0;
+    double total = 0.0;
+    for (RelNodeId id : members) {
+      const RelationalNode& node = st.graph.rel_node(id);
+      if (node.merged || node.pruned) continue;
+      ++active;
+      total += node.similarity;
+    }
+    if (active == 0) continue;
+    queue.push(QueueEntry{active, total / static_cast<double>(active), g});
+  }
+
+  while (!queue.empty()) {
+    const GroupId g = queue.top().group;
+    queue.pop();
+
+    // Working set: unmerged, unpruned nodes of the group.
+    std::vector<RelNodeId> work;
+    for (RelNodeId id : st.graph.GroupMembers(g)) {
+      const RelationalNode& node = st.graph.rel_node(id);
+      if (!node.merged && !node.pruned) work.push_back(id);
+    }
+
+    // PROP-C: drop nodes that violate constraints against the current
+    // entities. Without REL a violation rejects the whole group.
+    std::vector<RelNodeId> valid;
+    bool group_rejected = false;
+    for (RelNodeId id : work) {
+      const RelationalNode& node = st.graph.rel_node(id);
+      if (!st.config->enable_prop_c ||
+          st.entities->CanLink(node.rec_a, node.rec_b)) {
+        valid.push_back(id);
+      } else if (!st.config->enable_rel) {
+        group_rejected = true;
+        break;
+      }
+    }
+    if (group_rejected || valid.empty()) continue;
+
+    // PROP-A + AMB: refresh each node's similarity once per group
+    // visit (the values only change when merges happen, and none
+    // happen inside the REL loop below).
+    for (RelNodeId id : valid) RefreshNodeSimilarity(st, id);
+
+    // REL loop: test the group average; on failure drop the weakest
+    // node and retry, until the group shrinks to a single node.
+    while (!valid.empty()) {
+      double total = 0.0;
+      double min_sim = 2.0;
+      size_t min_pos = 0;
+      for (size_t i = 0; i < valid.size(); ++i) {
+        const double s = st.graph.rel_node(valid[i]).similarity;
+        total += s;
+        if (s < min_sim) {
+          min_sim = s;
+          min_pos = i;
+        }
+      }
+      const double avg = total / static_cast<double>(valid.size());
+      const double threshold = valid.size() == 1
+                                   ? st.config->solo_merge_threshold
+                                   : st.config->merge_threshold;
+      if (avg >= threshold) {
+        MergeGroupNodes(st, valid);
+        break;
+      }
+      if (!st.config->enable_rel) break;  // No adaptive retry.
+      if (valid.size() <= 1) break;
+      valid.erase(valid.begin() + static_cast<long>(min_pos));
+    }
+  }
+}
+
+/// REF (Section 4.2.5): prune sparse clusters (density below t_d:
+/// drop the minimum-degree record's links) and split oversized
+/// clusters at their bridges.
+/// Refines one cluster; returns true when links were dropped (the
+/// cluster was split or pruned).
+bool RefineOneCluster(RunState& st, EntityId e) {
+  const EntityCluster& cluster = st.entities->cluster(e);
+  if (!cluster.alive || cluster.records.size() < 3) return false;
+
+  std::unordered_map<RecordId, size_t> local;
+  for (size_t i = 0; i < cluster.records.size(); ++i) {
+    local[cluster.records[i]] = i;
+  }
+  SmallGraph sg(cluster.records.size());
+  for (RelNodeId l : cluster.links) {
+    const RelationalNode& n = st.graph.rel_node(l);
+    sg.AddEdge(local[n.rec_a], local[n.rec_b]);
+  }
+
+  std::vector<RelNodeId> to_drop;
+  if (static_cast<int>(cluster.records.size()) >
+      st.config->refine_max_cluster) {
+    // Split at bridges.
+    for (const auto& [u, v] : sg.Bridges()) {
+      const RecordId ru = cluster.records[u];
+      const RecordId rv = cluster.records[v];
+      for (RelNodeId l : cluster.links) {
+        const RelationalNode& n = st.graph.rel_node(l);
+        if ((n.rec_a == ru && n.rec_b == rv) ||
+            (n.rec_a == rv && n.rec_b == ru)) {
+          to_drop.push_back(l);
+        }
+      }
+    }
+  }
+  if (to_drop.empty() && sg.Density() < st.config->refine_density) {
+    // Drop all links of the lowest-degree record.
+    const size_t victim = sg.MinDegreeNode();
+    const RecordId rv = cluster.records[victim];
+    for (RelNodeId l : cluster.links) {
+      const RelationalNode& n = st.graph.rel_node(l);
+      if (n.rec_a == rv || n.rec_b == rv) to_drop.push_back(l);
+    }
+  }
+  if (to_drop.empty()) return false;
+  st.entities->RemoveLinksAndSplit(e, to_drop, &st.graph);
+  return true;
+}
+
+/// REF (Section 4.2.5): repeatedly prune sparse clusters (density
+/// below t_d) and split oversized clusters at their bridges, until a
+/// bounded fixpoint.
+void RefineClusters(RunState& st) {
+  Timer timer;
+  constexpr int kMaxRounds = 4;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (EntityId e : st.entities->NonSingletonEntities()) {
+      changed |= RefineOneCluster(st, e);
+    }
+    if (!changed) break;
+  }
+  st.stats.refine_seconds += timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+ErEngine::ErEngine(ErConfig config) : config_(std::move(config)) {}
+
+ErResult ErEngine::Resolve(const Dataset& dataset) const {
+  Timer total_timer;
+  auto report = [this](const std::string& phase) {
+    if (config_.progress) config_.progress(phase);
+  };
+  RunState st;
+  st.dataset = &dataset;
+  st.config = &config_;
+  st.entities = std::make_unique<EntityStore>(
+      &dataset, LinkConstraints(config_.temporal));
+  st.simmodel =
+      std::make_unique<SimilarityModel>(&dataset, &config_.schema,
+                                        config_.gamma);
+
+  report("graph construction");
+  BuildDependencyGraphForDataset(dataset, config_, &st.graph, &st.stats);
+
+  // Initial similarities for queue ordering.
+  for (RelNodeId id = 0; id < st.graph.num_rel_nodes(); ++id) {
+    RelationalNode& node = st.graph.mutable_rel_node(id);
+    node.similarity =
+        st.simmodel->NodeSimilarity(st.graph, node, config_.enable_amb);
+  }
+
+  report("bootstrap");
+  Bootstrap(st);
+  if (config_.enable_ref) {
+    report("refine");
+    RefineClusters(st);
+  }
+
+  const double refine_before_merge = st.stats.refine_seconds;
+  Timer merge_timer;
+  for (int pass = 0; pass < config_.merge_passes; ++pass) {
+    report("merge pass " + std::to_string(pass + 1));
+    MergePass(st);
+    if (config_.enable_ref) {
+      report("refine");
+      RefineClusters(st);
+    }
+  }
+  st.stats.merge_seconds = merge_timer.ElapsedSeconds() -
+                           (st.stats.refine_seconds - refine_before_merge);
+  if (st.stats.merge_seconds < 0.0) st.stats.merge_seconds = 0.0;
+
+  st.stats.num_entities = st.entities->NumMergedEntities();
+  st.stats.total_seconds = total_timer.ElapsedSeconds();
+
+  ErResult result;
+  result.graph = std::move(st.graph);
+  result.entities = std::move(st.entities);
+  result.stats = st.stats;
+  return result;
+}
+
+}  // namespace snaps

@@ -1,0 +1,49 @@
+#ifndef SNAPS_CORE_ER_ENGINE_H_
+#define SNAPS_CORE_ER_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/entity_store.h"
+#include "core/er_config.h"
+#include "core/similarity.h"
+#include "data/dataset.h"
+#include "graph/dependency_graph.h"
+
+namespace snaps {
+
+/// Result of resolving a data set: the dependency graph (with merged
+/// relational nodes), the entity clusters, and run statistics.
+/// Movable-only (owns large structures).
+struct ErResult {
+  DependencyGraph graph;
+  std::unique_ptr<EntityStore> entities;
+  ErStats stats;
+
+  /// All record pairs classified as matches (pairs co-resident in a
+  /// cluster), ordered (first < second).
+  std::vector<std::pair<RecordId, RecordId>> MatchedPairs() const;
+};
+
+/// The SNAPS unsupervised graph-based entity resolution engine
+/// (Section 4): dependency-graph generation (blocking, atomic and
+/// relational nodes, relationship edges), bootstrapping, priority-
+/// queue iterative merging with PROP-A / PROP-C / AMB / REL, and
+/// dynamic cluster refinement (REF).
+class ErEngine {
+ public:
+  explicit ErEngine(ErConfig config = ErConfig());
+
+  /// Runs the full offline ER pipeline on `dataset`. The dataset must
+  /// outlive the returned result.
+  ErResult Resolve(const Dataset& dataset) const;
+
+  const ErConfig& config() const { return config_; }
+
+ private:
+  ErConfig config_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_CORE_ER_ENGINE_H_

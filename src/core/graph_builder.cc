@@ -1,0 +1,192 @@
+#include "core/graph_builder.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "blocking/lsh_blocker.h"
+#include "strsim/comparator.h"
+#include "util/timer.h"
+
+namespace snaps {
+
+namespace {
+
+/// Attaches to `node` the best atomic node per similarity attribute
+/// of the raw record pair, thresholded at t_a.
+void AttachInitialAtomicNodes(const Dataset& dataset, const ErConfig& config,
+                              DependencyGraph& graph, RelNodeId id) {
+  RelationalNode& node = graph.mutable_rel_node(id);
+  const Record& ra = dataset.record(node.rec_a);
+  const Record& rb = dataset.record(node.rec_b);
+  const Schema& schema = config.schema;
+  for (Attr attr : schema.SimilarityAttrs()) {
+    const std::string& va = ra.value(attr);
+    const std::string& vb = rb.value(attr);
+    if (va.empty() || vb.empty()) continue;
+    double sim = CompareValues(schema.comparator(attr), va, vb,
+                               schema.comparator_params);
+    // A woman's surname changes at marriage; her maiden surname (on
+    // records after marriage) matches her birth surname. Credit the
+    // surname comparison with the best cross-pairing against the
+    // maiden surname (the changing-QID challenge of Section 2).
+    if (attr == Attr::kSurname) {
+      const std::string& ma = ra.value(Attr::kMaidenSurname);
+      const std::string& mb = rb.value(Attr::kMaidenSurname);
+      if (!ma.empty()) {
+        sim = std::max(sim, CompareValues(schema.comparator(attr), ma, vb,
+                                          schema.comparator_params));
+      }
+      if (!mb.empty()) {
+        sim = std::max(sim, CompareValues(schema.comparator(attr), va, mb,
+                                          schema.comparator_params));
+      }
+      if (!ma.empty() && !mb.empty()) {
+        sim = std::max(sim, CompareValues(schema.comparator(attr), ma, mb,
+                                          schema.comparator_params));
+      }
+    }
+    node.raw_sims[static_cast<size_t>(attr)] = static_cast<float>(sim);
+    node.base_sims[static_cast<size_t>(attr)] = static_cast<float>(sim);
+    if (sim >= config.atomic_threshold) {
+      node.atomic[static_cast<size_t>(attr)] =
+          graph.InternAtomicNode(attr, va, vb, sim);
+    }
+  }
+}
+
+/// Phase 1: dependency-graph generation (Section 4.1). Blocking
+/// produces candidate pairs; candidate certificate pairs become
+/// groups; within each group all role-consistent record pairs become
+/// relational nodes with relationship edges between them.
+}  // namespace
+
+void BuildDependencyGraphForDataset(const Dataset& dataset,
+                                    const ErConfig& config,
+                                    DependencyGraph* graph_out,
+                                    ErStats* stats_out) {
+  DependencyGraph& graph = *graph_out;
+  ErStats& stats = *stats_out;
+  Timer timer;
+  const LshBlocker blocker(config.blocking);
+  const std::vector<CandidatePair> candidates =
+      blocker.CandidatePairs(dataset);
+  stats.atomic_gen_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // Group candidate pairs by (cert_a, cert_b).
+  std::unordered_map<uint64_t, std::vector<CandidatePair>> by_cert_pair;
+  for (const CandidatePair& p : candidates) {
+    const Record& ra = dataset.record(p.first);
+    const Record& rb = dataset.record(p.second);
+    CertId ca = ra.cert_id, cb = rb.cert_id;
+    RecordId fa = p.first, fb = p.second;
+    if (ca > cb) {
+      std::swap(ca, cb);
+      std::swap(fa, fb);
+    }
+    const uint64_t key =
+        (static_cast<uint64_t>(ca) << 32) | static_cast<uint64_t>(cb);
+    by_cert_pair[key].emplace_back(fa, fb);
+  }
+
+  const TemporalConstraints& temporal = config.temporal;
+
+  for (auto& [key, seed_pairs] : by_cert_pair) {
+    const CertId cert_a = static_cast<CertId>(key >> 32);
+    const CertId cert_b = static_cast<CertId>(key & 0xffffffffu);
+
+    // All role-consistent, gender-consistent, temporally plausible
+    // record pairs of this certificate pair become relational nodes.
+    // There is deliberately no name-similarity gate: dissimilar pairs
+    // (e.g. two siblings) must enter the graph so their low
+    // similarity provides the negative evidence that the REL
+    // technique reacts to (the partial-match-group problem).
+    std::vector<std::pair<RecordId, RecordId>> members;
+    for (RecordId a : dataset.CertRecords(cert_a)) {
+      const Record& ra = dataset.record(a);
+      for (RecordId b : dataset.CertRecords(cert_b)) {
+        const Record& rb = dataset.record(b);
+        if (!RolePairPlausible(ra.role, rb.role)) continue;
+        const Gender ga = ra.gender();
+        const Gender gb = rb.gender();
+        if (ga != Gender::kUnknown && gb != Gender::kUnknown && ga != gb) {
+          continue;
+        }
+        if (!temporal.CompatibleRecords(ra, rb)) continue;
+        members.emplace_back(a, b);
+      }
+    }
+    if (members.empty()) continue;
+
+    // Relationship edges (by local member index): (a1,b1) -> (a2,b2)
+    // when the role relation of a2 w.r.t. a1 equals that of b2
+    // w.r.t. b1 on their respective certificates.
+    struct LocalEdge {
+      uint32_t from;
+      uint32_t to;
+      Relationship rel;
+    };
+    std::vector<LocalEdge> local_edges;
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      for (uint32_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        const auto& [a1, b1] = members[i];
+        const auto& [a2, b2] = members[j];
+        if (a1 == a2 || b1 == b2) continue;
+        Relationship rel_a, rel_b;
+        if (!LookupRoleRelation(dataset.record(a1).role,
+                                dataset.record(a2).role, &rel_a)) {
+          continue;
+        }
+        if (!LookupRoleRelation(dataset.record(b1).role,
+                                dataset.record(b2).role, &rel_b)) {
+          continue;
+        }
+        if (rel_a != rel_b) continue;
+        local_edges.push_back(LocalEdge{i, j, rel_a});
+      }
+    }
+
+    // Node groups are the connected components of the relationship
+    // edges (Section 4.2.4 reasons over "connected groups of nodes");
+    // isolated nodes form singleton groups.
+    std::vector<uint32_t> parent(members.size());
+    for (uint32_t i = 0; i < members.size(); ++i) parent[i] = i;
+    std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (const LocalEdge& e : local_edges) {
+      parent[find(e.from)] = find(e.to);
+    }
+    std::unordered_map<uint32_t, GroupId> group_of_root;
+    std::vector<RelNodeId> node_ids(members.size());
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      const uint32_t root = find(i);
+      auto it = group_of_root.find(root);
+      if (it == group_of_root.end()) {
+        it = group_of_root.emplace(root, graph.NewGroup()).first;
+      }
+      node_ids[i] = graph.AddRelationalNode(members[i].first,
+                                            members[i].second, it->second);
+      AttachInitialAtomicNodes(dataset, config, graph, node_ids[i]);
+    }
+    for (const LocalEdge& e : local_edges) {
+      graph.AddRelEdge(node_ids[e.from], node_ids[e.to], e.rel);
+      stats.num_rel_edges++;
+    }
+  }
+  stats.rel_gen_seconds = timer.ElapsedSeconds();
+  stats.num_atomic_nodes = graph.num_atomic_nodes();
+  stats.num_rel_nodes = graph.num_rel_nodes();
+  stats.num_groups = graph.num_groups();
+}
+
+
+}  // namespace snaps

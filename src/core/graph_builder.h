@@ -1,0 +1,25 @@
+#ifndef SNAPS_CORE_GRAPH_BUILDER_H_
+#define SNAPS_CORE_GRAPH_BUILDER_H_
+
+#include "core/er_config.h"
+#include "data/dataset.h"
+#include "graph/dependency_graph.h"
+
+namespace snaps {
+
+/// Builds the dependency graph G_D for a data set (Section 4.1):
+/// LSH blocking produces candidate pairs; each candidate certificate
+/// pair becomes a group; within a group, every role-consistent,
+/// gender-consistent, temporally plausible record pair with Must-
+/// attribute similarity >= t_a becomes a relational node; atomic nodes
+/// are attached per attribute at threshold t_a; relationship edges
+/// connect nodes whose role relations agree on both certificates.
+/// Shared by the SNAPS engine and the Dep-Graph baseline. Timing and
+/// size fields of `stats` are filled in.
+void BuildDependencyGraphForDataset(const Dataset& dataset,
+                                    const ErConfig& config,
+                                    DependencyGraph* graph, ErStats* stats);
+
+}  // namespace snaps
+
+#endif  // SNAPS_CORE_GRAPH_BUILDER_H_

@@ -1,0 +1,79 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+
+
+SimilarityModel::SimilarityModel(const Dataset* dataset, const Schema* schema,
+                                 double gamma)
+    : dataset_(dataset), schema_(schema), gamma_(gamma) {
+  record_keys_.reserve(dataset_->num_records());
+  for (const Record& r : dataset_->records()) {
+    std::string key = NormalizeValue(r.value(Attr::kFirstName)) + "\x1f" +
+                      NormalizeValue(r.value(Attr::kSurname));
+    name_freq_[key]++;
+    record_keys_.push_back(std::move(key));
+  }
+  log_num_records_ =
+      std::log2(std::max<double>(2.0, dataset_->num_records()));
+}
+
+double SimilarityModel::AtomicSimilarity(const DependencyGraph& graph,
+                                         const RelationalNode& node) const {
+  (void)graph;
+  double sums[3] = {0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < kNumAttrs; ++i) {
+    const float raw = node.raw_sims[i];
+    if (raw < 0.0f) continue;  // Missing on either side.
+    const AttrCategory cat = schema_->category(static_cast<Attr>(i));
+    if (cat == AttrCategory::kIgnored) continue;
+    const int c = static_cast<int>(cat);
+    sums[c] += raw;
+    counts[c] += 1;
+  }
+  // Without any Must-attribute evidence (first name missing on either
+  // side) two records cannot be asserted to match.
+  if (counts[static_cast<int>(AttrCategory::kMust)] == 0) return 0.0;
+  const double weights[3] = {schema_->must_weight, schema_->core_weight,
+                             schema_->extra_weight};
+  double num = 0.0, den = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    if (counts[c] == 0) continue;
+    num += weights[c] * (sums[c] / counts[c]);
+    den += weights[c];
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+double SimilarityModel::DisambiguationSimilarity(RecordId a, RecordId b) const {
+  const int fa = Frequency(a);
+  const int fb = Frequency(b);
+  const double n = std::max<double>(2.0, dataset_->num_records());
+  const double ratio = n / static_cast<double>(std::max(1, fa + fb));
+  const double sd = std::log2(std::max(1.0, ratio)) / log_num_records_;
+  return std::clamp(sd, 0.0, 1.0);
+}
+
+double SimilarityModel::NodeSimilarity(const DependencyGraph& graph,
+                                       const RelationalNode& node,
+                                       bool use_disambiguation) const {
+  const double sa = AtomicSimilarity(graph, node);
+  if (!use_disambiguation) return sa;
+  const double sd = DisambiguationSimilarity(node.rec_a, node.rec_b);
+  return gamma_ * sa + (1.0 - gamma_) * sd;
+}
+
+int SimilarityModel::Frequency(RecordId record) const {
+  const auto it = name_freq_.find(record_keys_[record]);
+  return it == name_freq_.end() ? 1 : it->second;
+}
+
+}  // namespace snaps

@@ -1,0 +1,58 @@
+#ifndef SNAPS_CORE_SIMILARITY_H_
+#define SNAPS_CORE_SIMILARITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "graph/dependency_graph.h"
+
+namespace snaps {
+
+/// Computes the node similarities of Section 4.2.3: the category-
+/// weighted atomic similarity s_a (Equation 1), the IDF-style
+/// disambiguation similarity s_d (Equation 2), and their gamma-
+/// weighted combination s (Equation 3).
+class SimilarityModel {
+ public:
+  /// Precomputes the name-combination (first name + surname)
+  /// frequencies over `dataset` (used as r.f in Equation 2, with |O|
+  /// the number of records).
+  SimilarityModel(const Dataset* dataset, const Schema* schema, double gamma);
+
+  /// Atomic similarity s_a of a relational node from its currently
+  /// attached atomic nodes (Equation 1). Categories with no attached
+  /// atomic node drop out of the weighted average; a node with no
+  /// atomic nodes at all scores 0.
+  double AtomicSimilarity(const DependencyGraph& graph,
+                          const RelationalNode& node) const;
+
+  /// Disambiguation similarity s_d of a record pair (Equation 2).
+  double DisambiguationSimilarity(RecordId a, RecordId b) const;
+
+  /// Overall similarity s = gamma * s_a + (1 - gamma) * s_d
+  /// (Equation 3). With `use_disambiguation` false (the -AMB ablation)
+  /// returns s_a alone, equivalent to gamma = 1.
+  double NodeSimilarity(const DependencyGraph& graph,
+                        const RelationalNode& node,
+                        bool use_disambiguation) const;
+
+  /// Frequency of a record's (first name, surname) combination.
+  int Frequency(RecordId record) const;
+
+  double gamma() const { return gamma_; }
+
+ private:
+  const Dataset* dataset_;
+  const Schema* schema_;
+  double gamma_;
+  std::unordered_map<std::string, int> name_freq_;
+  std::vector<std::string> record_keys_;  // Per record, index-aligned.
+  double log_num_records_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_CORE_SIMILARITY_H_

@@ -1,0 +1,199 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+CertId Dataset::AddCertificate(CertType type, int year) {
+  const CertId id = static_cast<CertId>(certs_.size());
+  certs_.push_back(Certificate{id, type, year});
+  cert_records_.emplace_back();
+  return id;
+}
+
+RecordId Dataset::AddRecord(CertId cert, Role role, Record record) {
+  assert(cert < certs_.size());
+  assert(RoleCertType(role) == certs_[cert].type);
+  const RecordId id = static_cast<RecordId>(records_.size());
+  record.id = id;
+  record.cert_id = cert;
+  record.role = role;
+  if (record.value(Attr::kYear).empty()) {
+    record.set_value(Attr::kYear, std::to_string(certs_[cert].year));
+  }
+  cert_records_[cert].push_back(id);
+  records_.push_back(std::move(record));
+  return id;
+}
+
+void Dataset::ShiftYears(int offset) {
+  for (Certificate& c : certs_) c.year += offset;
+  for (Record& r : records_) {
+    if (!r.value(Attr::kYear).empty()) {
+      r.set_value(Attr::kYear, std::to_string(r.event_year() + offset));
+    }
+  }
+}
+
+std::vector<RecordId> Dataset::RecordsWithRole(Role role) const {
+  std::vector<RecordId> out;
+  for (const Record& r : records_) {
+    if (r.role == role) out.push_back(r.id);
+  }
+  return out;
+}
+
+bool Dataset::IsTrueMatch(RecordId a, RecordId b) const {
+  const Record& ra = records_[a];
+  const Record& rb = records_[b];
+  return ra.true_person != kUnknownPersonId &&
+         rb.true_person != kUnknownPersonId &&
+         ra.true_person == rb.true_person;
+}
+
+namespace {
+
+Role RoleFromName(const std::string& name, bool* ok) {
+  *ok = true;
+  for (int i = 0; i < kNumRoles; ++i) {
+    const Role r = static_cast<Role>(i);
+    if (name == RoleName(r)) return r;
+  }
+  *ok = false;
+  return Role::kBb;
+}
+
+}  // namespace
+
+std::string Dataset::ToCsv() const {
+  CsvTable table;
+  table.header = {"record_id", "cert_id", "cert_type", "cert_year", "role",
+                  "true_person"};
+  for (int i = 0; i < kNumAttrs; ++i) {
+    table.header.emplace_back(AttrName(static_cast<Attr>(i)));
+  }
+  for (const Record& r : records_) {
+    std::vector<std::string> row;
+    const Certificate& cert = certs_[r.cert_id];
+    row.push_back(std::to_string(r.id));
+    row.push_back(std::to_string(r.cert_id));
+    row.push_back(CertTypeName(cert.type));
+    row.push_back(std::to_string(cert.year));
+    row.push_back(RoleName(r.role));
+    row.push_back(r.true_person == kUnknownPersonId
+                      ? ""
+                      : std::to_string(r.true_person));
+    for (int i = 0; i < kNumAttrs; ++i) {
+      row.push_back(r.values[i]);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsv(table);
+}
+
+Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
+  Result<CsvTable> parsed = ParseCsv(csv_content);
+  if (!parsed.ok()) return parsed.status();
+  const CsvTable& table = *parsed;
+
+  const int cert_id_col = table.ColumnIndex("cert_id");
+  const int cert_type_col = table.ColumnIndex("cert_type");
+  const int cert_year_col = table.ColumnIndex("cert_year");
+  const int role_col = table.ColumnIndex("role");
+  const int truth_col = table.ColumnIndex("true_person");
+  if (cert_id_col < 0 || cert_type_col < 0 || cert_year_col < 0 ||
+      role_col < 0) {
+    return Status::ParseError("dataset CSV missing required columns");
+  }
+  std::vector<int> attr_cols(kNumAttrs, -1);
+  for (int i = 0; i < kNumAttrs; ++i) {
+    attr_cols[i] = table.ColumnIndex(AttrName(static_cast<Attr>(i)));
+  }
+
+  Dataset ds;
+  // Create certificates in order of first appearance, remapping the
+  // file's cert ids to dense ids.
+  std::unordered_map<long, CertId> cert_remap;
+
+  for (size_t row_idx = 0; row_idx < table.rows.size(); ++row_idx) {
+    const auto& row = table.rows[row_idx];
+    const long file_cert_id = std::atol(row[cert_id_col].c_str());
+    auto it = cert_remap.find(file_cert_id);
+    CertId cert = it == cert_remap.end() ? kInvalidRecordId : it->second;
+    if (cert == kInvalidRecordId) {
+      CertType type;
+      const std::string& tname = row[cert_type_col];
+      if (tname == "birth") {
+        type = CertType::kBirth;
+      } else if (tname == "death") {
+        type = CertType::kDeath;
+      } else if (tname == "marriage") {
+        type = CertType::kMarriage;
+      } else if (tname == "census") {
+        type = CertType::kCensus;
+      } else {
+        return Status::ParseError("unknown cert_type: " + tname);
+      }
+      cert = ds.AddCertificate(type, std::atoi(row[cert_year_col].c_str()));
+      cert_remap.emplace(file_cert_id, cert);
+    }
+    bool role_ok = false;
+    const Role role = RoleFromName(row[role_col], &role_ok);
+    if (!role_ok) return Status::ParseError("unknown role: " + row[role_col]);
+
+    Record rec;
+    for (int i = 0; i < kNumAttrs; ++i) {
+      if (attr_cols[i] >= 0) rec.values[i] = row[attr_cols[i]];
+    }
+    if (truth_col >= 0 && !row[truth_col].empty()) {
+      rec.true_person = static_cast<PersonId>(std::atol(row[truth_col].c_str()));
+    }
+    ds.AddRecord(cert, role, std::move(rec));
+  }
+  return ds;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  return WriteStringToFile(path, ToCsv());
+}
+
+Result<Dataset> Dataset::LoadCsv(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return FromCsv(*content);
+}
+
+const char* RolePairClassName(RolePairClass c) {
+  switch (c) {
+    case RolePairClass::kBpBp:
+      return "Bp-Bp";
+    case RolePairClass::kBpDp:
+      return "Bp-Dp";
+    case RolePairClass::kBbDd:
+      return "Bb-Dd";
+    case RolePairClass::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+RolePairClass ClassifyRolePair(Role a, Role b) {
+  auto is_bp = [](Role r) { return r == Role::kBm || r == Role::kBf; };
+  auto is_dp = [](Role r) { return r == Role::kDm || r == Role::kDf; };
+  if (is_bp(a) && is_bp(b)) return RolePairClass::kBpBp;
+  if ((is_bp(a) && is_dp(b)) || (is_dp(a) && is_bp(b))) {
+    return RolePairClass::kBpDp;
+  }
+  if ((a == Role::kBb && b == Role::kDd) || (a == Role::kDd && b == Role::kBb)) {
+    return RolePairClass::kBbDd;
+  }
+  return RolePairClass::kOther;
+}
+
+}  // namespace snaps

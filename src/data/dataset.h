@@ -1,0 +1,83 @@
+#ifndef SNAPS_DATA_DATASET_H_
+#define SNAPS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// A set of certificates and the person records extracted from them:
+/// the input R of the ER problem (Section 3). Records are owned in a
+/// dense vector; record ids equal vector positions.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Appends a certificate and returns its id.
+  CertId AddCertificate(CertType type, int year);
+
+  /// Appends a record (its id and cert linkage are filled in).
+  RecordId AddRecord(CertId cert, Role role, Record record);
+
+  const std::vector<Certificate>& certificates() const { return certs_; }
+  const std::vector<Record>& records() const { return records_; }
+
+  const Certificate& certificate(CertId id) const { return certs_[id]; }
+  const Record& record(RecordId id) const { return records_[id]; }
+  Record& mutable_record(RecordId id) { return records_[id]; }
+
+  size_t num_certificates() const { return certs_.size(); }
+  size_t num_records() const { return records_.size(); }
+
+  /// Shifts every certificate year and record year value by `offset`
+  /// (used by the anonymiser's secret global date shift).
+  void ShiftYears(int offset);
+
+  /// Record ids of all records on one certificate.
+  const std::vector<RecordId>& CertRecords(CertId id) const {
+    return cert_records_[id];
+  }
+
+  /// Record ids with the given role.
+  std::vector<RecordId> RecordsWithRole(Role role) const;
+
+  /// True ground-truth match: both records carry a known person id and
+  /// they are equal. Only meaningful on generated data.
+  bool IsTrueMatch(RecordId a, RecordId b) const;
+
+  /// Serialises all records (one row per record, including the truth
+  /// column) to CSV, and parses the same format back.
+  std::string ToCsv() const;
+  static Result<Dataset> FromCsv(const std::string& csv_content);
+
+  Status SaveCsv(const std::string& path) const;
+  static Result<Dataset> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<Certificate> certs_;
+  std::vector<Record> records_;
+  std::vector<std::vector<RecordId>> cert_records_;
+};
+
+/// Role-pair classes evaluated in the paper (Table 2): links between
+/// birth parents across birth certificates (Bp-Bp), and between birth
+/// parents and death parents (Bp-Dp). Used to slice linkage-quality
+/// results.
+enum class RolePairClass : uint8_t {
+  kBpBp = 0,  // {Bm,Bf} x {Bm,Bf}
+  kBpDp = 1,  // {Bm,Bf} x {Dm,Df}
+  kBbDd = 2,  // Baby to deceased.
+  kOther = 3,
+};
+
+const char* RolePairClassName(RolePairClass c);
+
+/// Classifies an (unordered) pair of roles.
+RolePairClass ClassifyRolePair(Role a, Role b);
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATA_DATASET_H_

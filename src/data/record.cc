@@ -1,0 +1,57 @@
+#include "data/record.h"
+
+#include <cstdlib>
+
+namespace snaps {
+
+const char* AttrName(Attr attr) {
+  switch (attr) {
+    case Attr::kFirstName:
+      return "first_name";
+    case Attr::kSurname:
+      return "surname";
+    case Attr::kGender:
+      return "gender";
+    case Attr::kYear:
+      return "year";
+    case Attr::kAddress:
+      return "address";
+    case Attr::kOccupation:
+      return "occupation";
+    case Attr::kParish:
+      return "parish";
+    case Attr::kGeo:
+      return "geo";
+    case Attr::kCauseOfDeath:
+      return "cause_of_death";
+    case Attr::kMaidenSurname:
+      return "maiden_surname";
+    case Attr::kAgeAtDeath:
+      return "age_at_death";
+  }
+  return "unknown";
+}
+
+int Record::event_year() const {
+  const std::string& y = value(Attr::kYear);
+  if (y.empty()) return 0;
+  return std::atoi(y.c_str());
+}
+
+int Record::EstimatedBirthYear() const {
+  const int year = event_year();
+  if (year == 0) return 0;
+  switch (role) {
+    case Role::kBb:
+      return year;
+    case Role::kDd:
+      return year - 40;  // Mid-life default; constraints add slack.
+    case Role::kMb:
+    case Role::kMg:
+      return year - 25;
+    default:
+      return year - 30;  // Parents / spouses of the principal.
+  }
+}
+
+}  // namespace snaps

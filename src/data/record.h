@@ -1,0 +1,90 @@
+#ifndef SNAPS_DATA_RECORD_H_
+#define SNAPS_DATA_RECORD_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "data/role.h"
+
+namespace snaps {
+
+/// Quasi-identifier (QID) attributes carried by every record. These
+/// mirror the attributes the paper profiles in Table 1 plus the fields
+/// used for constraints and querying (gender, event year, parish) and
+/// the geocoded address used for the IOS-like data set.
+enum class Attr : uint8_t {
+  kFirstName = 0,
+  kSurname = 1,
+  kGender = 2,      // "f" / "m" / "" (missing).
+  kYear = 3,        // Event year of the certificate, as decimal text.
+  kAddress = 4,
+  kOccupation = 5,
+  kParish = 6,
+  kGeo = 7,         // "lat:lon" of the address, may be empty.
+  kCauseOfDeath = 8,  // Only meaningful for Dd records.
+  kMaidenSurname = 9,  // Mother's / married woman's maiden surname;
+                       // Scottish certificates record it.
+  kAgeAtDeath = 10,    // Age of the deceased (Dd records only).
+};
+
+inline constexpr int kNumAttrs = 11;
+
+const char* AttrName(Attr attr);
+
+/// Dense identifiers; records, certificates and entities are stored in
+/// vectors and referenced by index.
+using RecordId = uint32_t;
+using CertId = uint32_t;
+using PersonId = uint32_t;  // Ground-truth person identity (datagen).
+
+inline constexpr RecordId kInvalidRecordId = 0xffffffffu;
+inline constexpr PersonId kUnknownPersonId = 0xffffffffu;
+
+/// One certificate (birth, death or marriage event).
+struct Certificate {
+  CertId id = 0;
+  CertType type = CertType::kBirth;
+  int year = 0;  // Registration year of the event.
+};
+
+/// One occurrence of a person on a certificate: the unit of entity
+/// resolution (a record r in R, Section 3).
+struct Record {
+  RecordId id = 0;
+  CertId cert_id = 0;
+  Role role = Role::kBb;
+  std::array<std::string, kNumAttrs> values;
+  /// Ground-truth person this record refers to, or kUnknownPersonId.
+  /// Filled by the data generator; never consulted by the ER engine.
+  PersonId true_person = kUnknownPersonId;
+
+  const std::string& value(Attr attr) const {
+    return values[static_cast<size_t>(attr)];
+  }
+  void set_value(Attr attr, std::string v) {
+    values[static_cast<size_t>(attr)] = std::move(v);
+  }
+  bool has_value(Attr attr) const { return !value(attr).empty(); }
+
+  /// Gender from the attribute if present, else implied by the role.
+  Gender gender() const {
+    const std::string& g = value(Attr::kGender);
+    if (g == "f") return Gender::kFemale;
+    if (g == "m") return Gender::kMale;
+    return RoleImpliedGender(role);
+  }
+
+  /// Event year parsed from kYear; 0 when missing.
+  int event_year() const;
+
+  /// Crude birth-year estimate used by the temporal constraints: the
+  /// event year for a baby; event year minus a typical generational /
+  /// adult offset for other roles (the constraints allow wide slack on
+  /// top of this).
+  int EstimatedBirthYear() const;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATA_RECORD_H_

@@ -1,0 +1,241 @@
+#include "data/role.h"
+
+#include <cassert>
+
+namespace snaps {
+
+const char* CertTypeName(CertType type) {
+  switch (type) {
+    case CertType::kBirth:
+      return "birth";
+    case CertType::kDeath:
+      return "death";
+    case CertType::kMarriage:
+      return "marriage";
+    case CertType::kCensus:
+      return "census";
+  }
+  return "unknown";
+}
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kBb:
+      return "Bb";
+    case Role::kBm:
+      return "Bm";
+    case Role::kBf:
+      return "Bf";
+    case Role::kDd:
+      return "Dd";
+    case Role::kDm:
+      return "Dm";
+    case Role::kDf:
+      return "Df";
+    case Role::kDs:
+      return "Ds";
+    case Role::kMb:
+      return "Mb";
+    case Role::kMg:
+      return "Mg";
+    case Role::kMbm:
+      return "Mbm";
+    case Role::kMbf:
+      return "Mbf";
+    case Role::kMgm:
+      return "Mgm";
+    case Role::kMgf:
+      return "Mgf";
+    case Role::kCh:
+      return "Ch";
+    case Role::kCw:
+      return "Cw";
+    case Role::kCc:
+      return "Cc";
+  }
+  return "??";
+}
+
+CertType RoleCertType(Role role) {
+  switch (role) {
+    case Role::kBb:
+    case Role::kBm:
+    case Role::kBf:
+      return CertType::kBirth;
+    case Role::kDd:
+    case Role::kDm:
+    case Role::kDf:
+    case Role::kDs:
+      return CertType::kDeath;
+    case Role::kCh:
+    case Role::kCw:
+    case Role::kCc:
+      return CertType::kCensus;
+    default:
+      return CertType::kMarriage;
+  }
+}
+
+const char* GenderName(Gender g) {
+  switch (g) {
+    case Gender::kUnknown:
+      return "u";
+    case Gender::kFemale:
+      return "f";
+    case Gender::kMale:
+      return "m";
+  }
+  return "?";
+}
+
+Gender RoleImpliedGender(Role role) {
+  switch (role) {
+    case Role::kBm:
+    case Role::kDm:
+    case Role::kMb:
+    case Role::kMbm:
+    case Role::kMgm:
+    case Role::kCw:
+      return Gender::kFemale;
+    case Role::kBf:
+    case Role::kDf:
+    case Role::kMg:
+    case Role::kMbf:
+    case Role::kMgf:
+    case Role::kCh:
+      return Gender::kMale;
+    default:
+      return Gender::kUnknown;
+  }
+}
+
+const char* RelationshipName(Relationship rel) {
+  switch (rel) {
+    case Relationship::kMother:
+      return "motherOf";
+    case Relationship::kFather:
+      return "fatherOf";
+    case Relationship::kSpouse:
+      return "spouseOf";
+    case Relationship::kChild:
+      return "childOf";
+  }
+  return "unknown";
+}
+
+Relationship InverseRelationship(Relationship rel, Gender source_gender) {
+  switch (rel) {
+    case Relationship::kMother:
+    case Relationship::kFather:
+      return Relationship::kChild;
+    case Relationship::kSpouse:
+      return Relationship::kSpouse;
+    case Relationship::kChild:
+      return source_gender == Gender::kMale ? Relationship::kFather
+                                            : Relationship::kMother;
+  }
+  return Relationship::kSpouse;
+}
+
+const std::vector<RoleRelation>& CertRoleRelations(CertType type) {
+  // `to` stands in relationship `rel` to `from`:
+  //   {kBb, kBm, kMother} reads "Bm is the mother of Bb".
+  static const std::vector<RoleRelation> kBirthRelations = {
+      {Role::kBb, Role::kBm, Relationship::kMother},
+      {Role::kBb, Role::kBf, Relationship::kFather},
+      {Role::kBm, Role::kBb, Relationship::kChild},
+      {Role::kBf, Role::kBb, Relationship::kChild},
+      {Role::kBm, Role::kBf, Relationship::kSpouse},
+      {Role::kBf, Role::kBm, Relationship::kSpouse},
+  };
+  static const std::vector<RoleRelation> kDeathRelations = {
+      {Role::kDd, Role::kDm, Relationship::kMother},
+      {Role::kDd, Role::kDf, Relationship::kFather},
+      {Role::kDm, Role::kDd, Relationship::kChild},
+      {Role::kDf, Role::kDd, Relationship::kChild},
+      {Role::kDd, Role::kDs, Relationship::kSpouse},
+      {Role::kDs, Role::kDd, Relationship::kSpouse},
+      {Role::kDm, Role::kDf, Relationship::kSpouse},
+      {Role::kDf, Role::kDm, Relationship::kSpouse},
+  };
+  static const std::vector<RoleRelation> kMarriageRelations = {
+      {Role::kMb, Role::kMg, Relationship::kSpouse},
+      {Role::kMg, Role::kMb, Relationship::kSpouse},
+      {Role::kMb, Role::kMbm, Relationship::kMother},
+      {Role::kMb, Role::kMbf, Relationship::kFather},
+      {Role::kMbm, Role::kMb, Relationship::kChild},
+      {Role::kMbf, Role::kMb, Relationship::kChild},
+      {Role::kMg, Role::kMgm, Relationship::kMother},
+      {Role::kMg, Role::kMgf, Relationship::kFather},
+      {Role::kMgm, Role::kMg, Relationship::kChild},
+      {Role::kMgf, Role::kMg, Relationship::kChild},
+      {Role::kMbm, Role::kMbf, Relationship::kSpouse},
+      {Role::kMbf, Role::kMbm, Relationship::kSpouse},
+      {Role::kMgm, Role::kMgf, Relationship::kSpouse},
+      {Role::kMgf, Role::kMgm, Relationship::kSpouse},
+  };
+  static const std::vector<RoleRelation> kCensusRelations = {
+      {Role::kCh, Role::kCw, Relationship::kSpouse},
+      {Role::kCw, Role::kCh, Relationship::kSpouse},
+      {Role::kCc, Role::kCh, Relationship::kFather},
+      {Role::kCc, Role::kCw, Relationship::kMother},
+      {Role::kCh, Role::kCc, Relationship::kChild},
+      {Role::kCw, Role::kCc, Relationship::kChild},
+  };
+  switch (type) {
+    case CertType::kBirth:
+      return kBirthRelations;
+    case CertType::kDeath:
+      return kDeathRelations;
+    case CertType::kMarriage:
+      return kMarriageRelations;
+    case CertType::kCensus:
+      return kCensusRelations;
+  }
+  assert(false);
+  return kBirthRelations;
+}
+
+bool LookupRoleRelation(Role from, Role to, Relationship* rel) {
+  if (RoleCertType(from) != RoleCertType(to)) return false;
+  for (const RoleRelation& rr : CertRoleRelations(RoleCertType(from))) {
+    if (rr.from == from && rr.to == to) {
+      *rel = rr.rel;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RoleRequiresAlive(Role role) {
+  switch (role) {
+    case Role::kBb:
+    case Role::kBm:
+    case Role::kBf:
+    case Role::kDd:
+    case Role::kMb:
+    case Role::kMg:
+    case Role::kCh:
+    case Role::kCw:
+    case Role::kCc:
+      return true;  // Census enumerations require the person alive.
+    default:
+      return false;
+  }
+}
+
+bool RolePairPlausible(Role a, Role b) {
+  // A person has exactly one birth and one death certificate, so two
+  // distinct baby records or two distinct deceased records can never
+  // be the same person.
+  if (a == Role::kBb && b == Role::kBb) return false;
+  if (a == Role::kDd && b == Role::kDd) return false;
+  const Gender ga = RoleImpliedGender(a);
+  const Gender gb = RoleImpliedGender(b);
+  if (ga != Gender::kUnknown && gb != Gender::kUnknown && ga != gb) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snaps

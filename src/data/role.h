@@ -1,0 +1,115 @@
+#ifndef SNAPS_DATA_ROLE_H_
+#define SNAPS_DATA_ROLE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace snaps {
+
+/// Certificate types in the statutory records (Section 3).
+enum class CertType : uint8_t {
+  kBirth = 0,
+  kDeath = 1,
+  kMarriage = 2,
+  /// Census household snapshot (decennial). Not a statutory
+  /// certificate; supported as the paper's planned extension of
+  /// incorporating census data into the ER process (Section 12).
+  kCensus = 3,
+};
+
+const char* CertTypeName(CertType type);
+
+/// A role is one occurrence of a person on a certificate (Section 3):
+/// e.g., Bb is the baby on a birth certificate, Dm the mother of the
+/// deceased on a death certificate, Mg the groom on a marriage
+/// certificate.
+enum class Role : uint8_t {
+  kBb = 0,   // Birth: baby.
+  kBm = 1,   // Birth: mother.
+  kBf = 2,   // Birth: father.
+  kDd = 3,   // Death: deceased.
+  kDm = 4,   // Death: mother of deceased.
+  kDf = 5,   // Death: father of deceased.
+  kDs = 6,   // Death: spouse of deceased.
+  kMb = 7,   // Marriage: bride.
+  kMg = 8,   // Marriage: groom.
+  kMbm = 9,  // Marriage: bride's mother.
+  kMbf = 10, // Marriage: bride's father.
+  kMgm = 11, // Marriage: groom's mother.
+  kMgf = 12, // Marriage: groom's father.
+  kCh = 13,  // Census: head of household (male in this model).
+  kCw = 14,  // Census: wife of the head.
+  kCc = 15,  // Census: child in the household (repeatable role).
+};
+
+inline constexpr int kNumRoles = 16;
+
+const char* RoleName(Role role);
+
+/// Certificate type a role appears on.
+CertType RoleCertType(Role role);
+
+/// Gender constraints per role.
+enum class Gender : uint8_t { kUnknown = 0, kFemale = 1, kMale = 2 };
+
+const char* GenderName(Gender g);
+
+/// Gender implied by the role itself (kUnknown when the role does not
+/// constrain it, e.g. a baby or a deceased person).
+Gender RoleImpliedGender(Role role);
+
+/// Relationships between entities (Section 5): the pedigree graph edge
+/// labels and the dependency-graph relationship edge labels.
+enum class Relationship : uint8_t {
+  kMother = 0,  // Target is the mother of source.
+  kFather = 1,
+  kSpouse = 2,
+  kChild = 3,
+};
+
+inline constexpr int kNumRelationships = 4;
+
+const char* RelationshipName(Relationship rel);
+
+/// Inverse relationship: motherOf/fatherOf <-> childOf; spouse is its
+/// own inverse.
+Relationship InverseRelationship(Relationship rel, Gender source_gender);
+
+/// One within-certificate relationship: on a certificate of type
+/// `cert`, the person in `to` stands in relationship `rel` to the
+/// person in `from` (e.g. on a birth certificate, Bm is the kMother of
+/// Bb).
+struct RoleRelation {
+  Role from;
+  Role to;
+  Relationship rel;
+};
+
+/// All directed within-certificate relationships of a certificate
+/// type, covering mother/father/spouse/child in both directions.
+const std::vector<RoleRelation>& CertRoleRelations(CertType type);
+
+/// Looks up the relationship of `to` relative to `from` on their
+/// shared certificate type; returns true and fills `rel` when the two
+/// roles are directly related.
+bool LookupRoleRelation(Role from, Role to, Relationship* rel);
+
+/// Whether a role requires the person to be alive at the event: a
+/// baby, the parents on a birth certificate, bride and groom, and the
+/// deceased themselves. Parents and spouses mentioned on death or
+/// marriage certificates may already be dead (posthumous mentions are
+/// routine on Scottish certificates).
+bool RoleRequiresAlive(Role role);
+
+/// Whether two records with these roles can possibly refer to the same
+/// person, ignoring attribute values (Section 4.1 "impossible role
+/// types"). A person appears as a baby on exactly one birth
+/// certificate and as deceased on exactly one death certificate, so
+/// Bb-Bb and Dd-Dd pairs (always from different certificates) are
+/// impossible; so are pairs whose implied genders conflict.
+bool RolePairPlausible(Role a, Role b);
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATA_ROLE_H_

@@ -1,0 +1,52 @@
+#include "data/schema.h"
+
+namespace snaps {
+
+const char* AttrCategoryName(AttrCategory c) {
+  switch (c) {
+    case AttrCategory::kMust:
+      return "must";
+    case AttrCategory::kCore:
+      return "core";
+    case AttrCategory::kExtra:
+      return "extra";
+    case AttrCategory::kIgnored:
+      return "ignored";
+  }
+  return "unknown";
+}
+
+std::vector<Attr> Schema::SimilarityAttrs() const {
+  std::vector<Attr> attrs;
+  for (int i = 0; i < kNumAttrs; ++i) {
+    if (categories[i] != AttrCategory::kIgnored) {
+      attrs.push_back(static_cast<Attr>(i));
+    }
+  }
+  return attrs;
+}
+
+Schema Schema::Default(bool use_geo) {
+  Schema s;
+  auto set = [&s](Attr a, AttrCategory cat, ComparatorKind cmp) {
+    s.categories[static_cast<size_t>(a)] = cat;
+    s.comparators[static_cast<size_t>(a)] = cmp;
+  };
+  set(Attr::kFirstName, AttrCategory::kMust, ComparatorKind::kJaroWinkler);
+  set(Attr::kSurname, AttrCategory::kCore, ComparatorKind::kJaroWinkler);
+  set(Attr::kAddress, AttrCategory::kExtra,
+      use_geo ? ComparatorKind::kJaccardBigram : ComparatorKind::kJaccardBigram);
+  set(Attr::kOccupation, AttrCategory::kExtra, ComparatorKind::kJaccardToken);
+  set(Attr::kParish, AttrCategory::kExtra, ComparatorKind::kJaroWinkler);
+  set(Attr::kYear, AttrCategory::kIgnored, ComparatorKind::kNumericYear);
+  set(Attr::kGender, AttrCategory::kIgnored, ComparatorKind::kExact);
+  set(Attr::kGeo, use_geo ? AttrCategory::kExtra : AttrCategory::kIgnored,
+      ComparatorKind::kGeo);
+  set(Attr::kCauseOfDeath, AttrCategory::kIgnored,
+      ComparatorKind::kJaccardToken);
+  set(Attr::kMaidenSurname, AttrCategory::kCore, ComparatorKind::kJaroWinkler);
+  set(Attr::kAgeAtDeath, AttrCategory::kIgnored, ComparatorKind::kNumericYear);
+  return s;
+}
+
+}  // namespace snaps

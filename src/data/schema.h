@@ -1,0 +1,58 @@
+#ifndef SNAPS_DATA_SCHEMA_H_
+#define SNAPS_DATA_SCHEMA_H_
+
+#include <array>
+#include <vector>
+
+#include "data/record.h"
+#include "strsim/comparator.h"
+
+namespace snaps {
+
+/// Importance category of a QID attribute in the atomic similarity
+/// (Section 4.2.3): Must attributes need high similarity for a match,
+/// Core attributes may be somewhat lower (they can change over time),
+/// Extra attributes add further evidence, Ignored attributes play no
+/// part in similarity (e.g. gender and year, which instead drive the
+/// role filter and the temporal constraints).
+enum class AttrCategory : uint8_t {
+  kMust = 0,
+  kCore = 1,
+  kExtra = 2,
+  kIgnored = 3,
+};
+
+const char* AttrCategoryName(AttrCategory c);
+
+/// Per-attribute comparison configuration plus the Must/Core/Extra
+/// weights of Equation (1).
+struct Schema {
+  std::array<AttrCategory, kNumAttrs> categories;
+  std::array<ComparatorKind, kNumAttrs> comparators;
+  ComparatorParams comparator_params;
+
+  double must_weight = 0.5;   // w_M
+  double core_weight = 0.3;   // w_C
+  double extra_weight = 0.2;  // w_E
+
+  AttrCategory category(Attr a) const {
+    return categories[static_cast<size_t>(a)];
+  }
+  ComparatorKind comparator(Attr a) const {
+    return comparators[static_cast<size_t>(a)];
+  }
+
+  /// Attributes participating in similarity (category != kIgnored).
+  std::vector<Attr> SimilarityAttrs() const;
+
+  /// The paper's configuration: first name Must (Jaro-Winkler),
+  /// surname Core (Jaro-Winkler), address / occupation / parish Extra
+  /// (Jaccard), year Extra (numeric), gender/geo/cause ignored.
+  /// `use_geo` switches the address comparator to geocoded distance,
+  /// as done for the IOS data set.
+  static Schema Default(bool use_geo = false);
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATA_SCHEMA_H_

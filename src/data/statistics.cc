@@ -1,0 +1,74 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+std::unordered_map<std::string, size_t> ValueFrequencies(
+    const Dataset& dataset, Role role, Attr attr, size_t* missing) {
+  std::unordered_map<std::string, size_t> freq;
+  if (missing != nullptr) *missing = 0;
+  for (const Record& r : dataset.records()) {
+    if (r.role != role) continue;
+    const std::string& v = r.value(attr);
+    if (v.empty()) {
+      if (missing != nullptr) ++(*missing);
+      continue;
+    }
+    freq[NormalizeValue(v)]++;
+  }
+  return freq;
+}
+
+}  // namespace
+
+AttrProfile ProfileAttribute(const Dataset& dataset, Role role, Attr attr) {
+  AttrProfile p;
+  p.attr = attr;
+  const auto freq = ValueFrequencies(dataset, role, attr, &p.missing);
+  p.distinct = freq.size();
+  if (freq.empty()) return p;
+  size_t total = 0;
+  p.min_freq = SIZE_MAX;
+  for (const auto& [value, f] : freq) {
+    p.min_freq = std::min(p.min_freq, f);
+    p.max_freq = std::max(p.max_freq, f);
+    total += f;
+  }
+  p.avg_freq = static_cast<double>(total) / static_cast<double>(freq.size());
+  return p;
+}
+
+std::vector<double> TopValueShares(const Dataset& dataset, Role role,
+                                   Attr attr, size_t top_n) {
+  const auto freq = ValueFrequencies(dataset, role, attr, nullptr);
+  std::vector<size_t> counts;
+  counts.reserve(freq.size());
+  size_t total = 0;
+  for (const auto& [value, f] : freq) {
+    counts.push_back(f);
+    total += f;
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::vector<double> shares;
+  for (size_t i = 0; i < std::min(top_n, counts.size()); ++i) {
+    shares.push_back(static_cast<double>(counts[i]) /
+                     static_cast<double>(total));
+  }
+  return shares;
+}
+
+std::vector<size_t> RoleCounts(const Dataset& dataset) {
+  std::vector<size_t> counts(kNumRoles, 0);
+  for (const Record& r : dataset.records()) {
+    counts[static_cast<size_t>(r.role)]++;
+  }
+  return counts;
+}
+
+}  // namespace snaps

@@ -1,0 +1,38 @@
+#ifndef SNAPS_DATA_STATISTICS_H_
+#define SNAPS_DATA_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// Profile of one QID attribute over a record subset: missing-value
+/// count and value-frequency statistics (Table 1 of the paper).
+struct AttrProfile {
+  Attr attr = Attr::kFirstName;
+  size_t missing = 0;
+  size_t distinct = 0;
+  size_t min_freq = 0;
+  double avg_freq = 0.0;
+  size_t max_freq = 0;
+};
+
+/// Profiles `attr` over the records with role `role` (values are
+/// normalised before counting).
+AttrProfile ProfileAttribute(const Dataset& dataset, Role role, Attr attr);
+
+/// Frequencies of the `top_n` most common values of `attr` among
+/// records with role `role`, most common first, as shares of the
+/// non-missing records (the series behind Figure 2).
+std::vector<double> TopValueShares(const Dataset& dataset, Role role,
+                                   Attr attr, size_t top_n);
+
+/// Per-role record counts for a data set.
+std::vector<size_t> RoleCounts(const Dataset& dataset);
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATA_STATISTICS_H_

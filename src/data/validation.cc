@@ -1,0 +1,117 @@
+#include "data/validation.h"
+
+#include <cstdlib>
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+size_t ValidationReport::errors() const {
+  size_t n = 0;
+  for (const ValidationIssue& i : issues) {
+    n += i.severity == IssueSeverity::kError;
+  }
+  return n;
+}
+
+size_t ValidationReport::warnings() const {
+  return issues.size() - errors();
+}
+
+ValidationReport ValidateDataset(const Dataset& dataset) {
+  ValidationReport report;
+  auto add = [&report](IssueSeverity severity, CertId cert,
+                       std::string message) {
+    report.issues.push_back(
+        ValidationIssue{severity, cert, std::move(message)});
+    if (severity == IssueSeverity::kError) report.ok = false;
+  };
+
+  for (const Certificate& cert : dataset.certificates()) {
+    if (cert.year < 1000 || cert.year > 2100) {
+      add(IssueSeverity::kWarning, cert.id,
+          StrFormat("implausible certificate year %d", cert.year));
+    }
+
+    std::multiset<Role> roles;
+    for (RecordId rid : dataset.CertRecords(cert.id)) {
+      const Record& r = dataset.record(rid);
+      if (RoleCertType(r.role) != cert.type) {
+        add(IssueSeverity::kError, cert.id,
+            StrFormat("record %u has role %s on a %s certificate", rid,
+                      RoleName(r.role), CertTypeName(cert.type)));
+      }
+      roles.insert(r.role);
+
+      const Gender implied = RoleImpliedGender(r.role);
+      const std::string& g = r.value(Attr::kGender);
+      if (implied != Gender::kUnknown && !g.empty()) {
+        const Gender given = g == "f"   ? Gender::kFemale
+                             : g == "m" ? Gender::kMale
+                                        : Gender::kUnknown;
+        if (given != Gender::kUnknown && given != implied) {
+          add(IssueSeverity::kWarning, cert.id,
+              StrFormat("record %u: gender '%s' conflicts with role %s",
+                        rid, g.c_str(), RoleName(r.role)));
+        }
+      }
+    }
+
+    // Non-repeatable roles.
+    for (int ri = 0; ri < kNumRoles; ++ri) {
+      const Role role = static_cast<Role>(ri);
+      if (role == Role::kCc) continue;  // Census children repeat.
+      if (roles.count(role) > 1) {
+        add(IssueSeverity::kError, cert.id,
+            StrFormat("role %s appears %zu times", RoleName(role),
+                      roles.count(role)));
+      }
+    }
+
+    // Principal presence.
+    bool has_principal = false;
+    switch (cert.type) {
+      case CertType::kBirth:
+        has_principal = roles.count(Role::kBb) > 0;
+        break;
+      case CertType::kDeath:
+        has_principal = roles.count(Role::kDd) > 0;
+        break;
+      case CertType::kMarriage:
+        has_principal =
+            roles.count(Role::kMb) > 0 && roles.count(Role::kMg) > 0;
+        break;
+      case CertType::kCensus:
+        has_principal = roles.count(Role::kCh) > 0;
+        break;
+    }
+    if (!has_principal) {
+      add(IssueSeverity::kWarning, cert.id,
+          StrFormat("%s certificate lacks its principal record(s)",
+                    CertTypeName(cert.type)));
+    }
+
+    // Parent plausibility on birth certificates: parents should be
+    // plausibly older than the baby (their event is the same year).
+    if (cert.type == CertType::kBirth) {
+      for (RecordId rid : dataset.CertRecords(cert.id)) {
+        const Record& r = dataset.record(rid);
+        if (r.role != Role::kBm && r.role != Role::kBf) continue;
+        const int age_attr = r.has_value(Attr::kAgeAtDeath)
+                                 ? std::atoi(
+                                       r.value(Attr::kAgeAtDeath).c_str())
+                                 : -1;
+        if (age_attr >= 0 && (age_attr < 10 || age_attr > 80)) {
+          add(IssueSeverity::kWarning, cert.id,
+              StrFormat("record %u: parent age %d implausible", rid,
+                        age_attr));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace snaps

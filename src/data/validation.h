@@ -1,0 +1,46 @@
+#ifndef SNAPS_DATA_VALIDATION_H_
+#define SNAPS_DATA_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// Severity of a validation finding.
+enum class IssueSeverity : uint8_t {
+  kWarning = 0,  // Suspicious but processable.
+  kError = 1,    // Will break assumptions of the ER pipeline.
+};
+
+/// One validation finding about a data set.
+struct ValidationIssue {
+  IssueSeverity severity = IssueSeverity::kWarning;
+  CertId cert = 0;
+  std::string message;
+};
+
+/// Structural validation of an externally loaded data set before it
+/// enters the ER pipeline. Checks per certificate:
+///  * roles belong to the certificate's type (error);
+///  * duplicate non-repeatable roles (error; only census children may
+///    repeat);
+///  * a principal record exists (Bb / Dd / Mb+Mg / Ch; warning);
+///  * implausible years (outside 1000..2100; warning);
+///  * role-implied gender conflicts with the gender value (warning);
+///  * implied-parent age outside 10..80 at the event (warning).
+/// Returns all findings; `ok` is false when any error is present.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  bool ok = true;
+
+  size_t errors() const;
+  size_t warnings() const;
+};
+
+ValidationReport ValidateDataset(const Dataset& dataset);
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATA_VALIDATION_H_

@@ -1,0 +1,106 @@
+#include "datagen/corruption.h"
+
+#include <vector>
+
+namespace snaps {
+
+namespace {
+
+char RandomLowercase(Rng& rng) {
+  return static_cast<char>('a' + rng.NextUint64(26));
+}
+
+}  // namespace
+
+std::string ApplyRandomEdit(std::string_view value, Rng& rng) {
+  std::string out(value);
+  if (out.empty()) return out;
+  const int op = static_cast<int>(rng.NextUint64(out.size() > 1 ? 4 : 3));
+  const size_t pos = static_cast<size_t>(rng.NextUint64(out.size()));
+  switch (op) {
+    case 0:  // Substitute.
+      out[pos] = RandomLowercase(rng);
+      break;
+    case 1:  // Delete (keep at least one character).
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    case 2:  // Insert.
+      out.insert(out.begin() + static_cast<long>(pos), RandomLowercase(rng));
+      break;
+    case 3:  // Transpose adjacent.
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string ApplySpellingVariant(std::string_view value, Rng& rng) {
+  std::string s(value);
+  if (s.size() < 3) return s;
+
+  // Candidate rule applications: (description implicit in the code).
+  std::vector<std::string> candidates;
+
+  // y <-> ie ending (mary <-> marie, jessy <-> jessie).
+  if (s.back() == 'y') {
+    candidates.push_back(s.substr(0, s.size() - 1) + "ie");
+  } else if (s.size() > 3 && s.compare(s.size() - 2, 2, "ie") == 0) {
+    candidates.push_back(s.substr(0, s.size() - 2) + "y");
+  }
+  // c <-> k (catherine <-> katherine).
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == 'c') {
+      std::string v = s;
+      v[i] = 'k';
+      candidates.push_back(std::move(v));
+      break;
+    }
+    if (s[i] == 'k') {
+      std::string v = s;
+      v[i] = 'c';
+      candidates.push_back(std::move(v));
+      break;
+    }
+  }
+  // Double a consonant (taylor <-> tayllor is unusual; but
+  // ann <-> anne style endings are common):
+  if (s.back() != 'e') {
+    candidates.push_back(s + "e");
+  } else {
+    candidates.push_back(s.substr(0, s.size() - 1));
+  }
+  // Drop an internal h (e.g. johnstone <-> jonstone).
+  const size_t hpos = s.find('h', 1);
+  if (hpos != std::string::npos) {
+    std::string v = s;
+    v.erase(hpos, 1);
+    candidates.push_back(std::move(v));
+  }
+  // mac <-> mc prefix.
+  if (s.rfind("mac", 0) == 0) {
+    candidates.push_back("mc" + s.substr(3));
+  } else if (s.rfind("mc", 0) == 0) {
+    candidates.push_back("mac" + s.substr(2));
+  }
+
+  if (candidates.empty()) return s;
+  return candidates[rng.NextUint64(candidates.size())];
+}
+
+std::string CorruptValue(std::string_view value, const CorruptionConfig& cfg,
+                         Rng& rng) {
+  std::string out(value);
+  if (out.empty()) return out;
+  if (rng.NextBool(cfg.variant_prob)) {
+    out = ApplySpellingVariant(out, rng);
+  }
+  if (rng.NextBool(cfg.typo_prob)) {
+    out = ApplyRandomEdit(out, rng);
+    if (rng.NextBool(cfg.second_typo_prob)) {
+      out = ApplyRandomEdit(out, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace snaps

@@ -1,0 +1,37 @@
+#ifndef SNAPS_DATAGEN_CORRUPTION_H_
+#define SNAPS_DATAGEN_CORRUPTION_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace snaps {
+
+/// Transcription-noise model applied when a person's true value is
+/// written onto a certificate. Reproduces the error characteristics
+/// the paper describes for historical Scottish records: typographical
+/// errors, spelling variations, and missing values (Sections 1-2).
+struct CorruptionConfig {
+  double typo_prob = 0.05;     // Random single edit.
+  double variant_prob = 0.08;  // Systematic spelling variation.
+  double second_typo_prob = 0.02;  // A second edit on top.
+};
+
+/// Applies a single random edit (substitute / delete / insert /
+/// transpose adjacent) with lowercase-letter replacements.
+std::string ApplyRandomEdit(std::string_view value, Rng& rng);
+
+/// Applies a deterministic-rule spelling variation (e.g. doubling a
+/// consonant, y<->ie endings, dropping an h). Chooses among the rules
+/// applicable to the value; returns the value unchanged when none
+/// apply.
+std::string ApplySpellingVariant(std::string_view value, Rng& rng);
+
+/// Full corruption pipeline for one value write-out.
+std::string CorruptValue(std::string_view value, const CorruptionConfig& cfg,
+                         Rng& rng);
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATAGEN_CORRUPTION_H_

@@ -1,0 +1,320 @@
+#include "datagen/name_pool.h"
+
+#include <cassert>
+
+#include <algorithm>
+
+namespace snaps {
+
+ValuePool::ValuePool(std::vector<std::string> values, double zipf_s)
+    : values_(std::move(values)), sampler_(values_.size(), zipf_s) {
+  assert(!values_.empty());
+}
+
+size_t ValuePool::SampleIndex(Rng& rng) const { return sampler_.Sample(rng); }
+
+const std::vector<std::string>& BaseFemaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "mary",      "margaret",  "catherine", "ann",      "janet",
+      "elizabeth", "isabella",  "jane",      "christina", "agnes",
+      "helen",     "flora",     "marion",    "jessie",    "euphemia",
+      "barbara",   "grace",     "effie",     "johanna",   "rachel",
+      "sarah",     "julia",     "peggy",     "kirsty",    "mairi",
+      "morag",     "annabella", "henrietta", "wilhelmina", "jemima",
+      "charlotte", "dorothy",   "ellen",     "frances",   "harriet",
+      "lilias",    "martha",    "matilda",   "norah",     "oighrig",
+      "penelope",  "rebecca",   "susanna",   "teresa",    "una",
+      "victoria",  "winifred",  "alice",     "beatrice",  "cecilia",
+      "davina",    "edith",     "fenella",   "georgina",  "hannah",
+      "ida",       "joan",      "kate",      "louisa",    "mabel",
+      "nellie",    "olive",     "phoebe",    "rhoda",     "sophia",
+      "tabitha",   "ursula",    "violet",    "wilma",     "zella",
+      "amelia",    "bridget",   "clara",     "deborah",   "esther",
+      "fiona",     "gwen",      "hilda",     "iris",      "josephine",
+      "kathleen",  "laura",     "maude",     "nancy",     "opal",
+      "patricia",  "queenie",   "rose",      "stella",    "thora",
+      "unity",     "vera",      "wanda",     "yvonne",    "zara",
+      "annie",     "bessie",    "cora",      "dolina",    "elspeth",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& BaseMaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "john",      "donald",   "alexander", "william",  "james",
+      "angus",     "duncan",   "malcolm",   "murdo",    "neil",
+      "norman",    "kenneth",  "hugh",      "roderick", "archibald",
+      "charles",   "david",    "ewen",      "farquhar", "george",
+      "hector",    "lachlan",  "martin",    "peter",    "robert",
+      "samuel",    "thomas",   "allan",     "colin",    "finlay",
+      "andrew",    "benjamin", "christopher", "daniel", "edward",
+      "francis",   "gilbert",  "henry",     "ivor",     "joseph",
+      "keith",     "lewis",    "michael",   "nathaniel", "oliver",
+      "patrick",   "quintin",  "ronald",    "stephen",  "torquil",
+      "uisdean",   "victor",   "walter",    "adam",     "bernard",
+      "calum",     "dougal",   "ebenezer",  "frederick", "graham",
+      "harold",    "ian",      "jacob",     "kerr",     "lawrence",
+      "matthew",   "nicol",    "osgood",    "philip",   "ranald",
+      "simon",     "theodore", "urquhart",  "vincent",  "wallace",
+      "alasdair",  "brian",    "craig",     "derek",    "eric",
+      "fergus",    "gavin",    "hamish",    "iain",     "jack",
+      "kevin",     "leslie",   "magnus",    "niall",    "owen",
+      "paul",      "ramsay",   "scott",     "tavish",   "ure",
+      "vance",     "watt",     "yorick",    "zachary",  "arthur",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& BaseSurnames() {
+  static const std::vector<std::string> kNames = {
+      "macdonald",  "macleod",    "mackinnon", "mackenzie",  "nicolson",
+      "campbell",   "stewart",    "robertson", "matheson",   "macrae",
+      "maclean",    "macmillan",  "ross",      "fraser",     "grant",
+      "munro",      "ferguson",   "gillies",   "macaskill",  "beaton",
+      "macpherson", "mackay",     "morrison",  "smith",      "brown",
+      "wilson",     "thomson",    "anderson",  "taylor",     "johnston",
+      "walker",     "paterson",   "young",     "mitchell",   "murray",
+      "watson",     "miller",     "cameron",   "reid",       "clark",
+      "macintyre",  "gunn",       "sutherland", "sinclair",  "macneil",
+      "buchanan",   "lamont",     "macgregor", "macfarlane", "graham",
+      "hamilton",   "douglas",    "wallace",   "boyd",       "craig",
+      "cunningham", "dunlop",     "findlay",   "gibson",     "henderson",
+      "irvine",     "jamieson",   "kerr",      "lindsay",    "maxwell",
+      "nairn",      "ogilvie",    "pollock",   "quigley",    "rankin",
+      "shaw",       "turnbull",   "urquhart",  "vass",       "wotherspoon",
+      "aitken",     "baird",      "calder",    "davidson",   "elder",
+      "forsyth",    "gordon",     "hay",       "inglis",     "kidd",
+      "logan",      "moffat",     "neilson",   "orr",        "pringle",
+      "ritchie",    "scott",      "tait",      "ure",        "veitch",
+      "weir",       "yuill",      "adamson",   "blair",      "currie",
+      "drummond",   "erskine",    "fleming",   "galbraith",  "hunter",
+      "imrie",      "keir",       "laird",     "muir",       "naismith",
+      "oliphant",   "peacock",    "rae",       "salmond",    "tennant",
+      "wylie",      "abernethy",  "bannerman", "chalmers",   "dewar",
+      "eadie",      "fairbairn",  "gow",       "hogg",       "kinnear",
+      "leitch",     "mcewan",     "nisbet",    "ormiston",   "purdie",
+      "renwick",    "swanson",    "todd",      "waddell",    "yule",
+      "arbuckle",   "brodie",     "cargill",   "dalgleish",  "edgar",
+      "fenwick",    "gilchrist",  "halliday",  "kilgour",    "lockhart",
+      "mcallister", "niven",      "ogston",    "provan",     "rutherford",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& BaseStreets() {
+  static const std::vector<std::string> kStreets = {
+      "high street",     "church road",    "mill lane",     "shore street",
+      "castle road",     "bank street",    "king street",   "queen street",
+      "bridge street",   "harbour road",   "school lane",   "station road",
+      "market street",   "union street",   "wentworth street", "bosville terrace",
+      "quay brae",       "viewfield road", "stormy hill",   "beaumont crescent",
+      "park road",       "glebe street",   "croft road",    "ferry road",
+      "manse road",      "cross street",   "main street",   "north street",
+      "south street",    "west street",    "east street",   "garden lane",
+      "mount pleasant",  "springfield road", "sandbank terrace", "camanachd brae",
+      "portland place",  "titchfield street", "strand street", "fowlds street",
+      "john finnie street", "dundonald road", "london road", "grange street",
+      "hill street",     "wellington street", "nelson street", "clark street",
+      "dean terrace",    "douglas street", "fullarton street", "gargieston road",
+      "holehouse road",  "irvine road",    "kirkland road", "loanhead street",
+      "macinnes place",  "netherton brae", "old mill road", "piersland grove",
+  };
+  return kStreets;
+}
+
+const std::vector<std::string>& BaseParishes() {
+  static const std::vector<std::string> kParishes = {
+      "portree",   "duirinish", "snizort", "strath",     "kilmuir",
+      "sleat",     "bracadale", "kilmorie", "riccarton", "kilmaurs",
+      "fenwick",   "dreghorn",  "galston", "loudoun",    "symington",
+      "dunlop",    "stewarton", "irvine",  "dundonald",  "craigie",
+  };
+  return kParishes;
+}
+
+const std::vector<std::string>& BaseOccupations() {
+  static const std::vector<std::string> kOccupations = {
+      "crofter",         "fisherman",      "agricultural labourer",
+      "weaver",          "shoemaker",      "carpenter",
+      "blacksmith",      "mason",          "tailor",
+      "shepherd",        "farm servant",   "domestic servant",
+      "miner",           "engine fitter",  "railway porter",
+      "carter",          "grocer",         "baker",
+      "butcher",         "joiner",         "cooper",
+      "saddler",         "slater",         "gardener",
+      "ploughman",       "dairyman",       "spinner",
+      "woollen mill worker", "lace worker", "bonnet maker",
+      "hosier",          "dyer",           "tanner",
+      "merchant",        "innkeeper",      "teacher",
+      "minister",        "clerk",          "coachman",
+      "groom",           "gamekeeper",     "boatman",
+      "ferryman",        "sailmaker",      "net mender",
+      "kelp gatherer",   "quarryman",      "road surfaceman",
+      "postman",         "police constable",
+  };
+  return kOccupations;
+}
+
+const std::vector<std::string>& BaseDeathCauses() {
+  static const std::vector<std::string> kCauses = {
+      "phthisis",            "bronchitis",        "pneumonia",
+      "old age",             "heart disease",     "whooping cough",
+      "measles",             "scarlet fever",     "typhus fever",
+      "enteric fever",       "diarrhoea",         "convulsions",
+      "debility",            "dropsy",            "apoplexy",
+      "paralysis",           "cancer of stomach", "cancer of breast",
+      "ovarian cancer",      "cancer of liver",   "consumption",
+      "croup",               "diphtheria",        "influenza",
+      "smallpox",            "erysipelas",        "rheumatic fever",
+      "bright's disease",    "jaundice",          "peritonitis",
+      "asthma",              "pleurisy",          "gastritis",
+      "enteritis",           "meningitis",        "hydrocephalus",
+      "marasmus",            "premature birth",   "teething",
+      "childbed fever",      "accidental drowning", "fall from cliff",
+      "burns",               "cart accident",     "mining accident",
+      "exposure",            "senile decay",      "tumour",
+      "ulceration of bowel", "not known",
+  };
+  return kCauses;
+}
+
+const std::vector<std::string>& PublicFemaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "linda",   "brenda",  "carol",    "sandra",   "sharon",
+      "donna",   "cynthia", "pamela",   "debra",    "karen",
+      "cheryl",  "denise",  "tammy",    "melissa",  "kimberly",
+      "amy",     "angela",  "lisa",     "michelle", "jennifer",
+      "heather", "amanda",  "stephanie", "nicole",  "crystal",
+      "brittany", "ashley", "jessica",  "megan",    "lauren",
+      "kayla",   "sierra",  "brooke",   "paige",    "mackenzie",
+      "brianna", "madison", "haley",    "jasmine",  "alexis",
+      "gloria",  "marilyn", "janice",   "beverly",  "joyce",
+      "shirley", "judith",  "carolyn",  "kathryn",  "diane",
+      "darlene", "connie",  "rita",     "kelsey",    "sheila",
+      "wendy",   "valerie", "tina",     "tracy",    "dawn",
+      "monica",  "erica",   "april",    "leslie",   "bonnie",
+      "lori",    "robin",   "tonya",    "felicia",  "yolanda",
+      "latoya",  "keisha",  "ebony",    "tamika",   "shanna",
+      "candace", "desiree", "marissa",  "savannah", "destiny",
+      "autumn",  "summer",  "skylar",   "cheyenne", "dakota",
+      "raven",   "jade",    "amber",    "misty",    "krystal",
+      "shawna",  "deanna",  "leanne",   "marcia",   "kara",
+      "juanita", "rosa",    "maria",    "carmen",   "sylvia",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& PublicMaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "gary",    "larry",   "dennis",   "jerry",    "roger",
+      "wayne",   "terry",   "randy",    "ricky",    "todd",
+      "chad",    "brad",    "travis",   "dustin",   "cody",
+      "kyle",    "brandon", "tyler",    "jordan",   "austin",
+      "ethan",   "logan",   "hunter",   "mason",    "caleb",
+      "bryan",   "chet",   "curtis",   "darrell",  "dale",
+      "dwayne",  "earl",    "eugene",   "floyd",    "glenn",
+      "harvey",  "herman",  "howard",   "irving",   "jeffrey",
+      "kenny",   "lamar",   "lonnie",   "marvin",   "maurice",
+      "norbert",  "orlando", "perry",    "quentin",  "ray",
+      "reginald", "rodney", "roland",   "ross",     "roy",
+      "russell", "shane",   "stanley",  "steve",    "tony",
+      "tracy",   "vernon",  "warren",   "wesley",   "willie",
+      "zachery", "alvin",   "brent",  "cecil",    "clifford",
+      "clyde",   "delbert", "dewey",    "elmer",    "ernest",
+      "fernando", "garrett", "gordon",  "harley",   "jesse",
+      "juan",    "leon",    "lloyd",    "luis",     "marcus",
+      "miguel",  "nathan",  "omar",     "pedro",    "rafael",
+      "ramon",   "salvador", "tomas",   "vito",   "xavier",
+      "yusef",   "zane",    "abel",     "bart",     "carl",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& PublicSurnames() {
+  static const std::vector<std::string> kNames = {
+      "jones",     "garcia",    "rodriguez", "martinez",  "hernandez",
+      "lopez",     "gonzalez",  "perez",     "sanchez",   "ramirez",
+      "torres",    "flores",    "rivera",    "gomez",     "diaz",
+      "cruz",      "reyes",     "morales",   "ortiz",     "gutierrez",
+      "chavez",    "ramos",     "ruiz",      "alvarez",   "mendoza",
+      "vasquez",   "castillo",  "jimenez",   "moreno",    "romero",
+      "herrera",   "medina",    "aguilar",   "garza",     "castro",
+      "vargas",    "fernandez", "guzman",    "munoz",     "salazar",
+      "soto",      "delgado",   "pena",      "rios",      "silva",
+      "trevino",   "dominguez", "carrillo",  "sandoval",  "fuentes",
+      "washington", "jefferson", "lincoln",  "roosevelt", "madison",
+      "monroe",    "jackson",   "tyler",     "polk",      "pierce",
+      "granger",     "hayes",     "garfield",  "cleveland", "harrison",
+      "mckinley",  "taft",      "harding",   "coolidge",  "hoover",
+      "truman",    "kennedy",   "johnson",   "nixon",     "ford",
+      "carter",    "reagan",    "bush",      "clinton",   "obama",
+      "whitaker",  "vandyke",   "oconnor",   "mcbride",   "fitzgerald",
+      "callahan",  "donovan",   "flanagan",  "gallagher", "hennessy",
+      "kowalski",  "nowak",     "schmidt",   "mueller",   "weber",
+      "wagner",    "becker",    "hoffman",   "schulz",    "zimmerman",
+      "rossi",     "russo",     "ferrari",   "esposito",  "bianchi",
+      "romano",    "colombo",   "ricci",     "marino",    "greco",
+      "bruno",     "gallo",     "conti",     "deluca",    "mancini",
+      "costa",     "giordano",  "rizzo",     "lombardi",  "moretti",
+      "svensson",  "johansson", "karlsson",  "nilsson",   "eriksson",
+      "larsson",   "olsson",    "persson",   "gustafsson", "pettersson",
+      "lindberg",  "lindgren",  "axelsson",  "bergstrom", "lundqvist",
+      "dubois",    "laurent",   "lefebvre",  "moreau",    "fournier",
+      "girard",    "bonnet",    "dupont",    "lambert",   "rousseau",
+      "vincent",   "muller",    "leroy",     "garnier",   "faure",
+  };
+  return kNames;
+}
+
+std::vector<std::string> ExtendPool(const std::vector<std::string>& base,
+                                    size_t n) {
+  std::vector<std::string> out = base;
+  // Derive additional distinct values deterministically by pairing
+  // base entries ("<a>-<b>") until the target size is reached. The
+  // derived tail is rarer than every base entry under Zipf sampling,
+  // so derived values mostly add long-tail uniqueness.
+  size_t i = 0, j = 1;
+  while (out.size() < n) {
+    std::string derived = base[i % base.size()] + "-" +
+                          base[(i + j) % base.size()];
+    out.push_back(std::move(derived));
+    ++i;
+    if (i % base.size() == 0) ++j;
+  }
+  return out;
+}
+
+NamePools NamePools::Build(size_t scale, double zipf_s) {
+  auto pool = [&](const std::vector<std::string>& base,
+                  size_t target) -> ValuePool {
+    if (target <= base.size()) {
+      return ValuePool(base, zipf_s);
+    }
+    return ValuePool(ExtendPool(base, target), zipf_s);
+  };
+  const size_t s = scale;
+  // Addresses: "<number> <street>" combinations give a wide pool.
+  std::vector<std::string> addresses;
+  const auto& streets = BaseStreets();
+  size_t address_target = std::max<size_t>(s, 2 * streets.size());
+  addresses.reserve(address_target);
+  size_t number = 1;
+  while (addresses.size() < address_target) {
+    for (const auto& st : streets) {
+      addresses.push_back(std::to_string(number) + " " + st);
+      if (addresses.size() >= address_target) break;
+    }
+    ++number;
+  }
+  return NamePools{
+      pool(BaseFemaleFirstNames(), s),
+      pool(BaseMaleFirstNames(), s),
+      pool(BaseSurnames(), s + s / 2),
+      ValuePool(std::move(addresses), zipf_s * 0.7),
+      ValuePool(BaseParishes(), zipf_s * 0.5),
+      ValuePool(BaseOccupations(), zipf_s * 0.8),
+      ValuePool(BaseDeathCauses(), zipf_s * 0.8),
+  };
+}
+
+}  // namespace snaps

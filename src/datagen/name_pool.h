@@ -1,0 +1,75 @@
+#ifndef SNAPS_DATAGEN_NAME_POOL_H_
+#define SNAPS_DATAGEN_NAME_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace snaps {
+
+/// A pool of values for one QID attribute with a Zipf-skewed frequency
+/// distribution, reproducing the highly skewed value distributions the
+/// paper reports for historical Scottish data (Figure 2: the most
+/// common first name and surname each cover over 8% of IOS records).
+class ValuePool {
+ public:
+  /// `values` ranked most-common-first; rank k is sampled with
+  /// probability proportional to 1/(k+1)^zipf_s.
+  ValuePool(std::vector<std::string> values, double zipf_s);
+
+  /// Draws a value index according to the Zipf distribution.
+  size_t SampleIndex(Rng& rng) const;
+
+  const std::string& value(size_t index) const { return values_[index]; }
+  size_t size() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  ZipfSampler sampler_;
+};
+
+/// The built-in value pools used by the population simulator. Names
+/// are Scottish-flavoured but synthetic; when `target_size` exceeds
+/// the built-in list, additional distinct values are derived so pools
+/// can scale to large populations.
+struct NamePools {
+  ValuePool female_first;
+  ValuePool male_first;
+  ValuePool surnames;
+  ValuePool streets;      // Street names for addresses.
+  ValuePool parishes;
+  ValuePool occupations;  // Mostly male occupations of the period.
+  ValuePool death_causes;
+
+  /// Builds pools with roughly `scale` distinct surnames (other pools
+  /// scale proportionally) and Zipf exponent `zipf_s`.
+  static NamePools Build(size_t scale, double zipf_s);
+};
+
+/// Built-in base lists (most-common-first). Exposed for tests and for
+/// the anonymiser's "public data source" substitute.
+const std::vector<std::string>& BaseFemaleFirstNames();
+const std::vector<std::string>& BaseMaleFirstNames();
+const std::vector<std::string>& BaseSurnames();
+const std::vector<std::string>& BaseStreets();
+const std::vector<std::string>& BaseParishes();
+const std::vector<std::string>& BaseOccupations();
+const std::vector<std::string>& BaseDeathCauses();
+
+/// An independent name universe standing in for the public US voter
+/// data base the paper uses as anonymisation source: same sizes and
+/// skew, disjoint values.
+const std::vector<std::string>& PublicFemaleFirstNames();
+const std::vector<std::string>& PublicMaleFirstNames();
+const std::vector<std::string>& PublicSurnames();
+
+/// Extends `base` to at least `n` distinct values by deriving
+/// variants (suffix/prefix combinations of base entries).
+std::vector<std::string> ExtendPool(const std::vector<std::string>& base,
+                                    size_t n);
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATAGEN_NAME_POOL_H_

@@ -1,0 +1,441 @@
+#include "datagen/simulator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include <algorithm>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+SimulatorConfig SimulatorConfig::IosLike() {
+  SimulatorConfig cfg;
+  cfg.seed = 20220329;
+  cfg.num_founder_couples = 110;
+  cfg.immigrants_per_year = 5.0;
+  cfg.pool_scale = 350;
+  cfg.zipf_s = 0.78;  // IOS names are more skewed (Figure 2).
+  cfg.missing_address_prob = 0.012;
+  cfg.missing_occupation_prob = 0.57;
+  cfg.with_geo = true;
+  return cfg;
+}
+
+SimulatorConfig SimulatorConfig::KilLike() {
+  SimulatorConfig cfg;
+  cfg.seed = 19011861;
+  cfg.num_founder_couples = 210;
+  cfg.immigrants_per_year = 11.0;
+  cfg.pool_scale = 600;  // Town population: more distinct names.
+  cfg.zipf_s = 0.68;
+  cfg.missing_address_prob = 0.25;  // KIL addresses often missing.
+  cfg.missing_occupation_prob = 0.70;
+  cfg.with_geo = false;
+  return cfg;
+}
+
+SimulatorConfig SimulatorConfig::BhicLike(int reg_start_year) {
+  SimulatorConfig cfg;
+  cfg.seed = 17591969;
+  cfg.sim_start_year = reg_start_year - 45;
+  cfg.reg_start_year = reg_start_year;
+  cfg.reg_end_year = 1935;
+  cfg.num_founder_couples = 220;
+  cfg.immigrants_per_year = 14.0;
+  cfg.pool_scale = 700;
+  cfg.zipf_s = 0.7;
+  cfg.with_geo = false;
+  return cfg;
+}
+
+namespace {
+
+/// Per-year death hazard by age: a bathtub curve approximating
+/// nineteenth-century mortality (high infant mortality, low adult
+/// hazard, steep old-age rise).
+double DeathHazard(int age) {
+  if (age <= 0) return 0.09;
+  if (age <= 4) return 0.022;
+  if (age <= 14) return 0.005;
+  if (age <= 39) return 0.008;
+  if (age <= 59) return 0.016;
+  if (age <= 74) return 0.05;
+  return 0.14;
+}
+
+/// Deterministic pseudo-coordinates for an address index inside a
+/// ~40km box (IOS-like geocoding substitute).
+std::string GeoForAddress(size_t address_idx) {
+  // Hash the index into a stable lat/lon offset.
+  uint64_t h = address_idx * 0x9e3779b97f4a7c15ULL + 0x1234567;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  const double lat = 57.3 + static_cast<double>(h % 4000) / 10000.0;
+  const double lon = -6.4 + static_cast<double>((h >> 16) % 6000) / 10000.0;
+  return StrFormat("%.4f:%.4f", lat, lon);
+}
+
+}  // namespace
+
+PopulationSimulator::PopulationSimulator(SimulatorConfig config)
+    : config_(std::move(config)) {}
+
+GeneratedData PopulationSimulator::Generate() {
+  const SimulatorConfig& cfg = config_;
+  Rng rng(cfg.seed);
+  NamePools pools = NamePools::Build(cfg.pool_scale, cfg.zipf_s);
+
+  GeneratedData out;
+  std::vector<SimPerson>& people = out.people;
+  Dataset& ds = out.dataset;
+
+  // Parish is a deterministic function of the address, so moving can
+  // change a person's parish.
+  auto parish_of_address = [&pools](size_t address_idx) -> const std::string& {
+    return pools.parishes.value(address_idx % pools.parishes.size());
+  };
+
+  auto new_person = [&](Gender gender, int birth_year, PersonId mother,
+                        PersonId father, size_t address_idx) -> PersonId {
+    SimPerson p;
+    p.id = static_cast<PersonId>(people.size());
+    p.gender = gender;
+    const ValuePool& firsts = gender == Gender::kFemale ? pools.female_first
+                                                        : pools.male_first;
+    p.first_name = firsts.value(firsts.SampleIndex(rng));
+    if (father != kUnknownPersonId) {
+      p.birth_surname = people[father].cur_surname;
+    } else if (mother != kUnknownPersonId) {
+      p.birth_surname = people[mother].cur_surname;
+    } else {
+      p.birth_surname = pools.surnames.value(pools.surnames.SampleIndex(rng));
+    }
+    p.cur_surname = p.birth_surname;
+    p.birth_year = birth_year;
+    p.mother = mother;
+    p.father = father;
+    p.address_idx = address_idx;
+    if (gender == Gender::kMale) {
+      p.has_occupation = true;
+      p.occupation =
+          pools.occupations.value(pools.occupations.SampleIndex(rng));
+    } else {
+      p.has_occupation = rng.NextBool(0.15);
+      if (p.has_occupation) {
+        p.occupation =
+            pools.occupations.value(pools.occupations.SampleIndex(rng));
+      }
+    }
+    people.push_back(std::move(p));
+    return people.back().id;
+  };
+
+  // ---- Record write-out helpers (apply corruption + missingness). ----
+
+  auto corrupt = [&](const std::string& value) {
+    return CorruptValue(value, cfg.corruption, rng);
+  };
+
+  auto fill_person_fields = [&](Record& rec, const SimPerson& p,
+                                bool use_birth_surname) {
+    if (!rng.NextBool(cfg.missing_first_name_prob)) {
+      rec.set_value(Attr::kFirstName, corrupt(p.first_name));
+    }
+    const std::string& surname =
+        use_birth_surname ? p.birth_surname : p.cur_surname;
+    rec.set_value(Attr::kSurname, corrupt(surname));
+    // Scottish certificates record a married woman's maiden surname
+    // ("... ms <maiden>"); occasionally missing or corrupted.
+    if (p.gender == Gender::kFemale && p.cur_surname != p.birth_surname &&
+        !use_birth_surname && !rng.NextBool(cfg.missing_maiden_prob)) {
+      rec.set_value(Attr::kMaidenSurname, corrupt(p.birth_surname));
+    }
+    rec.set_value(Attr::kGender, GenderName(p.gender));
+    rec.true_person = p.id;
+  };
+
+  auto fill_location = [&](Record& rec, size_t address_idx) {
+    if (!rng.NextBool(cfg.missing_address_prob)) {
+      rec.set_value(Attr::kAddress,
+                    corrupt(pools.streets.value(address_idx)));
+      if (cfg.with_geo) {
+        rec.set_value(Attr::kGeo, GeoForAddress(address_idx));
+      }
+    }
+    if (!rng.NextBool(cfg.missing_parish_prob)) {
+      rec.set_value(Attr::kParish, parish_of_address(address_idx));
+    }
+  };
+
+  auto fill_occupation = [&](Record& rec, const SimPerson& p) {
+    if (p.has_occupation && !rng.NextBool(cfg.missing_occupation_prob)) {
+      rec.set_value(Attr::kOccupation, corrupt(p.occupation));
+    }
+  };
+
+  auto emit_birth_cert = [&](const SimPerson& baby, int year) {
+    const CertId cert = ds.AddCertificate(CertType::kBirth, year);
+    {
+      Record r;
+      fill_person_fields(r, baby, /*use_birth_surname=*/true);
+      fill_location(r, baby.address_idx);
+      ds.AddRecord(cert, Role::kBb, std::move(r));
+    }
+    if (baby.mother != kUnknownPersonId) {
+      Record r;
+      fill_person_fields(r, people[baby.mother], /*use_birth_surname=*/false);
+      fill_location(r, people[baby.mother].address_idx);
+      ds.AddRecord(cert, Role::kBm, std::move(r));
+    }
+    if (baby.father != kUnknownPersonId) {
+      Record r;
+      fill_person_fields(r, people[baby.father], /*use_birth_surname=*/false);
+      fill_occupation(r, people[baby.father]);
+      ds.AddRecord(cert, Role::kBf, std::move(r));
+    }
+  };
+
+  auto emit_death_cert = [&](const SimPerson& dead, int year) {
+    const CertId cert = ds.AddCertificate(CertType::kDeath, year);
+    {
+      Record r;
+      fill_person_fields(r, dead, /*use_birth_surname=*/false);
+      fill_location(r, dead.address_idx);
+      fill_occupation(r, dead);
+      r.set_value(Attr::kCauseOfDeath,
+                  pools.death_causes.value(
+                      pools.death_causes.SampleIndex(rng)));
+      r.set_value(Attr::kAgeAtDeath, std::to_string(year - dead.birth_year));
+      ds.AddRecord(cert, Role::kDd, std::move(r));
+    }
+    if (dead.mother != kUnknownPersonId &&
+        !rng.NextBool(cfg.missing_parent_prob)) {
+      Record r;
+      fill_person_fields(r, people[dead.mother], /*use_birth_surname=*/false);
+      ds.AddRecord(cert, Role::kDm, std::move(r));
+    }
+    if (dead.father != kUnknownPersonId &&
+        !rng.NextBool(cfg.missing_parent_prob)) {
+      Record r;
+      fill_person_fields(r, people[dead.father], /*use_birth_surname=*/false);
+      fill_occupation(r, people[dead.father]);
+      ds.AddRecord(cert, Role::kDf, std::move(r));
+    }
+    if (dead.spouse != kUnknownPersonId) {
+      Record r;
+      fill_person_fields(r, people[dead.spouse], /*use_birth_surname=*/false);
+      ds.AddRecord(cert, Role::kDs, std::move(r));
+    }
+  };
+
+  auto emit_marriage_cert = [&](const SimPerson& bride,
+                                const SimPerson& groom, int year) {
+    const CertId cert = ds.AddCertificate(CertType::kMarriage, year);
+    {
+      Record r;
+      // Brides are recorded under their maiden surname.
+      fill_person_fields(r, bride, /*use_birth_surname=*/true);
+      fill_location(r, bride.address_idx);
+      ds.AddRecord(cert, Role::kMb, std::move(r));
+    }
+    {
+      Record r;
+      fill_person_fields(r, groom, /*use_birth_surname=*/false);
+      fill_location(r, groom.address_idx);
+      fill_occupation(r, groom);
+      ds.AddRecord(cert, Role::kMg, std::move(r));
+    }
+    auto emit_parent = [&](PersonId pid, Role role) {
+      if (pid == kUnknownPersonId || rng.NextBool(cfg.missing_parent_prob)) {
+        return;
+      }
+      Record r;
+      fill_person_fields(r, people[pid], /*use_birth_surname=*/false);
+      if (role == Role::kMbf || role == Role::kMgf) {
+        fill_occupation(r, people[pid]);
+      }
+      ds.AddRecord(cert, role, std::move(r));
+    };
+    emit_parent(bride.mother, Role::kMbm);
+    emit_parent(bride.father, Role::kMbf);
+    emit_parent(groom.mother, Role::kMgm);
+    emit_parent(groom.father, Role::kMgf);
+  };
+
+  // ---- Founders: already-married couples at simulation start. ----
+  for (int i = 0; i < cfg.num_founder_couples; ++i) {
+    const size_t address = pools.streets.SampleIndex(rng);
+    const int wife_age = static_cast<int>(rng.NextInt(18, 32));
+    const int husband_age = wife_age + static_cast<int>(rng.NextInt(-2, 8));
+    const PersonId wife = new_person(
+        Gender::kFemale, cfg.sim_start_year - wife_age, kUnknownPersonId,
+        kUnknownPersonId, address);
+    const PersonId husband = new_person(
+        Gender::kMale, cfg.sim_start_year - husband_age, kUnknownPersonId,
+        kUnknownPersonId, address);
+    people[wife].spouse = husband;
+    people[husband].spouse = wife;
+    people[wife].marriage_year = cfg.sim_start_year - 1;
+    people[husband].marriage_year = cfg.sim_start_year - 1;
+    people[wife].cur_surname = people[husband].cur_surname;
+  }
+
+  double immigrant_debt = 0.0;
+
+  // ---- Year loop. ----
+  for (int year = cfg.sim_start_year; year <= cfg.reg_end_year; ++year) {
+    const bool registering = year >= cfg.reg_start_year;
+
+    // Immigration: new single adults.
+    immigrant_debt += cfg.immigrants_per_year;
+    while (immigrant_debt >= 1.0) {
+      immigrant_debt -= 1.0;
+      const Gender g =
+          rng.NextBool(0.5) ? Gender::kFemale : Gender::kMale;
+      const int age = static_cast<int>(rng.NextInt(17, 30));
+      new_person(g, year - age, kUnknownPersonId, kUnknownPersonId,
+                 pools.streets.SampleIndex(rng));
+    }
+
+    // Marriages: match eligible single women to single men.
+    std::vector<PersonId> single_women, single_men;
+    for (const SimPerson& p : people) {
+      if (p.death_year != 0 || p.spouse != kUnknownPersonId) continue;
+      const int age = year - p.birth_year;
+      if (age < 17 || age > 45) continue;
+      (p.gender == Gender::kFemale ? single_women : single_men).push_back(p.id);
+    }
+    rng.Shuffle(single_women);
+    rng.Shuffle(single_men);
+    size_t mi = 0;
+    for (PersonId w : single_women) {
+      if (mi >= single_men.size()) break;
+      if (!rng.NextBool(cfg.marry_prob)) continue;
+      const PersonId m = single_men[mi++];
+      // Avoid sibling marriages.
+      if (people[w].mother != kUnknownPersonId &&
+          people[w].mother == people[m].mother) {
+        continue;
+      }
+      people[w].spouse = m;
+      people[m].spouse = w;
+      people[w].marriage_year = year;
+      people[m].marriage_year = year;
+      people[w].cur_surname = people[m].cur_surname;
+      people[w].address_idx = people[m].address_idx;
+      if (registering) emit_marriage_cert(people[w], people[m], year);
+    }
+
+    // Births.
+    const size_t population_before_births = people.size();
+    for (size_t i = 0; i < population_before_births; ++i) {
+      if (people[i].gender != Gender::kFemale) continue;
+      if (people[i].death_year != 0) continue;
+      if (people[i].spouse == kUnknownPersonId) continue;
+      const SimPerson& husband = people[people[i].spouse];
+      if (husband.death_year != 0) continue;
+      const int age = year - people[i].birth_year;
+      if (age < 17 || age > 44) continue;
+      if (people[i].num_children >= cfg.max_children) continue;
+      if (!rng.NextBool(cfg.annual_birth_prob)) continue;
+      const int babies = rng.NextBool(cfg.twin_prob) ? 2 : 1;
+      for (int t = 0; t < babies; ++t) {
+        const Gender g =
+            rng.NextBool(0.5) ? Gender::kFemale : Gender::kMale;
+        const PersonId baby =
+            new_person(g, year, people[i].id, husband.id,
+                       people[i].address_idx);
+        people[i].num_children++;
+        people[people[i].spouse].num_children++;
+        if (registering) emit_birth_cert(people[baby], year);
+      }
+    }
+
+    // Illegitimate births: unmarried mothers, no father on the
+    // certificate, baby under the mother's surname.
+    for (size_t i = 0; i < population_before_births; ++i) {
+      if (people[i].gender != Gender::kFemale) continue;
+      if (people[i].death_year != 0) continue;
+      if (people[i].spouse != kUnknownPersonId) continue;
+      const int age = year - people[i].birth_year;
+      if (age < 17 || age > 40) continue;
+      if (!rng.NextBool(cfg.illegitimate_birth_prob)) continue;
+      const Gender g = rng.NextBool(0.5) ? Gender::kFemale : Gender::kMale;
+      const PersonId baby = new_person(g, year, people[i].id,
+                                       kUnknownPersonId,
+                                       people[i].address_idx);
+      people[i].num_children++;
+      if (registering) emit_birth_cert(people[baby], year);
+    }
+
+    // Moves: married men move their household.
+    for (SimPerson& p : people) {
+      if (p.death_year != 0 || p.gender != Gender::kMale) continue;
+      if (!rng.NextBool(cfg.move_prob)) continue;
+      const size_t new_address = pools.streets.SampleIndex(rng);
+      p.address_idx = new_address;
+      if (p.spouse != kUnknownPersonId &&
+          people[p.spouse].death_year == 0) {
+        people[p.spouse].address_idx = new_address;
+      }
+    }
+
+    // Census: decennial household snapshots of intact couples.
+    if (cfg.with_census && registering &&
+        (year - cfg.census_base_year) % 10 == 0 &&
+        year >= cfg.census_base_year) {
+      for (size_t i = 0; i < people.size(); ++i) {
+        const SimPerson& head = people[i];
+        if (head.gender != Gender::kMale || head.death_year != 0) continue;
+        if (head.spouse == kUnknownPersonId) continue;
+        const SimPerson& wife = people[head.spouse];
+        if (wife.death_year != 0) continue;
+        const CertId cert = ds.AddCertificate(CertType::kCensus, year);
+        {
+          Record r;
+          fill_person_fields(r, head, /*use_birth_surname=*/false);
+          fill_location(r, head.address_idx);
+          fill_occupation(r, head);
+          ds.AddRecord(cert, Role::kCh, std::move(r));
+        }
+        {
+          Record r;
+          fill_person_fields(r, wife, /*use_birth_surname=*/false);
+          ds.AddRecord(cert, Role::kCw, std::move(r));
+        }
+        // Resident children: alive, unmarried, young enough.
+        for (const SimPerson& child : people) {
+          if (child.father != head.id) continue;
+          if (child.death_year != 0) continue;
+          if (child.spouse != kUnknownPersonId) continue;
+          const int age = year - child.birth_year;
+          if (age < 0 || age > cfg.census_child_max_age) continue;
+          Record r;
+          fill_person_fields(r, child, /*use_birth_surname=*/true);
+          ds.AddRecord(cert, Role::kCc, std::move(r));
+        }
+      }
+    }
+
+    // Deaths.
+    for (size_t i = 0; i < people.size(); ++i) {
+      if (people[i].death_year != 0) continue;
+      const int age = year - people[i].birth_year;
+      if (age < 0) continue;
+      if (!rng.NextBool(DeathHazard(age))) continue;
+      people[i].death_year = year;
+      if (people[i].spouse != kUnknownPersonId) {
+        // The surviving spouse becomes widowed (can remarry).
+        people[people[i].spouse].spouse = kUnknownPersonId;
+      }
+      if (registering) emit_death_cert(people[i], year);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace snaps

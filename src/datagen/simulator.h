@@ -1,0 +1,123 @@
+#ifndef SNAPS_DATAGEN_SIMULATOR_H_
+#define SNAPS_DATAGEN_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "datagen/corruption.h"
+#include "datagen/name_pool.h"
+
+namespace snaps {
+
+/// Parameters of the synthetic population simulator. The defaults are
+/// tuned so the generated certificates show the data characteristics
+/// the paper reports for the Scottish data sets (Section 2, Table 1,
+/// Figure 2): skewed name distributions, high missing-occupation
+/// rates, changing surnames and addresses, and families that induce
+/// partial-match groups.
+struct SimulatorConfig {
+  uint64_t seed = 42;
+
+  // Demography window. Certificates are only registered (emitted)
+  // between reg_start_year and reg_end_year, like the 1861-1901
+  // statutory window of the IOS and KIL data sets; the simulation
+  // starts earlier so adults exist when registration begins.
+  int sim_start_year = 1820;
+  int reg_start_year = 1861;
+  int reg_end_year = 1901;
+
+  int num_founder_couples = 120;
+  double immigrants_per_year = 6.0;  // New single adults per year.
+
+  double annual_birth_prob = 0.33;  // Per married fertile couple-year.
+  int max_children = 9;
+  /// Probability that a birth event delivers twins (each twin gets
+  /// their own certificate in the same year with the same parents --
+  /// the hardest partial-match-group case).
+  double twin_prob = 0.015;
+  /// Per-year probability of a birth to an unmarried woman; the
+  /// certificate then has no father record and the baby takes the
+  /// mother's surname (a realistic missing-relationship case).
+  double illegitimate_birth_prob = 0.008;
+  double marry_prob = 0.14;  // Per eligible single woman per year.
+  double move_prob = 0.035;  // Family changes address per year.
+
+  // Value pools.
+  size_t pool_scale = 140;  // Distinct first names per gender.
+  double zipf_s = 1.05;     // Skew of the value distributions.
+
+  // Transcription noise.
+  CorruptionConfig corruption;
+  double missing_first_name_prob = 0.025;
+  double missing_address_prob = 0.06;
+  double missing_occupation_prob = 0.55;
+  double missing_parish_prob = 0.02;
+  double missing_parent_prob = 0.05;  // Parent omitted on death cert.
+  double missing_maiden_prob = 0.12;  // Maiden surname omitted.
+
+  /// Attach "lat:lon" geo codes to addresses (IOS-like geocoding).
+  bool with_geo = false;
+
+  /// Also emit decennial census household snapshots (head, wife,
+  /// resident children) inside the registration window -- the paper's
+  /// planned census extension (Section 12). Census years are
+  /// census_base + 10k.
+  bool with_census = false;
+  int census_base_year = 1861;
+  int census_child_max_age = 14;
+
+  /// Paper-inspired presets. Sizes are laptop-scale stand-ins for the
+  /// IOS (smaller, geocoded addresses), KIL (larger, more missing
+  /// addresses) and BHIC (scalability) data sets.
+  static SimulatorConfig IosLike();
+  static SimulatorConfig KilLike();
+  /// BHIC-like generator for the Table 6 scalability sweep; `start`
+  /// varies while the end year is fixed, widening the window.
+  static SimulatorConfig BhicLike(int reg_start_year);
+};
+
+/// Ground-truth person produced by the simulator.
+struct SimPerson {
+  PersonId id = kUnknownPersonId;
+  Gender gender = Gender::kUnknown;
+  std::string first_name;      // True (uncorrupted) first name.
+  std::string birth_surname;   // Maiden surname.
+  std::string cur_surname;     // Changes at marriage for women.
+  int birth_year = 0;
+  int death_year = 0;          // 0 while alive at simulation end.
+  PersonId mother = kUnknownPersonId;
+  PersonId father = kUnknownPersonId;
+  PersonId spouse = kUnknownPersonId;
+  int marriage_year = 0;
+  size_t address_idx = 0;      // Into NamePools.streets-derived pool.
+  bool has_occupation = false;
+  std::string occupation;
+  int num_children = 0;
+};
+
+/// Result of a simulation: the certificates data set (with per-record
+/// ground truth) plus the underlying true population.
+struct GeneratedData {
+  Dataset dataset;
+  std::vector<SimPerson> people;
+};
+
+/// Simulates a closed-ish population year by year (births, marriages,
+/// deaths, moves, immigration) and registers birth / death / marriage
+/// certificates inside the registration window, with transcription
+/// noise and missing values applied per record write-out.
+class PopulationSimulator {
+ public:
+  explicit PopulationSimulator(SimulatorConfig config);
+
+  /// Runs the simulation and returns the generated data.
+  GeneratedData Generate();
+
+ private:
+  SimulatorConfig config_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_DATAGEN_SIMULATOR_H_

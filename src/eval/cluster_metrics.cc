@@ -1,0 +1,70 @@
+#include "eval/cluster_metrics.h"
+
+#include <unordered_map>
+
+namespace snaps {
+
+namespace {
+
+/// Shared implementation over (record -> cluster id).
+ClusterQuality Evaluate(const Dataset& dataset,
+                        const std::vector<uint32_t>& cluster_of) {
+  ClusterQuality q;
+
+  // Person sizes and per-cluster person composition.
+  std::unordered_map<PersonId, size_t> person_size;
+  std::unordered_map<uint32_t, std::unordered_map<PersonId, size_t>>
+      cluster_persons;
+  std::unordered_map<uint32_t, size_t> cluster_size;
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    const PersonId p = dataset.record(r).true_person;
+    if (p == kUnknownPersonId) continue;
+    person_size[p]++;
+    cluster_persons[cluster_of[r]][p]++;
+    cluster_size[cluster_of[r]]++;
+  }
+
+  double precision_sum = 0.0, recall_sum = 0.0;
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    const PersonId p = dataset.record(r).true_person;
+    if (p == kUnknownPersonId) continue;
+    const uint32_t c = cluster_of[r];
+    const size_t same_in_cluster = cluster_persons[c][p];
+    precision_sum +=
+        static_cast<double>(same_in_cluster) / cluster_size[c];
+    recall_sum += static_cast<double>(same_in_cluster) / person_size[p];
+    ++q.evaluated_records;
+  }
+  if (q.evaluated_records > 0) {
+    q.bcubed_precision = precision_sum / q.evaluated_records;
+    q.bcubed_recall = recall_sum / q.evaluated_records;
+  }
+
+  for (const auto& [c, persons] : cluster_persons) {
+    if (persons.size() > 1) {
+      ++q.impure_clusters;
+      continue;
+    }
+    const auto& [person, count] = *persons.begin();
+    if (count == person_size[person]) ++q.exact_clusters;
+  }
+  return q;
+}
+
+}  // namespace
+
+ClusterQuality EvaluateClusters(const Dataset& dataset,
+                                const EntityStore& entities) {
+  std::vector<uint32_t> cluster_of(dataset.num_records());
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    cluster_of[r] = entities.entity_of(r);
+  }
+  return Evaluate(dataset, cluster_of);
+}
+
+ClusterQuality EvaluateClustering(const Dataset& dataset,
+                                  const std::vector<uint32_t>& cluster_of) {
+  return Evaluate(dataset, cluster_of);
+}
+
+}  // namespace snaps

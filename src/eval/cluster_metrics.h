@@ -1,0 +1,47 @@
+#ifndef SNAPS_EVAL_CLUSTER_METRICS_H_
+#define SNAPS_EVAL_CLUSTER_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entity_store.h"
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// Cluster-level evaluation complementing the pairwise P/R/F* of
+/// `eval/metrics.h`: B-cubed precision and recall (Bagga & Baldwin),
+/// the standard cluster metrics in the ER literature (Papadakis et
+/// al. 2021, cited by the paper), plus exact-cluster counts.
+struct ClusterQuality {
+  /// B-cubed precision: for each record, the fraction of its cluster
+  /// that shares its true person, averaged over records.
+  double bcubed_precision = 0.0;
+  /// B-cubed recall: for each record, the fraction of its true
+  /// person's records found in its cluster, averaged over records.
+  double bcubed_recall = 0.0;
+  /// Clusters that contain exactly the records of one true person.
+  size_t exact_clusters = 0;
+  /// Clusters mixing records of several true persons.
+  size_t impure_clusters = 0;
+  size_t evaluated_records = 0;
+
+  double BCubedF1() const {
+    const double p = bcubed_precision, r = bcubed_recall;
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Evaluates the final clusters of an ER run against the ground
+/// truth. Records without a known true person are skipped.
+ClusterQuality EvaluateClusters(const Dataset& dataset,
+                                const EntityStore& entities);
+
+/// Evaluates an arbitrary clustering given as a cluster id per record
+/// (the Rel-Cluster baseline's output shape).
+ClusterQuality EvaluateClustering(const Dataset& dataset,
+                                  const std::vector<uint32_t>& cluster_of);
+
+}  // namespace snaps
+
+#endif  // SNAPS_EVAL_CLUSTER_METRICS_H_

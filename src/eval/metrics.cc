@@ -1,0 +1,49 @@
+#include "eval/metrics.h"
+
+#include <unordered_map>
+
+namespace snaps {
+
+size_t CountTrueMatches(const Dataset& dataset, RolePairClass cls) {
+  // Group records by true person, then count intra-person pairs of
+  // the requested class.
+  std::unordered_map<PersonId, std::vector<RecordId>> by_person;
+  for (const Record& r : dataset.records()) {
+    if (r.true_person != kUnknownPersonId) {
+      by_person[r.true_person].push_back(r.id);
+    }
+  }
+  size_t count = 0;
+  for (const auto& [person, records] : by_person) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      for (size_t j = i + 1; j < records.size(); ++j) {
+        const Role ra = dataset.record(records[i]).role;
+        const Role rb = dataset.record(records[j]).role;
+        if (ClassifyRolePair(ra, rb) == cls) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+LinkageQuality EvaluatePairs(
+    const Dataset& dataset,
+    const std::vector<std::pair<RecordId, RecordId>>& predicted,
+    RolePairClass cls) {
+  LinkageQuality q;
+  for (const auto& [a, b] : predicted) {
+    const Record& ra = dataset.record(a);
+    const Record& rb = dataset.record(b);
+    if (ClassifyRolePair(ra.role, rb.role) != cls) continue;
+    if (dataset.IsTrueMatch(a, b)) {
+      q.tp++;
+    } else {
+      q.fp++;
+    }
+  }
+  const size_t total_true = CountTrueMatches(dataset, cls);
+  q.fn = total_true >= q.tp ? total_true - q.tp : 0;
+  return q;
+}
+
+}  // namespace snaps

@@ -1,0 +1,47 @@
+#ifndef SNAPS_EVAL_METRICS_H_
+#define SNAPS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// Linkage-quality counts and measures (Section 10): precision,
+/// recall and the F*-measure of Hand, Christen and Kirielle (2021),
+/// F* = TP / (TP + FP + FN), which the paper uses instead of the
+/// F-measure.
+struct LinkageQuality {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double FStar() const {
+    return tp + fp + fn == 0 ? 0.0
+                             : static_cast<double>(tp) / (tp + fp + fn);
+  }
+};
+
+/// Counts the ground-truth match pairs of one role-pair class in a
+/// data set (the "True matches" column of Table 2).
+size_t CountTrueMatches(const Dataset& dataset, RolePairClass cls);
+
+/// Evaluates a set of predicted match pairs against the ground truth,
+/// restricted to one role-pair class. Pairs must be ordered
+/// (first < second); pairs of other classes are ignored.
+LinkageQuality EvaluatePairs(
+    const Dataset& dataset,
+    const std::vector<std::pair<RecordId, RecordId>>& predicted,
+    RolePairClass cls);
+
+}  // namespace snaps
+
+#endif  // SNAPS_EVAL_METRICS_H_

@@ -1,0 +1,95 @@
+#include "eval/pedigree_metrics.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace snaps {
+
+std::vector<PersonId> TrueRelatives(const std::vector<SimPerson>& people,
+                                    PersonId person, int generations) {
+  // Build child lists on the fly from parent pointers would be O(n);
+  // callers that loop should use EvaluateAllPedigrees, which shares
+  // the index. Here we accept O(n) for clarity.
+  std::vector<std::vector<PersonId>> children(people.size());
+  for (const SimPerson& p : people) {
+    if (p.mother != kUnknownPersonId) children[p.mother].push_back(p.id);
+    if (p.father != kUnknownPersonId) children[p.father].push_back(p.id);
+  }
+
+  struct Visit {
+    PersonId person;
+    int hops;
+  };
+  std::unordered_set<PersonId> seen = {person};
+  std::vector<PersonId> out;
+  std::deque<Visit> queue = {{person, 0}};
+  while (!queue.empty()) {
+    const Visit v = queue.front();
+    queue.pop_front();
+    if (v.hops >= generations) continue;
+    const SimPerson& p = people[v.person];
+    std::vector<PersonId> neighbors;
+    if (p.mother != kUnknownPersonId) neighbors.push_back(p.mother);
+    if (p.father != kUnknownPersonId) neighbors.push_back(p.father);
+    if (p.spouse != kUnknownPersonId) neighbors.push_back(p.spouse);
+    for (PersonId c : children[v.person]) neighbors.push_back(c);
+    for (PersonId n : neighbors) {
+      if (!seen.insert(n).second) continue;
+      out.push_back(n);
+      queue.push_back(Visit{n, v.hops + 1});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PedigreeQuality EvaluatePedigree(const PedigreeGraph& graph,
+                                 const FamilyPedigree& pedigree,
+                                 const std::vector<SimPerson>& people,
+                                 int generations) {
+  PedigreeQuality q;
+  const PersonId root_person = graph.node(pedigree.root).true_person;
+  if (root_person == kUnknownPersonId) return q;
+
+  const std::vector<PersonId> truth =
+      TrueRelatives(people, root_person, generations);
+  q.true_members = truth.size();
+
+  std::unordered_set<PersonId> truth_set(truth.begin(), truth.end());
+  std::unordered_set<PersonId> credited;
+  for (const PedigreeMember& m : pedigree.members) {
+    if (m.node == pedigree.root) continue;
+    ++q.extracted_members;
+    const PersonId p = graph.node(m.node).true_person;
+    // Each true relative is credited once, even if the ER step split
+    // their records over several extracted entities.
+    if (p != kUnknownPersonId && truth_set.count(p) != 0 &&
+        credited.insert(p).second) {
+      ++q.correct_members;
+    }
+  }
+  return q;
+}
+
+PedigreeQuality EvaluateAllPedigrees(const PedigreeGraph& graph,
+                                     const std::vector<SimPerson>& people,
+                                     int generations, size_t max_roots) {
+  PedigreeQuality total;
+  size_t roots = 0;
+  for (const PedigreeNode& n : graph.nodes()) {
+    if (roots >= max_roots) break;
+    if (n.birth_year == 0) continue;  // Principals with a birth record.
+    if (n.true_person == kUnknownPersonId) continue;
+    const FamilyPedigree p = ExtractPedigree(graph, n.id, generations);
+    const PedigreeQuality q =
+        EvaluatePedigree(graph, p, people, generations);
+    total.true_members += q.true_members;
+    total.extracted_members += q.extracted_members;
+    total.correct_members += q.correct_members;
+    ++roots;
+  }
+  return total;
+}
+
+}  // namespace snaps

@@ -1,0 +1,61 @@
+#ifndef SNAPS_EVAL_PEDIGREE_METRICS_H_
+#define SNAPS_EVAL_PEDIGREE_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/simulator.h"
+#include "pedigree/extraction.h"
+#include "pedigree/pedigree_graph.h"
+
+namespace snaps {
+
+/// Pedigree-level evaluation against the generator's true family
+/// structure: the paper's planned user study assesses "correctly and
+/// wrongly generated family trees" (Section 12); with synthetic data
+/// the assessment can be exact. A person's true g-generation pedigree
+/// is the set of true persons reachable within g generations
+/// (parents/children, plus spouses); the extracted pedigree is
+/// correct insofar as its members' entities map to those persons.
+struct PedigreeQuality {
+  size_t true_members = 0;       // Size of the true pedigree (excl. root).
+  size_t extracted_members = 0;  // Size of the extracted one (excl. root).
+  size_t correct_members = 0;    // Extracted members that are true ones.
+
+  double Precision() const {
+    return extracted_members == 0
+               ? 0.0
+               : static_cast<double>(correct_members) / extracted_members;
+  }
+  double Recall() const {
+    return true_members == 0
+               ? 1.0
+               : static_cast<double>(correct_members) / true_members;
+  }
+};
+
+/// True persons within `generations` hops of `person` in the real
+/// family graph (mother/father/child edges; spouse edges cost a hop
+/// but no generation), excluding `person` itself — mirroring
+/// ExtractPedigree's traversal.
+std::vector<PersonId> TrueRelatives(const std::vector<SimPerson>& people,
+                                    PersonId person, int generations);
+
+/// Evaluates one extracted pedigree against the truth. The root
+/// entity's dominant true person anchors the comparison; members
+/// whose entity has no known true person count as wrong.
+PedigreeQuality EvaluatePedigree(const PedigreeGraph& graph,
+                                 const FamilyPedigree& pedigree,
+                                 const std::vector<SimPerson>& people,
+                                 int generations);
+
+/// Averages pedigree quality over all entities holding a birth record
+/// (the searchable principals), up to `max_roots` roots.
+PedigreeQuality EvaluateAllPedigrees(const PedigreeGraph& graph,
+                                     const std::vector<SimPerson>& people,
+                                     int generations,
+                                     size_t max_roots = SIZE_MAX);
+
+}  // namespace snaps
+
+#endif  // SNAPS_EVAL_PEDIGREE_METRICS_H_

@@ -1,0 +1,117 @@
+#include "geo/gazetteer.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <vector>
+
+#include "strsim/similarity.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+std::optional<GeoPoint> ParseGeoValue(const std::string& value) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const std::string lat_str = value.substr(0, colon);
+  const std::string lon_str = value.substr(colon + 1);
+  const double lat = std::strtod(lat_str.c_str(), &end);
+  if (end != lat_str.c_str() + lat_str.size()) return std::nullopt;
+  const double lon = std::strtod(lon_str.c_str(), &end);
+  if (end != lon_str.c_str() + lon_str.size()) return std::nullopt;
+  if (lat < -90 || lat > 90 || lon < -180 || lon > 180) return std::nullopt;
+  return GeoPoint{lat, lon};
+}
+
+void Gazetteer::Add(const std::string& place, GeoPoint point) {
+  const std::string key = NormalizeValue(place);
+  if (key.empty()) return;
+  Entry& e = places_[key];
+  e.sum.lat += point.lat;
+  e.sum.lon += point.lon;
+  e.count++;
+}
+
+Gazetteer Gazetteer::FromDataset(const Dataset& dataset) {
+  Gazetteer g;
+  for (const Record& r : dataset.records()) {
+    const std::optional<GeoPoint> point = ParseGeoValue(r.value(Attr::kGeo));
+    if (!point.has_value()) continue;
+    if (r.has_value(Attr::kAddress)) g.Add(r.value(Attr::kAddress), *point);
+    if (r.has_value(Attr::kParish)) g.Add(r.value(Attr::kParish), *point);
+  }
+  return g;
+}
+
+std::optional<GeoPoint> Gazetteer::Find(const std::string& place) const {
+  const auto it = places_.find(NormalizeValue(place));
+  if (it == places_.end()) return std::nullopt;
+  return GeoPoint{it->second.sum.lat / it->second.count,
+                  it->second.sum.lon / it->second.count};
+}
+
+std::optional<GeoPoint> Gazetteer::FindApprox(const std::string& place,
+                                              double min_similarity) const {
+  if (auto exact = Find(place); exact.has_value()) return exact;
+  const std::string key = NormalizeValue(place);
+  double best_sim = min_similarity;
+  const Entry* best = nullptr;
+  for (const auto& [name, entry] : places_) {
+    const double sim = JaroWinklerSimilarity(key, name);
+    if (sim >= best_sim) {
+      best_sim = sim;
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return GeoPoint{best->sum.lat / best->count, best->sum.lon / best->count};
+}
+
+std::optional<GeoPoint> Gazetteer::Centroid(const std::string& token) const {
+  const std::string key = NormalizeValue(token);
+  if (key.empty()) return std::nullopt;
+  GeoPoint sum{0, 0};
+  size_t count = 0;
+  for (const auto& [name, entry] : places_) {
+    if (name.find(key) == std::string::npos) continue;
+    sum.lat += entry.sum.lat / entry.count;
+    sum.lon += entry.sum.lon / entry.count;
+    ++count;
+  }
+  if (count == 0) return std::nullopt;
+  return GeoPoint{sum.lat / count, sum.lon / count};
+}
+
+size_t Gazetteer::RemoveOutliers(double max_km) {
+  if (places_.empty()) return 0;
+  // Component-wise median: robust against the very outliers we are
+  // trying to remove (a mean centroid would be dragged toward them).
+  std::vector<double> lats, lons;
+  lats.reserve(places_.size());
+  lons.reserve(places_.size());
+  for (const auto& [name, entry] : places_) {
+    lats.push_back(entry.sum.lat / entry.count);
+    lons.push_back(entry.sum.lon / entry.count);
+  }
+  auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  const GeoPoint centroid{median(lats), median(lons)};
+
+  size_t removed = 0;
+  for (auto it = places_.begin(); it != places_.end();) {
+    const GeoPoint p{it->second.sum.lat / it->second.count,
+                     it->second.sum.lon / it->second.count};
+    if (HaversineKm(p.lat, p.lon, centroid.lat, centroid.lon) > max_km) {
+      it = places_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace snaps

@@ -1,0 +1,71 @@
+#ifndef SNAPS_GEO_GAZETTEER_H_
+#define SNAPS_GEO_GAZETTEER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+/// A WGS84 coordinate.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Place-name gazetteer: maps normalised place names (parishes,
+/// addresses) to coordinates, with approximate-match lookup. The
+/// paper geocodes the IOS addresses (Kirielle et al. 2019) and plans
+/// to "incorporate geographical distances into the query process";
+/// this gazetteer is the substrate for both.
+class Gazetteer {
+ public:
+  Gazetteer() = default;
+
+  /// Registers a place. Repeated registrations of one name average
+  /// their coordinates (a cheap centroid; real gazetteers have one
+  /// authoritative entry).
+  void Add(const std::string& place, GeoPoint point);
+
+  /// Builds a gazetteer from a data set's geocoded records: every
+  /// record with a "lat:lon" geo value contributes its address and
+  /// parish names.
+  static Gazetteer FromDataset(const Dataset& dataset);
+
+  /// Exact lookup of a normalised place name.
+  std::optional<GeoPoint> Find(const std::string& place) const;
+
+  /// Approximate lookup: the best Jaro-Winkler match with similarity
+  /// >= `min_similarity`.
+  std::optional<GeoPoint> FindApprox(const std::string& place,
+                                     double min_similarity = 0.85) const;
+
+  /// Centroid of places whose name contains `token` (e.g. a parish
+  /// centroid from its street addresses); nullopt when none match.
+  std::optional<GeoPoint> Centroid(const std::string& token) const;
+
+  size_t size() const { return places_.size(); }
+
+  /// Drops entries farther than `max_km` from the centroid of all
+  /// entries: the outlier-detection step of accurate historical
+  /// geocoding (mis-transcribed addresses produce wild coordinates).
+  /// Returns the number of removed entries.
+  size_t RemoveOutliers(double max_km);
+
+ private:
+  struct Entry {
+    GeoPoint sum;     // Running sums for the centroid.
+    size_t count = 0;
+  };
+  std::unordered_map<std::string, Entry> places_;
+};
+
+/// Parses a "lat:lon" value. Returns nullopt on malformed input.
+std::optional<GeoPoint> ParseGeoValue(const std::string& value);
+
+}  // namespace snaps
+
+#endif  // SNAPS_GEO_GAZETTEER_H_

@@ -1,0 +1,113 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snaps {
+
+SmallGraph::SmallGraph(size_t num_nodes) : adjacency_(num_nodes) {}
+
+void SmallGraph::AddEdge(size_t a, size_t b) {
+  assert(a < adjacency_.size() && b < adjacency_.size());
+  if (a == b) return;
+  auto& na = adjacency_[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;
+  na.push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+}
+
+double SmallGraph::Density() const {
+  const size_t n = adjacency_.size();
+  if (n < 2) return 1.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+std::vector<size_t> SmallGraph::ConnectedComponents(
+    size_t* num_components) const {
+  const size_t n = adjacency_.size();
+  std::vector<size_t> component(n, static_cast<size_t>(-1));
+  size_t next = 0;
+  std::vector<size_t> stack;
+  for (size_t start = 0; start < n; ++start) {
+    if (component[start] != static_cast<size_t>(-1)) continue;
+    component[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const size_t u = stack.back();
+      stack.pop_back();
+      for (size_t v : adjacency_[u]) {
+        if (component[v] == static_cast<size_t>(-1)) {
+          component[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return component;
+}
+
+std::vector<std::pair<size_t, size_t>> SmallGraph::Bridges() const {
+  const size_t n = adjacency_.size();
+  std::vector<std::pair<size_t, size_t>> bridges;
+  std::vector<int> disc(n, -1), low(n, -1);
+  std::vector<size_t> parent(n, static_cast<size_t>(-1));
+  int timer = 0;
+
+  // Iterative DFS; each stack frame tracks the next neighbour index.
+  struct Frame {
+    size_t node;
+    size_t next_neighbor;
+    bool skipped_parent_edge;
+  };
+  std::vector<Frame> stack;
+
+  for (size_t start = 0; start < n; ++start) {
+    if (disc[start] != -1) continue;
+    disc[start] = low[start] = timer++;
+    stack.push_back(Frame{start, 0, false});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const size_t u = frame.node;
+      if (frame.next_neighbor < adjacency_[u].size()) {
+        const size_t v = adjacency_[u][frame.next_neighbor++];
+        if (disc[v] == -1) {
+          parent[v] = u;
+          disc[v] = low[v] = timer++;
+          stack.push_back(Frame{v, 0, false});
+        } else if (v != parent[u] || frame.skipped_parent_edge) {
+          // Back edge (a second parallel edge to the parent counts,
+          // but AddEdge dedupes, so multi-edges cannot occur).
+          low[u] = std::min(low[u], disc[v]);
+        } else {
+          frame.skipped_parent_edge = true;
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          const size_t p = stack.back().node;
+          low[p] = std::min(low[p], low[u]);
+          if (low[u] > disc[p]) {
+            bridges.emplace_back(std::min(p, u), std::max(p, u));
+          }
+        }
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+size_t SmallGraph::MinDegreeNode() const {
+  assert(!adjacency_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < adjacency_.size(); ++i) {
+    if (adjacency_[i].size() < adjacency_[best].size()) best = i;
+  }
+  return best;
+}
+
+}  // namespace snaps

@@ -1,0 +1,50 @@
+#ifndef SNAPS_GRAPH_ALGORITHMS_H_
+#define SNAPS_GRAPH_ALGORITHMS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace snaps {
+
+/// A small undirected graph over nodes 0..n-1 with parallel-edge-free
+/// adjacency, used for the per-entity record graphs of the REF step
+/// (Section 4.2.5) and for generic graph measure computations.
+class SmallGraph {
+ public:
+  explicit SmallGraph(size_t num_nodes);
+
+  /// Adds an undirected edge; duplicate edges are ignored.
+  void AddEdge(size_t a, size_t b);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::vector<size_t>& Neighbors(size_t node) const {
+    return adjacency_[node];
+  }
+
+  size_t Degree(size_t node) const { return adjacency_[node].size(); }
+
+  /// Graph density d = 2|E| / (|N| (|N|-1)) (Randall et al., as used
+  /// in Section 4.2.5). Returns 1.0 for graphs with < 2 nodes.
+  double Density() const;
+
+  /// Connected components; returns a component id per node.
+  std::vector<size_t> ConnectedComponents(size_t* num_components) const;
+
+  /// All bridge edges (edges whose removal disconnects their
+  /// component), via Tarjan's low-link algorithm (iterative).
+  std::vector<std::pair<size_t, size_t>> Bridges() const;
+
+  /// Node with minimum degree (ties broken by lower id); n must be >0.
+  size_t MinDegreeNode() const;
+
+ private:
+  std::vector<std::vector<size_t>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_GRAPH_ALGORITHMS_H_

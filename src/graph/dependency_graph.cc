@@ -1,0 +1,52 @@
+#include "graph/dependency_graph.h"
+
+#include <cassert>
+
+namespace snaps {
+
+AtomicNodeId DependencyGraph::InternAtomicNode(Attr attr, const std::string& a,
+                                               const std::string& b,
+                                               double similarity) {
+  const std::string& lo = a <= b ? a : b;
+  const std::string& hi = a <= b ? b : a;
+  std::string key;
+  key.reserve(lo.size() + hi.size() + 4);
+  key.push_back(static_cast<char>('0' + static_cast<int>(attr)));
+  key.push_back('\x1f');
+  key += lo;
+  key.push_back('\x1f');
+  key += hi;
+  auto [it, inserted] =
+      atomic_index_.emplace(std::move(key),
+                            static_cast<AtomicNodeId>(atomic_nodes_.size()));
+  if (inserted) {
+    atomic_nodes_.push_back(AtomicNode{attr, lo, hi, similarity});
+  }
+  return it->second;
+}
+
+RelNodeId DependencyGraph::AddRelationalNode(RecordId rec_a, RecordId rec_b,
+                                             GroupId group) {
+  assert(group < num_groups_);
+  const RelNodeId id = static_cast<RelNodeId>(rel_nodes_.size());
+  RelationalNode node;
+  node.rec_a = rec_a;
+  node.rec_b = rec_b;
+  node.group = group;
+  rel_nodes_.push_back(std::move(node));
+  group_members_[group].push_back(id);
+  return id;
+}
+
+void DependencyGraph::AddRelEdge(RelNodeId from, RelNodeId to,
+                                 Relationship rel) {
+  assert(from < rel_nodes_.size() && to < rel_nodes_.size());
+  rel_nodes_[from].neighbors.push_back(RelEdge{to, rel});
+}
+
+GroupId DependencyGraph::NewGroup() {
+  group_members_.emplace_back();
+  return static_cast<GroupId>(num_groups_++);
+}
+
+}  // namespace snaps

@@ -1,0 +1,135 @@
+#ifndef SNAPS_GRAPH_DEPENDENCY_GRAPH_H_
+#define SNAPS_GRAPH_DEPENDENCY_GRAPH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace snaps {
+
+using AtomicNodeId = uint32_t;
+using RelNodeId = uint32_t;
+using GroupId = uint32_t;
+
+inline constexpr AtomicNodeId kInvalidAtomicNode = 0xffffffffu;
+inline constexpr RelNodeId kInvalidRelNode = 0xffffffffu;
+
+/// Atomic node N_A (Section 3): a pair of QID values of one attribute
+/// together with their string similarity. Atomic nodes are shared by
+/// every relational node that pairs these two values.
+struct AtomicNode {
+  Attr attr = Attr::kFirstName;
+  std::string value_a;  // Lexicographically <= value_b.
+  std::string value_b;
+  double similarity = 0.0;
+};
+
+/// A directed relationship edge between two relational nodes: the
+/// target node's entity stands in relationship `rel` to this node's
+/// entity (e.g. is its mother), consistently on both certificates.
+struct RelEdge {
+  RelNodeId target = kInvalidRelNode;
+  Relationship rel = Relationship::kMother;
+};
+
+/// Relational node N_R (Section 3): a hypothesis that two records
+/// refer to the same entity. Carries edges to its atomic nodes (one
+/// per attribute at most; PROP-A may rewire them) and relationship
+/// edges to neighbouring relational nodes of the same certificate
+/// pair.
+struct RelationalNode {
+  RecordId rec_a = kInvalidRecordId;
+  RecordId rec_b = kInvalidRecordId;
+  GroupId group = 0;
+  /// Atomic node per attribute; kInvalidAtomicNode when the pair has
+  /// no sufficiently similar value pair for that attribute.
+  std::array<AtomicNodeId, kNumAttrs> atomic;
+  /// Raw similarity per attribute: the best value-pair similarity
+  /// between the two records (or their entities, after PROP-A), also
+  /// below the atomic threshold t_a. -1 when the attribute is missing
+  /// on either side. Present-but-dissimilar values are negative
+  /// evidence in Equation 1 instead of silently dropping out.
+  std::array<float, kNumAttrs> raw_sims;
+  /// Immutable raw similarities of the two records themselves (set at
+  /// graph construction). PROP-A recomputes raw_sims as
+  /// max(base_sims, best over current entity values), so pollution
+  /// from since-split clusters does not persist.
+  std::array<float, kNumAttrs> base_sims;
+  std::vector<RelEdge> neighbors;
+  /// Cached overall similarity s (Equation 3); maintained by the ER
+  /// engine.
+  double similarity = 0.0;
+  /// Whether the ER engine has merged this node (accepted the
+  /// same-entity hypothesis).
+  bool merged = false;
+  /// Whether the node was removed from consideration (constraint
+  /// violation or REL pruning).
+  bool pruned = false;
+  /// Cache stamp of the last PROP-A refresh: the entity ids and
+  /// cluster versions the similarity was computed against.
+  uint32_t last_entity_a = 0xffffffffu;
+  uint32_t last_entity_b = 0xffffffffu;
+  uint32_t last_version_a = 0xffffffffu;
+  uint32_t last_version_b = 0xffffffffu;
+
+  RelationalNode() {
+    atomic.fill(kInvalidAtomicNode);
+    raw_sims.fill(-1.0f);
+    base_sims.fill(-1.0f);
+  }
+};
+
+/// The dependency graph G_D: atomic nodes, relational nodes and their
+/// edges. Construction is driven by the ER engine; this class owns
+/// storage, deduplication of atomic nodes, and group bookkeeping.
+class DependencyGraph {
+ public:
+  DependencyGraph() = default;
+
+  /// Returns the atomic node for (attr, value pair), creating it on
+  /// first use. Values are stored order-normalised.
+  AtomicNodeId InternAtomicNode(Attr attr, const std::string& a,
+                                const std::string& b, double similarity);
+
+  /// Adds a relational node; `group` identifies the certificate-pair
+  /// group the node belongs to.
+  RelNodeId AddRelationalNode(RecordId rec_a, RecordId rec_b, GroupId group);
+
+  /// Adds a directed relationship edge.
+  void AddRelEdge(RelNodeId from, RelNodeId to, Relationship rel);
+
+  const AtomicNode& atomic_node(AtomicNodeId id) const {
+    return atomic_nodes_[id];
+  }
+  const RelationalNode& rel_node(RelNodeId id) const { return rel_nodes_[id]; }
+  RelationalNode& mutable_rel_node(RelNodeId id) { return rel_nodes_[id]; }
+
+  size_t num_atomic_nodes() const { return atomic_nodes_.size(); }
+  size_t num_rel_nodes() const { return rel_nodes_.size(); }
+  size_t num_groups() const { return num_groups_; }
+
+  const std::vector<RelationalNode>& rel_nodes() const { return rel_nodes_; }
+
+  /// All relational node ids of one group.
+  const std::vector<RelNodeId>& GroupMembers(GroupId group) const {
+    return group_members_[group];
+  }
+
+  /// Allocates a fresh group id.
+  GroupId NewGroup();
+
+ private:
+  std::vector<AtomicNode> atomic_nodes_;
+  std::vector<RelationalNode> rel_nodes_;
+  std::unordered_map<std::string, AtomicNodeId> atomic_index_;
+  std::vector<std::vector<RelNodeId>> group_members_;
+  size_t num_groups_ = 0;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_GRAPH_DEPENDENCY_GRAPH_H_

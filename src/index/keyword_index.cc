@@ -1,0 +1,53 @@
+#include "index/keyword_index.h"
+
+#include <algorithm>
+
+namespace snaps {
+
+const char* QueryFieldName(QueryField f) {
+  switch (f) {
+    case QueryField::kFirstName:
+      return "first_name";
+    case QueryField::kSurname:
+      return "surname";
+    case QueryField::kParish:
+      return "parish";
+  }
+  return "unknown";
+}
+
+KeywordIndex::KeywordIndex(const PedigreeGraph* graph) : graph_(graph) {
+  auto add = [this](QueryField field, const std::string& value,
+                    PedigreeNodeId id) {
+    if (value.empty()) return;
+    auto& slot = index_[static_cast<size_t>(field)][value];
+    if (slot.empty() || slot.back() != id) slot.push_back(id);
+  };
+  for (const PedigreeNode& node : graph_->nodes()) {
+    for (const std::string& v : node.first_names) {
+      add(QueryField::kFirstName, v, node.id);
+    }
+    for (const std::string& v : node.surnames) {
+      add(QueryField::kSurname, v, node.id);
+    }
+    for (const std::string& v : node.parishes) {
+      add(QueryField::kParish, v, node.id);
+    }
+  }
+  for (int f = 0; f < kNumQueryFields; ++f) {
+    values_[f].reserve(index_[f].size());
+    for (const auto& [value, ids] : index_[f]) {
+      values_[f].push_back(value);
+    }
+    std::sort(values_[f].begin(), values_[f].end());
+  }
+}
+
+const std::vector<PedigreeNodeId>* KeywordIndex::Lookup(
+    QueryField field, const std::string& value) const {
+  const auto& map = index_[static_cast<size_t>(field)];
+  const auto it = map.find(value);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+}  // namespace snaps

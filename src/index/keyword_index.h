@@ -1,0 +1,57 @@
+#ifndef SNAPS_INDEX_KEYWORD_INDEX_H_
+#define SNAPS_INDEX_KEYWORD_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pedigree/pedigree_graph.h"
+
+namespace snaps {
+
+/// Which query field an index entry belongs to.
+enum class QueryField : uint8_t {
+  kFirstName = 0,
+  kSurname = 1,
+  kParish = 2,
+};
+
+inline constexpr int kNumQueryFields = 3;
+
+const char* QueryFieldName(QueryField f);
+
+/// The keyword index K (Section 6): maps QID values (first names,
+/// surnames, parish/location names) to the pedigree-graph entities
+/// carrying them, plus direct gender and year lookups.
+class KeywordIndex {
+ public:
+  /// Builds the index over all nodes of a pedigree graph.
+  explicit KeywordIndex(const PedigreeGraph* graph);
+
+  /// Entities whose `field` contains exactly `value` (normalised).
+  const std::vector<PedigreeNodeId>* Lookup(QueryField field,
+                                            const std::string& value) const;
+
+  /// All distinct values of a field (used to build the similarity-
+  /// aware index and to resolve approximate matches).
+  const std::vector<std::string>& Values(QueryField field) const {
+    return values_[static_cast<size_t>(field)];
+  }
+
+  const PedigreeGraph& graph() const { return *graph_; }
+
+  size_t NumEntries(QueryField field) const {
+    return index_[static_cast<size_t>(field)].size();
+  }
+
+ private:
+  const PedigreeGraph* graph_;
+  std::array<std::unordered_map<std::string, std::vector<PedigreeNodeId>>,
+             kNumQueryFields>
+      index_;
+  std::array<std::vector<std::string>, kNumQueryFields> values_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_INDEX_KEYWORD_INDEX_H_

@@ -1,0 +1,84 @@
+#include "index/similarity_index.h"
+
+#include <algorithm>
+
+#include "strsim/similarity.h"
+#include "util/thread_pool.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+SimilarityIndex::SimilarityIndex(const KeywordIndex* keyword_index, double s_t,
+                                 size_t num_threads)
+    : keyword_index_(keyword_index), s_t_(s_t) {
+  // Bigram postings per field.
+  for (int f = 0; f < kNumQueryFields; ++f) {
+    const auto& values = keyword_index_->Values(static_cast<QueryField>(f));
+    for (uint32_t vi = 0; vi < values.size(); ++vi) {
+      for (const std::string& gram : DistinctBigrams(values[vi])) {
+        bigram_postings_[f][gram].push_back(vi);
+      }
+    }
+  }
+  // Precompute the similar-value lists for all known values (the
+  // offline phase of Section 6). Each value's list is an independent
+  // pure computation, so the work parallelises; insertion into the
+  // map stays on the calling thread for determinism.
+  ThreadPool pool(num_threads);
+  for (int f = 0; f < kNumQueryFields; ++f) {
+    const QueryField field = static_cast<QueryField>(f);
+    const auto& values = keyword_index_->Values(field);
+    std::vector<std::vector<SimilarValue>> lists(values.size());
+    pool.ParallelFor(values.size(), [&](size_t i) {
+      lists[i] = Compute(field, values[i]);
+    });
+    for (size_t i = 0; i < values.size(); ++i) {
+      entries_[f].emplace(values[i], std::move(lists[i]));
+    }
+  }
+}
+
+std::vector<SimilarValue> SimilarityIndex::Compute(
+    QueryField field, const std::string& value) const {
+  const size_t f = static_cast<size_t>(field);
+  const auto& values = keyword_index_->Values(field);
+  // Candidate value ids sharing at least one bigram.
+  std::vector<uint32_t> candidates;
+  for (const std::string& gram : DistinctBigrams(value)) {
+    const auto it = bigram_postings_[f].find(gram);
+    if (it == bigram_postings_[f].end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<SimilarValue> out;
+  for (uint32_t vi : candidates) {
+    const std::string& other = values[vi];
+    const double sim =
+        other == value ? 1.0 : JaroWinklerSimilarity(value, other);
+    if (sim >= s_t_) out.push_back(SimilarValue{other, sim});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SimilarValue& a, const SimilarValue& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.value < b.value;
+            });
+  return out;
+}
+
+const std::vector<SimilarValue>& SimilarityIndex::Similar(
+    QueryField field, const std::string& value) const {
+  const size_t f = static_cast<size_t>(field);
+  const auto it = entries_[f].find(value);
+  if (it != entries_[f].end()) return it->second;
+  // Unseen query value: compute via the postings and cache for future
+  // queries of the same value (Section 7).
+  auto [ins, unused] = entries_[f].emplace(value, Compute(field, value));
+  return ins->second;
+}
+
+}  // namespace snaps

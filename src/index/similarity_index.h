@@ -1,0 +1,69 @@
+#ifndef SNAPS_INDEX_SIMILARITY_INDEX_H_
+#define SNAPS_INDEX_SIMILARITY_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/keyword_index.h"
+
+namespace snaps {
+
+/// One approximate match held in the similarity-aware index.
+struct SimilarValue {
+  std::string value;
+  double similarity;
+};
+
+/// The similarity-aware index S of Christen, Gayler and Hawking
+/// (2009), as used in Section 6: for every string value of a keyword-
+/// index field, all other values of that field sharing at least one
+/// bigram with Jaro-Winkler similarity >= s_t (default 0.5) are
+/// precomputed in the offline phase. Queries for unseen values fall
+/// back to a bigram-postings scan and are cached, speeding up future
+/// queries of the same value (Section 7).
+class SimilarityIndex {
+ public:
+  /// Precomputes the index over the values of `keyword_index`.
+  /// `s_t` in (0,1) bounds which approximate matches are retained.
+  /// `num_threads` parallelises the offline precomputation (each
+  /// value's similar-list is an independent pure computation); the
+  /// resulting index is identical for any thread count.
+  SimilarityIndex(const KeywordIndex* keyword_index, double s_t = 0.5,
+                  size_t num_threads = 1);
+
+  /// Similar values (including exact, similarity 1.0) for `value` in
+  /// `field`. For values not in the index the result is computed via
+  /// the bigram postings and cached (hence non-const access pattern is
+  /// internal; the method stays logically const through mutable
+  /// caching).
+  const std::vector<SimilarValue>& Similar(QueryField field,
+                                           const std::string& value) const;
+
+  double threshold() const { return s_t_; }
+
+  /// Number of precomputed source values per field.
+  size_t NumEntries(QueryField field) const {
+    return entries_[static_cast<size_t>(field)].size();
+  }
+
+ private:
+  using FieldMap = std::unordered_map<std::string, std::vector<SimilarValue>>;
+
+  /// Computes the similar-value list for one value via the bigram
+  /// postings of the field.
+  std::vector<SimilarValue> Compute(QueryField field,
+                                    const std::string& value) const;
+
+  const KeywordIndex* keyword_index_;
+  double s_t_;
+  mutable std::array<FieldMap, kNumQueryFields> entries_;
+  /// bigram -> value ids (indices into KeywordIndex::Values(field)).
+  std::array<std::unordered_map<std::string, std::vector<uint32_t>>,
+             kNumQueryFields>
+      bigram_postings_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_INDEX_SIMILARITY_INDEX_H_

@@ -1,0 +1,56 @@
+#ifndef SNAPS_LEARN_CLASSIFIER_H_
+#define SNAPS_LEARN_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snaps {
+
+/// Binary classifier interface for the supervised ER baseline. All
+/// implementations are from scratch (the repository has no ML
+/// dependencies); feature vectors are fixed-length doubles and labels
+/// are match / non-match.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on feature rows `x` with labels `y` (same length).
+  virtual void Train(const std::vector<std::vector<double>>& x,
+                     const std::vector<int>& y) = 0;
+
+  /// Returns the match score in [0, 1]; >= 0.5 classifies as a match.
+  virtual double Predict(const std::vector<double>& features) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Logistic regression trained with mini-batch-free SGD and L2
+/// regularisation.
+std::unique_ptr<Classifier> MakeLogisticRegression(uint64_t seed = 1,
+                                                   int epochs = 30,
+                                                   double learning_rate = 0.1,
+                                                   double l2 = 1e-4);
+
+/// Linear SVM trained with hinge-loss SGD (Pegasos-style).
+std::unique_ptr<Classifier> MakeLinearSvm(uint64_t seed = 2, int epochs = 30,
+                                          double lambda = 1e-4);
+
+/// CART decision tree with Gini impurity.
+std::unique_ptr<Classifier> MakeDecisionTree(int max_depth = 8,
+                                             int min_leaf = 8);
+
+/// Random forest of CART trees over bootstrap samples with feature
+/// subsampling.
+std::unique_ptr<Classifier> MakeRandomForest(uint64_t seed = 3,
+                                             int num_trees = 20,
+                                             int max_depth = 10,
+                                             int min_leaf = 4);
+
+/// Gaussian naive Bayes with a variance floor. Not part of the paper's
+/// four-classifier Magellan average, but available for comparison.
+std::unique_ptr<Classifier> MakeNaiveBayes(double variance_floor = 1e-3);
+
+}  // namespace snaps
+
+#endif  // SNAPS_LEARN_CLASSIFIER_H_

@@ -1,0 +1,81 @@
+#include "learn/features.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "strsim/comparator.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+FeatureExtractor::FeatureExtractor(const Dataset* dataset,
+                                   const Schema* schema)
+    : dataset_(dataset), schema_(schema) {
+  sim_attrs_ = schema_->SimilarityAttrs();
+  for (const Record& r : dataset_->records()) {
+    name_freq_[NormalizeValue(r.value(Attr::kFirstName)) + "\x1f" +
+               NormalizeValue(r.value(Attr::kSurname))]++;
+  }
+  log_num_records_ =
+      std::log2(std::max<double>(2.0, dataset_->num_records()));
+}
+
+size_t FeatureExtractor::NumFeatures() const {
+  // Per similarity attribute: similarity + both-present flag.
+  // Plus: year gap (scaled), gender agreement, name rarity.
+  return sim_attrs_.size() * 2 + 3;
+}
+
+std::vector<std::string> FeatureExtractor::FeatureNames() const {
+  std::vector<std::string> names;
+  for (Attr a : sim_attrs_) {
+    names.push_back(std::string(AttrName(a)) + "_sim");
+    names.push_back(std::string(AttrName(a)) + "_present");
+  }
+  names.push_back("year_gap");
+  names.push_back("gender_agree");
+  names.push_back("name_rarity");
+  return names;
+}
+
+std::vector<double> FeatureExtractor::Extract(RecordId a, RecordId b) const {
+  const Record& ra = dataset_->record(a);
+  const Record& rb = dataset_->record(b);
+  std::vector<double> f;
+  f.reserve(NumFeatures());
+  for (Attr attr : sim_attrs_) {
+    const std::string& va = ra.value(attr);
+    const std::string& vb = rb.value(attr);
+    if (va.empty() || vb.empty()) {
+      f.push_back(0.0);
+      f.push_back(0.0);
+    } else {
+      f.push_back(CompareValues(schema_->comparator(attr), va, vb,
+                                schema_->comparator_params));
+      f.push_back(1.0);
+    }
+  }
+  const int ya = ra.event_year();
+  const int yb = rb.event_year();
+  f.push_back(ya != 0 && yb != 0
+                  ? std::min(1.0, std::abs(ya - yb) / 50.0)
+                  : 0.5);
+  const Gender ga = ra.gender();
+  const Gender gb = rb.gender();
+  f.push_back(ga != Gender::kUnknown && ga == gb ? 1.0 : 0.0);
+  auto freq = [this](const Record& r) {
+    const auto it =
+        name_freq_.find(NormalizeValue(r.value(Attr::kFirstName)) + "\x1f" +
+                        NormalizeValue(r.value(Attr::kSurname)));
+    return it == name_freq_.end() ? 1 : it->second;
+  };
+  const double ratio =
+      std::max<double>(2.0, dataset_->num_records()) /
+      std::max(1, freq(ra) + freq(rb));
+  f.push_back(std::clamp(std::log2(std::max(1.0, ratio)) / log_num_records_,
+                         0.0, 1.0));
+  return f;
+}
+
+}  // namespace snaps

@@ -1,0 +1,47 @@
+#ifndef SNAPS_LEARN_FEATURES_H_
+#define SNAPS_LEARN_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace snaps {
+
+/// Extracts fixed-length feature vectors from record pairs for the
+/// supervised baseline (the Magellan substitute): per-attribute
+/// similarities with presence indicators, the year gap, gender
+/// agreement and an IDF-style name rarity feature.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const Dataset* dataset, const Schema* schema);
+
+  /// Number of features produced.
+  size_t NumFeatures() const;
+
+  /// Names of the features, index-aligned with Extract output.
+  std::vector<std::string> FeatureNames() const;
+
+  /// Extracts the features of one record pair.
+  std::vector<double> Extract(RecordId a, RecordId b) const;
+
+ private:
+  const Dataset* dataset_;
+  const Schema* schema_;
+  std::vector<Attr> sim_attrs_;
+  std::unordered_map<std::string, int> name_freq_;
+  double log_num_records_;
+};
+
+/// A labelled training/test example.
+struct LabeledPair {
+  RecordId a = 0;
+  RecordId b = 0;
+  bool is_match = false;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_LEARN_FEATURES_H_

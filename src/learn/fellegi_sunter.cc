@@ -1,0 +1,141 @@
+#include "learn/fellegi_sunter.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "blocking/lsh_blocker.h"
+#include "strsim/comparator.h"
+#include "util/rng.h"
+
+namespace snaps {
+
+namespace {
+
+double LogOdds(double m, double u) { return std::log2(m / u); }
+
+}  // namespace
+
+FsModel EstimateFellegiSunter(const Dataset& dataset, const Schema& schema,
+                              const std::vector<LabeledPair>& pairs,
+                              double agreement_threshold) {
+  FsModel model;
+  const std::vector<Attr> attrs = schema.SimilarityAttrs();
+
+  // Counts per attribute: [attr][is_match] -> (agreements, total).
+  struct Counts {
+    double agree[2] = {0, 0};
+    double total[2] = {0, 0};
+  };
+  std::vector<Counts> counts(attrs.size());
+  Counts gender_counts, year_counts;
+
+  for (const LabeledPair& p : pairs) {
+    const Record& a = dataset.record(p.a);
+    const Record& b = dataset.record(p.b);
+    const int label = p.is_match ? 1 : 0;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const std::string& va = a.value(attrs[i]);
+      const std::string& vb = b.value(attrs[i]);
+      if (va.empty() || vb.empty()) continue;
+      const double sim = CompareValues(schema.comparator(attrs[i]), va, vb,
+                                       schema.comparator_params);
+      counts[i].total[label] += 1;
+      if (sim >= agreement_threshold) counts[i].agree[label] += 1;
+    }
+    const Gender ga = a.gender();
+    const Gender gb = b.gender();
+    if (ga != Gender::kUnknown && gb != Gender::kUnknown) {
+      gender_counts.total[label] += 1;
+      if (ga == gb) gender_counts.agree[label] += 1;
+    }
+    const int ya = a.event_year();
+    const int yb = b.event_year();
+    if (ya != 0 && yb != 0) {
+      year_counts.total[label] += 1;
+      // "Agreement" on year: within a decade (queries use ranges).
+      if (std::abs(ya - yb) <= 10) year_counts.agree[label] += 1;
+    }
+  }
+
+  // Laplace-smoothed m/u estimates.
+  auto estimate = [](const Counts& c, double* m, double* u) {
+    *m = (c.agree[1] + 1.0) / (c.total[1] + 2.0);
+    *u = (c.agree[0] + 1.0) / (c.total[0] + 2.0);
+  };
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    FsAttributeWeight w;
+    w.attr = attrs[i];
+    estimate(counts[i], &w.m, &w.u);
+    w.log_odds = LogOdds(w.m, w.u);
+    model.attributes.push_back(w);
+  }
+  double gm, gu, ym, yu;
+  estimate(gender_counts, &gm, &gu);
+  estimate(year_counts, &ym, &yu);
+  model.gender_log_odds = LogOdds(gm, gu);
+  model.year_log_odds = LogOdds(ym, yu);
+  return model;
+}
+
+QueryConfig FsModel::ToQueryConfig(const QueryConfig& base) const {
+  QueryConfig cfg = base;
+  auto positive = [](double w) { return std::max(0.0, w); };
+  double first = 0.0, surname = 0.0, parish = 0.0;
+  for (const FsAttributeWeight& w : attributes) {
+    if (w.attr == Attr::kFirstName) first = positive(w.log_odds);
+    if (w.attr == Attr::kSurname) surname = positive(w.log_odds);
+    if (w.attr == Attr::kParish) parish = positive(w.log_odds);
+  }
+  const double gender = positive(gender_log_odds);
+  const double year = positive(year_log_odds);
+  const double total = first + surname + parish + gender + year;
+  if (total <= 0.0) return cfg;  // Nothing informative: keep base.
+  cfg.first_name_weight = first / total;
+  cfg.surname_weight = surname / total;
+  cfg.parish_weight = parish / total;
+  cfg.gender_weight = gender / total;
+  cfg.year_weight = year / total;
+  return cfg;
+}
+
+std::vector<LabeledPair> LabelTrainingPairs(const Dataset& dataset,
+                                            size_t num_random,
+                                            uint64_t seed) {
+  std::vector<LabeledPair> out;
+  // Matches from the blocked candidates (random non-blocked pairs are
+  // essentially never matches, so blocking is the efficient source of
+  // positives).
+  const LshBlocker blocker;
+  for (const CandidatePair& p : blocker.CandidatePairs(dataset)) {
+    if (dataset.IsTrueMatch(p.first, p.second)) {
+      out.push_back(LabeledPair{p.first, p.second, true});
+    }
+  }
+  // Uniformly random pairs for the non-match population.
+  Rng rng(seed);
+  const size_t n = dataset.num_records();
+  if (n >= 2) {
+    for (size_t i = 0; i < num_random; ++i) {
+      const RecordId a = static_cast<RecordId>(rng.NextUint64(n));
+      const RecordId b = static_cast<RecordId>(rng.NextUint64(n));
+      if (a == b) continue;
+      out.push_back(LabeledPair{a, b, dataset.IsTrueMatch(a, b)});
+    }
+  }
+  return out;
+}
+
+std::vector<LabeledPair> LabelCandidatePairs(const Dataset& dataset,
+                                             size_t max_pairs) {
+  const LshBlocker blocker;
+  std::vector<LabeledPair> out;
+  for (const CandidatePair& p : blocker.CandidatePairs(dataset)) {
+    if (out.size() >= max_pairs) break;
+    out.push_back(
+        LabeledPair{p.first, p.second, dataset.IsTrueMatch(p.first, p.second)});
+  }
+  return out;
+}
+
+}  // namespace snaps

@@ -1,0 +1,70 @@
+#ifndef SNAPS_LEARN_FELLEGI_SUNTER_H_
+#define SNAPS_LEARN_FELLEGI_SUNTER_H_
+
+#include <array>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "learn/features.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+
+/// Fellegi-Sunter (1969) agreement-weight estimation: the paper's
+/// stated future work for the query match weights ("we aim to learn
+/// optimal match weights [23] based on ground truth data",
+/// Section 7). From labelled record pairs it estimates, per
+/// attribute,
+///   m = P(agreement | match), u = P(agreement | non-match)
+/// (with Laplace smoothing) and the log-odds agreement weight
+///   w = log2(m / u).
+struct FsAttributeWeight {
+  Attr attr = Attr::kFirstName;
+  double m = 0.0;
+  double u = 0.0;
+  double log_odds = 0.0;  // log2(m/u); <= 0 means uninformative.
+};
+
+struct FsModel {
+  std::vector<FsAttributeWeight> attributes;
+  /// Gender and year agreement weights (handled outside the schema's
+  /// similarity attributes, like the query processor does).
+  double gender_log_odds = 0.0;
+  double year_log_odds = 0.0;
+
+  /// Converts the positive log-odds into normalised query weights:
+  /// first name / surname / parish from their attribute weights,
+  /// gender and year from their dedicated estimates. Weights sum to
+  /// 1; attributes with non-positive log-odds get weight 0.
+  QueryConfig ToQueryConfig(const QueryConfig& base = QueryConfig()) const;
+};
+
+/// Estimates the model from labelled pairs. `agreement_threshold` is
+/// the similarity above which two values count as agreeing (the
+/// paper's t_a is the natural choice). Pairs whose attribute is
+/// missing on either side are excluded from that attribute's counts.
+FsModel EstimateFellegiSunter(const Dataset& dataset,
+                              const Schema& schema,
+                              const std::vector<LabeledPair>& pairs,
+                              double agreement_threshold = 0.9);
+
+/// Convenience: labels the blocked candidate pairs of a data set with
+/// its ground truth (usable on generated data or curated subsets).
+/// CAUTION: blocked pairs alone bias u upward (blocking admits only
+/// name-agreeing pairs); use LabelTrainingPairs for estimation.
+std::vector<LabeledPair> LabelCandidatePairs(const Dataset& dataset,
+                                             size_t max_pairs = SIZE_MAX);
+
+/// Training sample for m/u estimation: the blocked true matches (for
+/// m) plus `num_random` uniformly random record pairs (for u). The
+/// random pairs restore the unconditional non-match population that
+/// blocking filters away; without them every blocked pair agrees on
+/// the names and u degenerates towards 1.
+std::vector<LabeledPair> LabelTrainingPairs(const Dataset& dataset,
+                                            size_t num_random = 20000,
+                                            uint64_t seed = 4242);
+
+}  // namespace snaps
+
+#endif  // SNAPS_LEARN_FELLEGI_SUNTER_H_

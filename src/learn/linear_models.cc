@@ -1,0 +1,135 @@
+#include <cassert>
+#include <cmath>
+
+#include <algorithm>
+#include <vector>
+
+#include "learn/classifier.h"
+#include "util/rng.h"
+
+namespace snaps {
+
+namespace {
+
+class LogisticRegression : public Classifier {
+ public:
+  LogisticRegression(uint64_t seed, int epochs, double learning_rate,
+                     double l2)
+      : seed_(seed), epochs_(epochs), lr_(learning_rate), l2_(l2) {}
+
+  void Train(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y) override {
+    assert(x.size() == y.size());
+    if (x.empty()) return;
+    const size_t d = x[0].size();
+    weights_.assign(d, 0.0);
+    bias_ = 0.0;
+    Rng rng(seed_);
+    std::vector<size_t> order(x.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (int epoch = 0; epoch < epochs_; ++epoch) {
+      rng.Shuffle(order);
+      const double lr = lr_ / (1.0 + 0.1 * epoch);
+      for (size_t i : order) {
+        const double p = Predict(x[i]);
+        const double grad = p - y[i];
+        for (size_t j = 0; j < d; ++j) {
+          weights_[j] -= lr * (grad * x[i][j] + l2_ * weights_[j]);
+        }
+        bias_ -= lr * grad;
+      }
+    }
+  }
+
+  double Predict(const std::vector<double>& f) const override {
+    if (weights_.empty()) return 0.0;
+    double z = bias_;
+    for (size_t j = 0; j < f.size() && j < weights_.size(); ++j) {
+      z += weights_[j] * f[j];
+    }
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+
+  const char* name() const override { return "logistic_regression"; }
+
+ private:
+  uint64_t seed_;
+  int epochs_;
+  double lr_;
+  double l2_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+class LinearSvm : public Classifier {
+ public:
+  LinearSvm(uint64_t seed, int epochs, double lambda)
+      : seed_(seed), epochs_(epochs), lambda_(lambda) {}
+
+  void Train(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y) override {
+    assert(x.size() == y.size());
+    if (x.empty()) return;
+    const size_t d = x[0].size();
+    weights_.assign(d, 0.0);
+    bias_ = 0.0;
+    Rng rng(seed_);
+    std::vector<size_t> order(x.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    size_t t = 1;
+    for (int epoch = 0; epoch < epochs_; ++epoch) {
+      rng.Shuffle(order);
+      for (size_t i : order) {
+        const double lr = 1.0 / (lambda_ * static_cast<double>(t++));
+        const double label = y[i] == 1 ? 1.0 : -1.0;
+        double margin = bias_;
+        for (size_t j = 0; j < d; ++j) margin += weights_[j] * x[i][j];
+        margin *= label;
+        for (size_t j = 0; j < d; ++j) {
+          weights_[j] -= lr * lambda_ * weights_[j];
+        }
+        if (margin < 1.0) {
+          for (size_t j = 0; j < d; ++j) {
+            weights_[j] += lr * label * x[i][j];
+          }
+          bias_ += lr * label * 0.1;  // Small unregularised bias step.
+        }
+      }
+    }
+  }
+
+  double Predict(const std::vector<double>& f) const override {
+    if (weights_.empty()) return 0.0;
+    double z = bias_;
+    for (size_t j = 0; j < f.size() && j < weights_.size(); ++j) {
+      z += weights_[j] * f[j];
+    }
+    // Squash the margin into [0,1] so 0.5 is the decision boundary.
+    return 1.0 / (1.0 + std::exp(-2.0 * z));
+  }
+
+  const char* name() const override { return "linear_svm"; }
+
+ private:
+  uint64_t seed_;
+  int epochs_;
+  double lambda_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> MakeLogisticRegression(uint64_t seed, int epochs,
+                                                   double learning_rate,
+                                                   double l2) {
+  return std::make_unique<LogisticRegression>(seed, epochs, learning_rate,
+                                              l2);
+}
+
+std::unique_ptr<Classifier> MakeLinearSvm(uint64_t seed, int epochs,
+                                          double lambda) {
+  return std::make_unique<LinearSvm>(seed, epochs, lambda);
+}
+
+}  // namespace snaps

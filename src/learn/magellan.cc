@@ -1,0 +1,188 @@
+#include "learn/magellan.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "learn/classifier.h"
+#include "learn/features.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace snaps {
+
+const char* TrainingRegimeName(TrainingRegime r) {
+  switch (r) {
+    case TrainingRegime::kPerRolePair:
+      return "per_role_pair";
+    case TrainingRegime::kAllRolePairs:
+      return "all_role_pairs";
+  }
+  return "unknown";
+}
+
+MagellanBaseline::MagellanBaseline(MagellanConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<MagellanOutcome> MagellanBaseline::Run(
+    const Dataset& dataset, const std::vector<RolePairClass>& classes,
+    double* runtime_seconds) const {
+  Timer timer;
+  std::vector<MagellanOutcome> outcomes;
+
+  const LshBlocker blocker(config_.blocking);
+  const std::vector<CandidatePair> candidates =
+      blocker.CandidatePairs(dataset);
+  const FeatureExtractor extractor(&dataset, &config_.schema);
+
+  // Label and split once, stratified by match label so the training
+  // set always contains positives.
+  struct Example {
+    CandidatePair pair;
+    RolePairClass cls;
+    bool is_match;
+    bool in_train;
+  };
+  std::vector<Example> examples;
+  examples.reserve(candidates.size());
+  Rng rng(config_.seed);
+  for (const CandidatePair& p : candidates) {
+    Example ex;
+    ex.pair = p;
+    ex.cls = ClassifyRolePair(dataset.record(p.first).role,
+                              dataset.record(p.second).role);
+    ex.is_match = dataset.IsTrueMatch(p.first, p.second);
+    ex.in_train = rng.NextBool(config_.train_fraction);
+    examples.push_back(ex);
+  }
+
+  // Precompute features lazily per pair (all pairs are used in at
+  // least one configuration).
+  std::vector<std::vector<double>> features(examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    features[i] = extractor.Extract(examples[i].pair.first,
+                                    examples[i].pair.second);
+  }
+
+  auto make_classifiers = [] {
+    std::vector<std::unique_ptr<Classifier>> cs;
+    cs.push_back(MakeLogisticRegression());
+    cs.push_back(MakeLinearSvm());
+    cs.push_back(MakeDecisionTree());
+    cs.push_back(MakeRandomForest());
+    return cs;
+  };
+
+  for (TrainingRegime regime :
+       {TrainingRegime::kPerRolePair, TrainingRegime::kAllRolePairs}) {
+    for (RolePairClass cls : classes) {
+      // Assemble the training set for this configuration, capped to
+      // emulate the cost of manual labelling.
+      std::vector<size_t> train_rows;
+      for (size_t i = 0; i < examples.size(); ++i) {
+        if (!examples[i].in_train) continue;
+        if (regime == TrainingRegime::kPerRolePair &&
+            examples[i].cls != cls) {
+          continue;
+        }
+        train_rows.push_back(i);
+      }
+      if (train_rows.size() > config_.max_train_examples) {
+        Rng sample_rng(config_.seed ^ (static_cast<uint64_t>(cls) << 8) ^
+                       static_cast<uint64_t>(regime));
+        sample_rng.Shuffle(train_rows);
+        train_rows.resize(config_.max_train_examples);
+      }
+      std::vector<std::vector<double>> train_x;
+      std::vector<int> train_y;
+      train_x.reserve(train_rows.size());
+      for (size_t i : train_rows) {
+        train_x.push_back(features[i]);
+        train_y.push_back(examples[i].is_match ? 1 : 0);
+      }
+
+      // The recall denominator charges the classifier with every
+      // held-out true match of the class, including those blocking
+      // never surfaced -- the same footing on which the unsupervised
+      // systems are evaluated. Held-out truth = all true matches of
+      // the class minus those consumed as training pairs.
+      size_t train_true = 0;
+      for (size_t i = 0; i < examples.size(); ++i) {
+        if (examples[i].in_train && examples[i].cls == cls &&
+            examples[i].is_match) {
+          ++train_true;
+        }
+      }
+      const size_t total_true = CountTrueMatches(dataset, cls);
+      const size_t heldout_true =
+          total_true > train_true ? total_true - train_true : 0;
+
+      for (auto& classifier : make_classifiers()) {
+        classifier->Train(train_x, train_y);
+        LinkageQuality q;
+        for (size_t i = 0; i < examples.size(); ++i) {
+          if (examples[i].in_train || examples[i].cls != cls) continue;
+          if (classifier->Predict(features[i]) >= 0.5) {
+            if (examples[i].is_match) {
+              q.tp++;
+            } else {
+              q.fp++;
+            }
+          }
+        }
+        q.fn = heldout_true > q.tp ? heldout_true - q.tp : 0;
+        MagellanOutcome outcome;
+        outcome.classifier = classifier->name();
+        outcome.regime = regime;
+        outcome.role_pair = cls;
+        outcome.quality = q;
+        outcomes.push_back(std::move(outcome));
+      }
+    }
+  }
+  if (runtime_seconds != nullptr) *runtime_seconds = timer.ElapsedSeconds();
+  return outcomes;
+}
+
+std::vector<MagellanSummary> MagellanBaseline::Summarize(
+    const std::vector<MagellanOutcome>& outcomes) {
+  std::unordered_map<int, std::vector<const MagellanOutcome*>> by_class;
+  for (const MagellanOutcome& o : outcomes) {
+    by_class[static_cast<int>(o.role_pair)].push_back(&o);
+  }
+  auto mean_std = [](const std::vector<double>& v, double* mean,
+                     double* stdev) {
+    *mean = 0.0;
+    for (double x : v) *mean += x;
+    *mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - *mean) * (x - *mean);
+    *stdev = v.size() > 1 ? std::sqrt(var / static_cast<double>(v.size() - 1))
+                          : 0.0;
+  };
+  std::vector<MagellanSummary> summaries;
+  for (const auto& [cls, list] : by_class) {
+    MagellanSummary s;
+    s.role_pair = static_cast<RolePairClass>(cls);
+    s.runs = list.size();
+    std::vector<double> ps, rs, fs;
+    for (const MagellanOutcome* o : list) {
+      ps.push_back(100.0 * o->quality.Precision());
+      rs.push_back(100.0 * o->quality.Recall());
+      fs.push_back(100.0 * o->quality.FStar());
+    }
+    mean_std(ps, &s.precision_mean, &s.precision_std);
+    mean_std(rs, &s.recall_mean, &s.recall_std);
+    mean_std(fs, &s.fstar_mean, &s.fstar_std);
+    summaries.push_back(s);
+  }
+  std::sort(summaries.begin(), summaries.end(),
+            [](const MagellanSummary& a, const MagellanSummary& b) {
+              return static_cast<int>(a.role_pair) <
+                     static_cast<int>(b.role_pair);
+            });
+  return summaries;
+}
+
+}  // namespace snaps

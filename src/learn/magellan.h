@@ -1,0 +1,82 @@
+#ifndef SNAPS_LEARN_MAGELLAN_H_
+#define SNAPS_LEARN_MAGELLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/lsh_blocker.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "eval/metrics.h"
+
+namespace snaps {
+
+/// Training regimes of the supervised baseline (Section 10): either
+/// train on labelled pairs of the specific role-pair class being
+/// tested, or on labelled pairs of all role-pair classes.
+enum class TrainingRegime : uint8_t {
+  kPerRolePair = 0,
+  kAllRolePairs = 1,
+};
+
+const char* TrainingRegimeName(TrainingRegime r);
+
+/// Configuration of the Magellan-substitute supervised ER baseline.
+struct MagellanConfig {
+  Schema schema = Schema::Default();
+  BlockingConfig blocking;
+  double train_fraction = 0.5;
+  /// Cap on labelled training pairs per configuration: manually
+  /// curating match labels is expensive (the paper's motivation for
+  /// unsupervised ER), so the supervised baseline trains from a
+  /// limited labelled sample rather than full-corpus labels.
+  size_t max_train_examples = 4000;
+  uint64_t seed = 99;
+  double runtime_total_seconds = 0.0;  // Filled by Run.
+};
+
+/// One (classifier, regime) evaluation outcome.
+struct MagellanOutcome {
+  std::string classifier;
+  TrainingRegime regime = TrainingRegime::kPerRolePair;
+  RolePairClass role_pair = RolePairClass::kBpBp;
+  LinkageQuality quality;
+};
+
+/// Summary over classifiers/regimes: mean and standard deviation of
+/// P, R and F* (the "average +- std" cells of Table 4).
+struct MagellanSummary {
+  RolePairClass role_pair = RolePairClass::kBpBp;
+  double precision_mean = 0, precision_std = 0;
+  double recall_mean = 0, recall_std = 0;
+  double fstar_mean = 0, fstar_std = 0;
+  size_t runs = 0;
+};
+
+/// The supervised ER baseline: labels the blocked candidate pairs with
+/// the ground truth, splits train/test, trains logistic regression,
+/// linear SVM, decision tree and random forest under both training
+/// regimes, and evaluates each on the held-out pairs per role-pair
+/// class.
+class MagellanBaseline {
+ public:
+  explicit MagellanBaseline(MagellanConfig config = MagellanConfig());
+
+  /// Runs all classifier x regime combinations for the given role-pair
+  /// classes. `runtime_seconds`, if non-null, receives the total
+  /// wall-clock time (Table 5).
+  std::vector<MagellanOutcome> Run(const Dataset& dataset,
+                                   const std::vector<RolePairClass>& classes,
+                                   double* runtime_seconds = nullptr) const;
+
+  /// Aggregates outcomes per role-pair class.
+  static std::vector<MagellanSummary> Summarize(
+      const std::vector<MagellanOutcome>& outcomes);
+
+ private:
+  MagellanConfig config_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_LEARN_MAGELLAN_H_

@@ -1,0 +1,88 @@
+#include <cmath>
+
+#include <vector>
+
+#include "learn/classifier.h"
+
+namespace snaps {
+
+namespace {
+
+/// Gaussian naive Bayes: per-class feature means and variances with a
+/// variance floor, class priors from the label frequencies.
+class NaiveBayes : public Classifier {
+ public:
+  explicit NaiveBayes(double variance_floor)
+      : variance_floor_(variance_floor) {}
+
+  void Train(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y) override {
+    if (x.empty()) return;
+    const size_t d = x[0].size();
+    for (int c = 0; c < 2; ++c) {
+      mean_[c].assign(d, 0.0);
+      var_[c].assign(d, 0.0);
+      count_[c] = 0;
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+      const int c = y[i] == 1 ? 1 : 0;
+      ++count_[c];
+      for (size_t j = 0; j < d; ++j) mean_[c][j] += x[i][j];
+    }
+    for (int c = 0; c < 2; ++c) {
+      if (count_[c] == 0) continue;
+      for (size_t j = 0; j < d; ++j) mean_[c][j] /= count_[c];
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+      const int c = y[i] == 1 ? 1 : 0;
+      for (size_t j = 0; j < d; ++j) {
+        const double delta = x[i][j] - mean_[c][j];
+        var_[c][j] += delta * delta;
+      }
+    }
+    for (int c = 0; c < 2; ++c) {
+      if (count_[c] == 0) continue;
+      for (size_t j = 0; j < d; ++j) {
+        var_[c][j] = std::max(variance_floor_, var_[c][j] / count_[c]);
+      }
+    }
+    trained_ = count_[0] > 0 && count_[1] > 0;
+  }
+
+  double Predict(const std::vector<double>& f) const override {
+    if (!trained_) return 0.0;
+    // Log joint per class; convert to a posterior.
+    double log_joint[2];
+    const double total = count_[0] + count_[1];
+    for (int c = 0; c < 2; ++c) {
+      double lj = std::log(count_[c] / total);
+      for (size_t j = 0; j < f.size() && j < mean_[c].size(); ++j) {
+        const double delta = f[j] - mean_[c][j];
+        lj += -0.5 * std::log(2.0 * M_PI * var_[c][j]) -
+              delta * delta / (2.0 * var_[c][j]);
+      }
+      log_joint[c] = lj;
+    }
+    const double m = std::max(log_joint[0], log_joint[1]);
+    const double p1 = std::exp(log_joint[1] - m);
+    const double p0 = std::exp(log_joint[0] - m);
+    return p1 / (p0 + p1);
+  }
+
+  const char* name() const override { return "naive_bayes"; }
+
+ private:
+  double variance_floor_;
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+  size_t count_[2] = {0, 0};
+  bool trained_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> MakeNaiveBayes(double variance_floor) {
+  return std::make_unique<NaiveBayes>(variance_floor);
+}
+
+}  // namespace snaps

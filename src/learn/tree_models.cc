@@ -1,0 +1,223 @@
+#include <cassert>
+#include <cmath>
+
+#include <algorithm>
+#include <vector>
+
+#include "learn/classifier.h"
+#include "util/rng.h"
+
+namespace snaps {
+
+namespace {
+
+/// One node of a CART tree, stored in a flat vector.
+struct TreeNode {
+  int feature = -1;        // -1 for leaves.
+  double threshold = 0.0;  // Go left when f[feature] <= threshold.
+  int left = -1;
+  int right = -1;
+  double leaf_value = 0.0;  // Match probability at a leaf.
+};
+
+/// CART training shared by the tree and the forest.
+class CartBuilder {
+ public:
+  CartBuilder(int max_depth, int min_leaf, int feature_subsample,
+              uint64_t seed)
+      : max_depth_(max_depth),
+        min_leaf_(min_leaf),
+        feature_subsample_(feature_subsample),
+        rng_(seed) {}
+
+  std::vector<TreeNode> Build(const std::vector<std::vector<double>>& x,
+                              const std::vector<int>& y,
+                              const std::vector<size_t>& rows) {
+    nodes_.clear();
+    if (!rows.empty()) BuildNode(x, y, rows, 0);
+    return std::move(nodes_);
+  }
+
+ private:
+  int BuildNode(const std::vector<std::vector<double>>& x,
+                const std::vector<int>& y, const std::vector<size_t>& rows,
+                int depth) {
+    const int index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+
+    size_t positives = 0;
+    for (size_t r : rows) positives += static_cast<size_t>(y[r]);
+    const double p = static_cast<double>(positives) / rows.size();
+
+    if (depth >= max_depth_ || rows.size() < 2 * static_cast<size_t>(min_leaf_) ||
+        positives == 0 || positives == rows.size()) {
+      nodes_[index].leaf_value = p;
+      return index;
+    }
+
+    // Pick the best (feature, threshold) by Gini impurity decrease.
+    const size_t num_features = x[0].size();
+    std::vector<int> features(num_features);
+    for (size_t i = 0; i < num_features; ++i) features[i] = static_cast<int>(i);
+    if (feature_subsample_ > 0 &&
+        static_cast<size_t>(feature_subsample_) < num_features) {
+      rng_.Shuffle(features);
+      features.resize(static_cast<size_t>(feature_subsample_));
+    }
+
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_gini = 1.0;
+    std::vector<std::pair<double, int>> values;
+    values.reserve(rows.size());
+    for (int f : features) {
+      values.clear();
+      for (size_t r : rows) values.emplace_back(x[r][f], y[r]);
+      std::sort(values.begin(), values.end());
+      size_t left_n = 0, left_pos = 0;
+      const size_t total_pos = positives;
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        ++left_n;
+        left_pos += static_cast<size_t>(values[i].second);
+        if (values[i].first == values[i + 1].first) continue;
+        const size_t right_n = values.size() - left_n;
+        if (left_n < static_cast<size_t>(min_leaf_) ||
+            right_n < static_cast<size_t>(min_leaf_)) {
+          continue;
+        }
+        const double pl = static_cast<double>(left_pos) / left_n;
+        const double pr =
+            static_cast<double>(total_pos - left_pos) / right_n;
+        const double gini =
+            (left_n * 2.0 * pl * (1 - pl) + right_n * 2.0 * pr * (1 - pr)) /
+            values.size();
+        if (gini < best_gini) {
+          best_gini = gini;
+          best_feature = f;
+          best_threshold = 0.5 * (values[i].first + values[i + 1].first);
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      nodes_[index].leaf_value = p;
+      return index;
+    }
+
+    std::vector<size_t> left_rows, right_rows;
+    for (size_t r : rows) {
+      (x[r][best_feature] <= best_threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) {
+      nodes_[index].leaf_value = p;
+      return index;
+    }
+    nodes_[index].feature = best_feature;
+    nodes_[index].threshold = best_threshold;
+    const int left = BuildNode(x, y, left_rows, depth + 1);
+    const int right = BuildNode(x, y, right_rows, depth + 1);
+    nodes_[index].left = left;
+    nodes_[index].right = right;
+    return index;
+  }
+
+  int max_depth_;
+  int min_leaf_;
+  int feature_subsample_;
+  Rng rng_;
+  std::vector<TreeNode> nodes_;
+};
+
+double TreePredict(const std::vector<TreeNode>& nodes,
+                   const std::vector<double>& f) {
+  if (nodes.empty()) return 0.0;
+  int i = 0;
+  while (nodes[i].feature >= 0) {
+    const size_t fi = static_cast<size_t>(nodes[i].feature);
+    i = (fi < f.size() && f[fi] <= nodes[i].threshold) ? nodes[i].left
+                                                       : nodes[i].right;
+  }
+  return nodes[i].leaf_value;
+}
+
+class DecisionTree : public Classifier {
+ public:
+  DecisionTree(int max_depth, int min_leaf)
+      : max_depth_(max_depth), min_leaf_(min_leaf) {}
+
+  void Train(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y) override {
+    if (x.empty()) return;
+    std::vector<size_t> rows(x.size());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    CartBuilder builder(max_depth_, min_leaf_, /*feature_subsample=*/0,
+                        /*seed=*/7);
+    nodes_ = builder.Build(x, y, rows);
+  }
+
+  double Predict(const std::vector<double>& f) const override {
+    return TreePredict(nodes_, f);
+  }
+
+  const char* name() const override { return "decision_tree"; }
+
+ private:
+  int max_depth_;
+  int min_leaf_;
+  std::vector<TreeNode> nodes_;
+};
+
+class RandomForest : public Classifier {
+ public:
+  RandomForest(uint64_t seed, int num_trees, int max_depth, int min_leaf)
+      : seed_(seed),
+        num_trees_(num_trees),
+        max_depth_(max_depth),
+        min_leaf_(min_leaf) {}
+
+  void Train(const std::vector<std::vector<double>>& x,
+             const std::vector<int>& y) override {
+    trees_.clear();
+    if (x.empty()) return;
+    Rng rng(seed_);
+    const int subsample =
+        std::max(1, static_cast<int>(std::sqrt(
+                        static_cast<double>(x[0].size()))) + 1);
+    for (int t = 0; t < num_trees_; ++t) {
+      std::vector<size_t> rows(x.size());
+      for (auto& r : rows) r = rng.NextUint64(x.size());  // Bootstrap.
+      CartBuilder builder(max_depth_, min_leaf_, subsample, rng.Next());
+      trees_.push_back(builder.Build(x, y, rows));
+    }
+  }
+
+  double Predict(const std::vector<double>& f) const override {
+    if (trees_.empty()) return 0.0;
+    double total = 0.0;
+    for (const auto& tree : trees_) total += TreePredict(tree, f);
+    return total / static_cast<double>(trees_.size());
+  }
+
+  const char* name() const override { return "random_forest"; }
+
+ private:
+  uint64_t seed_;
+  int num_trees_;
+  int max_depth_;
+  int min_leaf_;
+  std::vector<std::vector<TreeNode>> trees_;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> MakeDecisionTree(int max_depth, int min_leaf) {
+  return std::make_unique<DecisionTree>(max_depth, min_leaf);
+}
+
+std::unique_ptr<Classifier> MakeRandomForest(uint64_t seed, int num_trees,
+                                             int max_depth, int min_leaf) {
+  return std::make_unique<RandomForest>(seed, num_trees, max_depth, min_leaf);
+}
+
+}  // namespace snaps

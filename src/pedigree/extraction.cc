@@ -1,0 +1,143 @@
+#include "pedigree/extraction.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+FamilyPedigree ExtractPedigree(const PedigreeGraph& graph,
+                               PedigreeNodeId root, int generations) {
+  FamilyPedigree pedigree;
+  pedigree.root = root;
+
+  struct Visit {
+    PedigreeNodeId node;
+    int generation;
+    int hops;
+  };
+  std::unordered_map<PedigreeNodeId, size_t> seen;
+  std::deque<Visit> queue;
+  queue.push_back(Visit{root, 0, 0});
+  seen[root] = 0;
+  pedigree.members.push_back(PedigreeMember{root, 0, 0});
+
+  while (!queue.empty()) {
+    const Visit v = queue.front();
+    queue.pop_front();
+    if (v.hops >= generations) continue;
+    for (const PedigreeEdge& e : graph.Edges(v.node)) {
+      int gen = v.generation;
+      switch (e.rel) {
+        case Relationship::kMother:
+        case Relationship::kFather:
+          gen -= 1;  // Target is one generation older.
+          break;
+        case Relationship::kChild:
+          gen += 1;
+          break;
+        case Relationship::kSpouse:
+          break;
+      }
+      const auto it = seen.find(e.target);
+      if (it != seen.end()) continue;
+      seen[e.target] = pedigree.members.size();
+      pedigree.members.push_back(
+          PedigreeMember{e.target, gen, v.hops + 1});
+      queue.push_back(Visit{e.target, gen, v.hops + 1});
+    }
+  }
+  return pedigree;
+}
+
+std::string NodeLabel(const PedigreeNode& node) {
+  std::string name = node.first_names.empty() ? "?" : node.first_names[0];
+  name += " ";
+  name += node.surnames.empty() ? "?" : node.surnames[0];
+  std::string years;
+  if (node.birth_year != 0 || node.death_year != 0) {
+    years = " (";
+    years += node.birth_year != 0 ? std::to_string(node.birth_year) : "?";
+    years += "-";
+    years += node.death_year != 0 ? std::to_string(node.death_year) : "?";
+    years += ")";
+  }
+  return name + years + " [" + GenderName(node.gender) + "]";
+}
+
+std::string RenderPedigreeTree(const PedigreeGraph& graph,
+                               const FamilyPedigree& pedigree) {
+  // Order members by generation (ancestors first), then by hops.
+  std::vector<PedigreeMember> ordered = pedigree.members;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PedigreeMember& a, const PedigreeMember& b) {
+              if (a.generation != b.generation) {
+                return a.generation < b.generation;
+              }
+              return a.hops < b.hops;
+            });
+
+  std::string out;
+  int min_gen = 0;
+  for (const PedigreeMember& m : ordered) {
+    min_gen = std::min(min_gen, m.generation);
+  }
+  int current_gen = -1000;
+  for (const PedigreeMember& m : ordered) {
+    if (m.generation != current_gen) {
+      current_gen = m.generation;
+      const char* label = current_gen < 0    ? "ancestors"
+                          : current_gen == 0 ? "generation of the person"
+                                             : "descendants";
+      out += StrFormat("generation %+d (%s):\n", current_gen, label);
+    }
+    const int indent = 2 * (m.generation - min_gen) + 2;
+    out.append(static_cast<size_t>(indent), ' ');
+    if (m.node == pedigree.root) out += "* ";
+    out += NodeLabel(graph.node(m.node));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ExportGedcomLike(const PedigreeGraph& graph,
+                             const FamilyPedigree& pedigree) {
+  std::string out = "0 HEAD\n1 SOUR SNAPS-cpp\n";
+  std::unordered_map<PedigreeNodeId, size_t> index;
+  for (size_t i = 0; i < pedigree.members.size(); ++i) {
+    index[pedigree.members[i].node] = i + 1;
+  }
+  for (const PedigreeMember& m : pedigree.members) {
+    const PedigreeNode& node = graph.node(m.node);
+    out += StrFormat("0 @I%zu@ INDI\n", index[m.node]);
+    out += "1 NAME " +
+           (node.first_names.empty() ? std::string("?")
+                                     : node.first_names[0]) +
+           " /" +
+           (node.surnames.empty() ? std::string("?") : node.surnames[0]) +
+           "/\n";
+    out += std::string("1 SEX ") +
+           (node.gender == Gender::kFemale  ? "F"
+            : node.gender == Gender::kMale ? "M"
+                                           : "U") +
+           "\n";
+    if (node.birth_year != 0) {
+      out += StrFormat("1 BIRT\n2 DATE %d\n", node.birth_year);
+    }
+    if (node.death_year != 0) {
+      out += StrFormat("1 DEAT\n2 DATE %d\n", node.death_year);
+    }
+    for (const PedigreeEdge& e : graph.Edges(m.node)) {
+      const auto it = index.find(e.target);
+      if (it == index.end()) continue;
+      out += StrFormat("1 RELA @I%zu@ %s\n", it->second,
+                       RelationshipName(e.rel));
+    }
+  }
+  out += "0 TRLR\n";
+  return out;
+}
+
+}  // namespace snaps

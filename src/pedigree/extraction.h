@@ -1,0 +1,51 @@
+#ifndef SNAPS_PEDIGREE_EXTRACTION_H_
+#define SNAPS_PEDIGREE_EXTRACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "pedigree/pedigree_graph.h"
+
+namespace snaps {
+
+/// A member of an extracted family pedigree: the entity plus how many
+/// generations it is away from the selected person (negative =
+/// ancestors, positive = descendants, 0 = the person, their spouse
+/// and siblings' generation).
+struct PedigreeMember {
+  PedigreeNodeId node = 0;
+  int generation = 0;
+  int hops = 0;  // Graph distance from the root.
+};
+
+/// An extracted family pedigree p for one selected entity
+/// (Section 8).
+struct FamilyPedigree {
+  PedigreeNodeId root = 0;
+  std::vector<PedigreeMember> members;  // Includes the root, hops 0.
+};
+
+/// Extracts the family pedigree of `root` from G_P up to `generations`
+/// hops away (the paper uses g = 2: parents/children at 1 hop,
+/// grandparents/grandchildren at 2 hops). Spouse edges do not consume
+/// a generation but do consume a hop.
+FamilyPedigree ExtractPedigree(const PedigreeGraph& graph,
+                               PedigreeNodeId root, int generations);
+
+/// Renders a pedigree as an indented ASCII family tree, ancestors
+/// first (the textual counterpart of the paper's Figures 7 and 8).
+std::string RenderPedigreeTree(const PedigreeGraph& graph,
+                               const FamilyPedigree& pedigree);
+
+/// One-line display label of an entity: "name surname (birth-death)".
+std::string NodeLabel(const PedigreeNode& node);
+
+/// Exports a pedigree in a minimal GEDCOM-like text format, one INDI
+/// block per member with FAMC/FAMS-style relations flattened to
+/// "RELA" lines.
+std::string ExportGedcomLike(const PedigreeGraph& graph,
+                             const FamilyPedigree& pedigree);
+
+}  // namespace snaps
+
+#endif  // SNAPS_PEDIGREE_EXTRACTION_H_

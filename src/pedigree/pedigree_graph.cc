@@ -1,0 +1,129 @@
+#include "pedigree/pedigree_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geo/gazetteer.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+void AddDistinct(std::vector<std::string>* values, const std::string& raw) {
+  if (raw.empty()) return;
+  std::string v = NormalizeValue(raw);
+  if (v.empty()) return;
+  if (std::find(values->begin(), values->end(), v) == values->end()) {
+    values->push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+PedigreeNodeId PedigreeGraph::AddNode(PedigreeNode node) {
+  const PedigreeNodeId id = static_cast<PedigreeNodeId>(nodes_.size());
+  node.id = id;
+  nodes_.push_back(std::move(node));
+  edges_.emplace_back();
+  return id;
+}
+
+void PedigreeGraph::AddEdge(PedigreeNodeId from, PedigreeNodeId to,
+                            Relationship rel) {
+  if (from == to) return;  // An entity cannot relate to itself.
+  auto& out = edges_[from];
+  for (const PedigreeEdge& e : out) {
+    if (e.target == to && e.rel == rel) return;
+  }
+  out.push_back(PedigreeEdge{to, rel});
+  ++num_edges_;
+}
+
+std::vector<PedigreeNodeId> PedigreeGraph::Neighbors(PedigreeNodeId id,
+                                                     Relationship rel) const {
+  std::vector<PedigreeNodeId> out;
+  for (const PedigreeEdge& e : edges_[id]) {
+    if (e.rel == rel) out.push_back(e.target);
+  }
+  return out;
+}
+
+PedigreeGraph PedigreeGraph::Build(const Dataset& dataset,
+                                   const ErResult& result) {
+  PedigreeGraph graph;
+  const EntityStore& entities = *result.entities;
+
+  // Nodes: one per live entity cluster. This generalises Algorithm 1,
+  // which only materialises entities of merged relational nodes: the
+  // online query stage must also retrieve people who appear on a
+  // single certificate (singleton entities), so all entities become
+  // pedigree nodes.
+  std::unordered_map<EntityId, PedigreeNodeId> node_of_entity;
+  for (EntityId e : entities.AllEntities()) {
+    const EntityCluster& cluster = entities.cluster(e);
+    PedigreeNode node;
+    node.records = cluster.records;
+    std::unordered_map<PersonId, int> truth_votes;
+    double lat_sum = 0.0, lon_sum = 0.0;
+    size_t geo_count = 0;
+    for (RecordId rid : cluster.records) {
+      const Record& r = dataset.record(rid);
+      AddDistinct(&node.first_names, r.value(Attr::kFirstName));
+      AddDistinct(&node.surnames, r.value(Attr::kSurname));
+      AddDistinct(&node.parishes, r.value(Attr::kParish));
+      if (const auto point = ParseGeoValue(r.value(Attr::kGeo))) {
+        lat_sum += point->lat;
+        lon_sum += point->lon;
+        ++geo_count;
+      }
+      if (node.gender == Gender::kUnknown) node.gender = r.gender();
+      const int year = r.event_year();
+      if (r.role == Role::kBb) node.birth_year = year;
+      if (r.role == Role::kDd) node.death_year = year;
+      if (year != 0 &&
+          (node.first_event_year == 0 || year < node.first_event_year)) {
+        node.first_event_year = year;
+      }
+      if (r.true_person != kUnknownPersonId) truth_votes[r.true_person]++;
+    }
+    if (geo_count > 0) {
+      node.has_location = true;
+      node.lat = lat_sum / static_cast<double>(geo_count);
+      node.lon = lon_sum / static_cast<double>(geo_count);
+    }
+    int best_votes = 0;
+    for (const auto& [person, votes] : truth_votes) {
+      if (votes > best_votes) {
+        best_votes = votes;
+        node.true_person = person;
+      }
+    }
+    node_of_entity[e] = graph.AddNode(std::move(node));
+  }
+
+  // Edges: within-certificate role relations projected onto entities.
+  // This covers the edges Algorithm 1 derives from relationship edges
+  // between merged relational nodes, and additionally connects
+  // singleton entities to their certificate relatives.
+  for (const Certificate& cert : dataset.certificates()) {
+    const std::vector<RecordId>& recs = dataset.CertRecords(cert.id);
+    for (const RoleRelation& rr : CertRoleRelations(cert.type)) {
+      // Roles may repeat on one certificate (census children), so the
+      // relation is projected for every (from, to) record pair.
+      for (RecordId from : recs) {
+        if (dataset.record(from).role != rr.from) continue;
+        for (RecordId to : recs) {
+          if (from == to || dataset.record(to).role != rr.to) continue;
+          const PedigreeNodeId nf =
+              node_of_entity[entities.entity_of(from)];
+          const PedigreeNodeId nt = node_of_entity[entities.entity_of(to)];
+          graph.AddEdge(nf, nt, rr.rel);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace snaps

@@ -1,0 +1,91 @@
+#ifndef SNAPS_PEDIGREE_PEDIGREE_GRAPH_H_
+#define SNAPS_PEDIGREE_PEDIGREE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/er_engine.h"
+#include "data/dataset.h"
+
+namespace snaps {
+
+using PedigreeNodeId = uint32_t;
+inline constexpr PedigreeNodeId kInvalidPedigreeNode = 0xffffffffu;
+
+/// An entity in the pedigree graph: the resolved person with the QID
+/// values accumulated from their records (Section 5).
+struct PedigreeNode {
+  PedigreeNodeId id = 0;
+  /// The records of this entity (cluster R_o).
+  std::vector<RecordId> records;
+  /// Distinct normalised values observed per attribute.
+  std::vector<std::string> first_names;
+  std::vector<std::string> surnames;
+  std::vector<std::string> parishes;
+  Gender gender = Gender::kUnknown;
+  int birth_year = 0;  // Year of the Bb record if present, else 0.
+  int death_year = 0;  // Year of the Dd record if present, else 0.
+  /// Earliest event year, used for query year matching when the birth
+  /// year is unknown.
+  int first_event_year = 0;
+  /// Centroid of the geocoded addresses on the entity's records
+  /// (valid when has_location); used for region-limited queries.
+  bool has_location = false;
+  double lat = 0.0;
+  double lon = 0.0;
+  /// Ground-truth person behind the majority of the records (for
+  /// evaluation only; kUnknownPersonId on real data).
+  PersonId true_person = kUnknownPersonId;
+};
+
+/// A directed pedigree edge: `target` stands in relationship `rel` to
+/// `source` (e.g. is their mother).
+struct PedigreeEdge {
+  PedigreeNodeId target = 0;
+  Relationship rel = Relationship::kMother;
+};
+
+/// The pedigree graph G_P (Section 5): one node per resolved entity,
+/// edges labelled motherOf / fatherOf / spouseOf / childOf.
+class PedigreeGraph {
+ public:
+  PedigreeGraph() = default;
+
+  /// Builds G_P from a finished ER run (Algorithm 1): every entity
+  /// that any merged relational node maps to becomes a node (including
+  /// singleton entities referenced by relationship edges), and
+  /// relationship edges between merged nodes' entities become pedigree
+  /// edges.
+  static PedigreeGraph Build(const Dataset& dataset, const ErResult& result);
+
+  const std::vector<PedigreeNode>& nodes() const { return nodes_; }
+  const PedigreeNode& node(PedigreeNodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::vector<PedigreeEdge>& Edges(PedigreeNodeId id) const {
+    return edges_[id];
+  }
+
+  /// Neighbours of `id` with the given relationship.
+  std::vector<PedigreeNodeId> Neighbors(PedigreeNodeId id,
+                                        Relationship rel) const;
+
+  /// Adds a node (used by Build and by tests/anonymiser rewrites).
+  PedigreeNodeId AddNode(PedigreeNode node);
+
+  /// Adds a directed edge; duplicates are ignored.
+  void AddEdge(PedigreeNodeId from, PedigreeNodeId to, Relationship rel);
+
+  PedigreeNode& mutable_node(PedigreeNodeId id) { return nodes_[id]; }
+
+ private:
+  std::vector<PedigreeNode> nodes_;
+  std::vector<std::vector<PedigreeEdge>> edges_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_PEDIGREE_PEDIGREE_GRAPH_H_

@@ -1,0 +1,136 @@
+#include "pedigree/serialization.h"
+
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+std::string JoinMulti(const std::vector<std::string>& values) {
+  return JoinStrings(values, ";");
+}
+
+std::vector<std::string> SplitMulti(const std::string& joined) {
+  if (joined.empty()) return {};
+  return SplitString(joined, ';');
+}
+
+bool RelationshipFromName(const std::string& name, Relationship* rel) {
+  for (int i = 0; i < kNumRelationships; ++i) {
+    const Relationship r = static_cast<Relationship>(i);
+    if (name == RelationshipName(r)) {
+      *rel = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializePedigreeGraph(const PedigreeGraph& graph) {
+  CsvTable table;
+  table.header = {"kind",       "id",       "gender",      "birth_year",
+                  "death_year", "first_ev", "true_person", "first_names",
+                  "surnames",   "parishes", "records",     "lat", "lon"};
+  for (const PedigreeNode& n : graph.nodes()) {
+    std::vector<std::string> record_ids;
+    record_ids.reserve(n.records.size());
+    for (RecordId r : n.records) record_ids.push_back(std::to_string(r));
+    table.rows.push_back(
+        {"node", std::to_string(n.id), GenderName(n.gender),
+         std::to_string(n.birth_year), std::to_string(n.death_year),
+         std::to_string(n.first_event_year),
+         n.true_person == kUnknownPersonId ? ""
+                                           : std::to_string(n.true_person),
+         JoinMulti(n.first_names), JoinMulti(n.surnames),
+         JoinMulti(n.parishes), JoinStrings(record_ids, ";"),
+         n.has_location ? StrFormat("%.6f", n.lat) : "",
+         n.has_location ? StrFormat("%.6f", n.lon) : ""});
+  }
+  for (const PedigreeNode& n : graph.nodes()) {
+    for (const PedigreeEdge& e : graph.Edges(n.id)) {
+      table.rows.push_back({"edge", std::to_string(n.id),
+                            std::to_string(e.target),
+                            RelationshipName(e.rel), "", "", "", "", "", "",
+                            "", "", ""});
+    }
+  }
+  return WriteCsv(table);
+}
+
+Result<PedigreeGraph> DeserializePedigreeGraph(const std::string& content) {
+  Result<CsvTable> parsed = ParseCsv(content);
+  if (!parsed.ok()) return parsed.status();
+  const CsvTable& table = *parsed;
+  if (table.ColumnIndex("kind") != 0 || table.header.size() != 13) {
+    return Status::ParseError("not a pedigree graph file");
+  }
+
+  PedigreeGraph graph;
+  for (const auto& row : table.rows) {
+    if (row[0] == "node") {
+      PedigreeNode n;
+      const PedigreeNodeId expected_id =
+          static_cast<PedigreeNodeId>(std::atol(row[1].c_str()));
+      const std::string& g = row[2];
+      n.gender = g == "f"   ? Gender::kFemale
+                 : g == "m" ? Gender::kMale
+                            : Gender::kUnknown;
+      n.birth_year = std::atoi(row[3].c_str());
+      n.death_year = std::atoi(row[4].c_str());
+      n.first_event_year = std::atoi(row[5].c_str());
+      n.true_person = row[6].empty()
+                          ? kUnknownPersonId
+                          : static_cast<PersonId>(std::atol(row[6].c_str()));
+      n.first_names = SplitMulti(row[7]);
+      n.surnames = SplitMulti(row[8]);
+      n.parishes = SplitMulti(row[9]);
+      for (const std::string& rid : SplitMulti(row[10])) {
+        n.records.push_back(
+            static_cast<RecordId>(std::atol(rid.c_str())));
+      }
+      if (!row[11].empty() && !row[12].empty()) {
+        n.has_location = true;
+        n.lat = std::atof(row[11].c_str());
+        n.lon = std::atof(row[12].c_str());
+      }
+      const PedigreeNodeId id = graph.AddNode(std::move(n));
+      if (id != expected_id) {
+        return Status::ParseError("node rows out of order");
+      }
+    } else if (row[0] == "edge") {
+      const PedigreeNodeId from =
+          static_cast<PedigreeNodeId>(std::atol(row[1].c_str()));
+      const PedigreeNodeId to =
+          static_cast<PedigreeNodeId>(std::atol(row[2].c_str()));
+      Relationship rel;
+      if (!RelationshipFromName(row[3], &rel)) {
+        return Status::ParseError("unknown relationship: " + row[3]);
+      }
+      if (from >= graph.num_nodes() || to >= graph.num_nodes()) {
+        return Status::ParseError("edge references unknown node");
+      }
+      graph.AddEdge(from, to, rel);
+    } else {
+      return Status::ParseError("unknown row kind: " + row[0]);
+    }
+  }
+  return graph;
+}
+
+Status SavePedigreeGraph(const PedigreeGraph& graph,
+                         const std::string& path) {
+  return WriteStringToFile(path, SerializePedigreeGraph(graph));
+}
+
+Result<PedigreeGraph> LoadPedigreeGraph(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return DeserializePedigreeGraph(*content);
+}
+
+}  // namespace snaps

@@ -1,0 +1,32 @@
+#ifndef SNAPS_PEDIGREE_SERIALIZATION_H_
+#define SNAPS_PEDIGREE_SERIALIZATION_H_
+
+#include <string>
+
+#include "pedigree/pedigree_graph.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// Persistence for the pedigree graph, so the expensive offline phase
+/// (ER + graph generation) can run once and the online phase (index
+/// build, query serving) can load its result — the deployment split of
+/// the paper's Figure 1.
+///
+/// The format is CSV with a leading `kind` column: one `node` row per
+/// entity (multi-valued name fields joined with ';', record ids with
+/// ';') followed by one `edge` row per relationship edge.
+
+/// Serialises a pedigree graph to its CSV text form.
+std::string SerializePedigreeGraph(const PedigreeGraph& graph);
+
+/// Parses a pedigree graph back from its CSV text form.
+Result<PedigreeGraph> DeserializePedigreeGraph(const std::string& content);
+
+/// Saves to / loads from a file.
+Status SavePedigreeGraph(const PedigreeGraph& graph, const std::string& path);
+Result<PedigreeGraph> LoadPedigreeGraph(const std::string& path);
+
+}  // namespace snaps
+
+#endif  // SNAPS_PEDIGREE_SERIALIZATION_H_

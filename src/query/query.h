@@ -1,0 +1,51 @@
+#ifndef SNAPS_QUERY_QUERY_H_
+#define SNAPS_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/role.h"
+
+namespace snaps {
+
+/// Which certificate type the user wants to search (Figure 5).
+enum class SearchKind : uint8_t {
+  kBirth = 0,
+  kDeath = 1,
+  kAny = 2,
+};
+
+/// A user query record q (Section 3): mandatory first name and
+/// surname; optional gender, year range and parish/district.
+struct Query {
+  /// Mandatory. A trailing '*' requests a prefix wildcard search
+  /// ("mac*" matches every name starting with "mac"), as on the
+  /// Scotland's People search interface the paper's users know.
+  std::string first_name;
+  std::string surname;  // Mandatory; '*' wildcard supported too.
+  SearchKind kind = SearchKind::kAny;
+  Gender gender = Gender::kUnknown;
+  std::optional<int> year_from;
+  std::optional<int> year_to;
+  std::string parish;  // Optional.
+  /// Optional geographic region limit: only entities whose geocoded
+  /// location lies within `within_km` of `near_place` (resolved via a
+  /// gazetteer) are returned; entities without a location are kept.
+  /// Requires a gazetteer on the query processor.
+  std::string near_place;
+  double within_km = 25.0;
+};
+
+/// How one QID of a result matched the query.
+enum class MatchType : uint8_t {
+  kNone = 0,
+  kApproximate = 1,
+  kExact = 2,
+};
+
+const char* MatchTypeName(MatchType t);
+
+}  // namespace snaps
+
+#endif  // SNAPS_QUERY_QUERY_H_

@@ -1,0 +1,70 @@
+#ifndef SNAPS_QUERY_QUERY_PROCESSOR_H_
+#define SNAPS_QUERY_QUERY_PROCESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/gazetteer.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "query/query.h"
+
+namespace snaps {
+
+/// Per-attribute match weights of the ranking score s_r (Section 7).
+/// Names carry more evidence than location or year.
+struct QueryConfig {
+  double first_name_weight = 0.35;
+  double surname_weight = 0.35;
+  double year_weight = 0.10;
+  double gender_weight = 0.05;
+  double parish_weight = 0.15;
+  size_t top_m = 10;           // Ranked results returned.
+  int year_slack = 5;          // Years outside the range still scored
+                               // as approximate matches.
+};
+
+/// One ranked query result: the entity, its normalised match score
+/// (0..100, as in Figure 6) and per-attribute match annotations the
+/// web interface renders in different colours.
+struct RankedResult {
+  PedigreeNodeId node = 0;
+  double score = 0.0;  // Percentage of the attainable score.
+  MatchType first_name_match = MatchType::kNone;
+  MatchType surname_match = MatchType::kNone;
+  MatchType year_match = MatchType::kNone;
+  MatchType gender_match = MatchType::kNone;
+  MatchType parish_match = MatchType::kNone;
+  std::string matched_first_name;  // Entity value that matched best.
+  std::string matched_surname;
+  std::string matched_parish;
+};
+
+/// The online query processing and ranking step (Section 7): retrieve
+/// candidate entities through the keyword and similarity indices by
+/// exact and approximate name matching into an accumulator, refine
+/// with gender / year / parish evidence, score, normalise and rank.
+class QueryProcessor {
+ public:
+  QueryProcessor(const KeywordIndex* keyword_index,
+                 const SimilarityIndex* similarity_index,
+                 QueryConfig config = QueryConfig());
+
+  /// Attaches a gazetteer enabling the geographic region limit
+  /// (Query::near_place); the gazetteer must outlive the processor.
+  void set_gazetteer(const Gazetteer* gazetteer) { gazetteer_ = gazetteer; }
+
+  /// Runs a query; returns at most `top_m` results, best first.
+  /// Queries without a first name and surname return no results.
+  std::vector<RankedResult> Search(const Query& query) const;
+
+ private:
+  const KeywordIndex* keyword_index_;
+  const SimilarityIndex* similarity_index_;
+  const Gazetteer* gazetteer_ = nullptr;
+  QueryConfig config_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_QUERY_QUERY_PROCESSOR_H_

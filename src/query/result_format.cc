@@ -1,0 +1,110 @@
+#include "query/result_format.h"
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+const std::string& FirstOr(const std::vector<std::string>& values,
+                           const std::string& fallback) {
+  return values.empty() ? fallback : values[0];
+}
+
+void AppendJsonStringArray(std::string* out,
+                           const std::vector<std::string>& values) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('"');
+    *out += JsonEscape(values[i]);
+    out->push_back('"');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatResultsTable(const PedigreeGraph& graph,
+                               const std::vector<RankedResult>& results) {
+  static const std::string kUnknown = "?";
+  static const std::string kDash = "-";
+  std::string out = StrFormat("%-4s %-14s %-16s %-3s %-6s %-12s %6s  %s\n",
+                              "rank", "forename", "surname", "g", "year",
+                              "parish", "score", "matches");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RankedResult& r = results[i];
+    const PedigreeNode& node = graph.node(r.node);
+    out += StrFormat(
+        "%-4zu %-14s %-16s %-3s %-6d %-12s %6.2f  first=%s surname=%s\n",
+        i + 1, FirstOr(node.first_names, kUnknown).c_str(),
+        FirstOr(node.surnames, kUnknown).c_str(), GenderName(node.gender),
+        node.birth_year != 0 ? node.birth_year : node.first_event_year,
+        FirstOr(node.parishes, kDash).c_str(), r.score,
+        MatchTypeName(r.first_name_match), MatchTypeName(r.surname_match));
+  }
+  if (results.empty()) out += "(no results)\n";
+  return out;
+}
+
+std::string FormatResultsJson(const PedigreeGraph& graph,
+                              const std::vector<RankedResult>& results) {
+  std::string out = "[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RankedResult& r = results[i];
+    const PedigreeNode& node = graph.node(r.node);
+    if (i > 0) out.push_back(',');
+    out += StrFormat("{\"rank\":%zu,\"entity\":%u,\"score\":%.2f,", i + 1,
+                     r.node, r.score);
+    out += "\"first_names\":";
+    AppendJsonStringArray(&out, node.first_names);
+    out += ",\"surnames\":";
+    AppendJsonStringArray(&out, node.surnames);
+    out += ",\"parishes\":";
+    AppendJsonStringArray(&out, node.parishes);
+    out += StrFormat(
+        ",\"gender\":\"%s\",\"birth_year\":%d,\"death_year\":%d,",
+        GenderName(node.gender), node.birth_year, node.death_year);
+    out += StrFormat(
+        "\"matches\":{\"first_name\":\"%s\",\"surname\":\"%s\","
+        "\"year\":\"%s\",\"gender\":\"%s\",\"parish\":\"%s\"}}",
+        MatchTypeName(r.first_name_match), MatchTypeName(r.surname_match),
+        MatchTypeName(r.year_match), MatchTypeName(r.gender_match),
+        MatchTypeName(r.parish_match));
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace snaps

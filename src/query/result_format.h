@@ -1,0 +1,28 @@
+#ifndef SNAPS_QUERY_RESULT_FORMAT_H_
+#define SNAPS_QUERY_RESULT_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "pedigree/pedigree_graph.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+
+/// Renders ranked query results as the fixed-width text table the CLI
+/// examples print (the textual counterpart of the paper's Figure 6).
+std::string FormatResultsTable(const PedigreeGraph& graph,
+                               const std::vector<RankedResult>& results);
+
+/// Renders ranked query results as a JSON array, one object per
+/// result with entity attributes, score, and per-field match types —
+/// the payload a web front end like the paper's would consume.
+std::string FormatResultsJson(const PedigreeGraph& graph,
+                              const std::vector<RankedResult>& results);
+
+/// Escapes a string for embedding in a JSON document.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace snaps
+
+#endif  // SNAPS_QUERY_RESULT_FORMAT_H_

@@ -1,0 +1,89 @@
+#include "strsim/comparator.h"
+
+#include <cstdlib>
+
+#include <string>
+
+#include "strsim/similarity.h"
+
+namespace snaps {
+
+namespace {
+
+/// Parses a decimal number; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses "lat:lon".
+bool ParseLatLon(std::string_view s, double* lat, double* lon) {
+  const size_t colon = s.find(':');
+  if (colon == std::string_view::npos) return false;
+  return ParseDouble(s.substr(0, colon), lat) &&
+         ParseDouble(s.substr(colon + 1), lon);
+}
+
+}  // namespace
+
+const char* ComparatorKindName(ComparatorKind kind) {
+  switch (kind) {
+    case ComparatorKind::kExact:
+      return "exact";
+    case ComparatorKind::kJaroWinkler:
+      return "jaro_winkler";
+    case ComparatorKind::kJaccardBigram:
+      return "jaccard_bigram";
+    case ComparatorKind::kJaccardToken:
+      return "jaccard_token";
+    case ComparatorKind::kLevenshtein:
+      return "levenshtein";
+    case ComparatorKind::kNumericYear:
+      return "numeric_year";
+    case ComparatorKind::kGeo:
+      return "geo";
+    case ComparatorKind::kMongeElkan:
+      return "monge_elkan";
+  }
+  return "unknown";
+}
+
+double CompareValues(ComparatorKind kind, std::string_view a,
+                     std::string_view b, const ComparatorParams& params) {
+  switch (kind) {
+    case ComparatorKind::kExact:
+      return a == b ? 1.0 : 0.0;
+    case ComparatorKind::kJaroWinkler:
+      return JaroWinklerSimilarity(a, b);
+    case ComparatorKind::kJaccardBigram:
+      return JaccardBigramSimilarity(a, b);
+    case ComparatorKind::kJaccardToken:
+      return JaccardTokenSimilarity(a, b);
+    case ComparatorKind::kLevenshtein:
+      return LevenshteinSimilarity(a, b);
+    case ComparatorKind::kNumericYear: {
+      double na, nb;
+      if (ParseDouble(a, &na) && ParseDouble(b, &nb)) {
+        return NumericAbsDiffSimilarity(na, nb, params.numeric_max_abs_diff);
+      }
+      return a == b ? 1.0 : 0.0;
+    }
+    case ComparatorKind::kMongeElkan:
+      return MongeElkanSimilarity(a, b);
+    case ComparatorKind::kGeo: {
+      double lat1, lon1, lat2, lon2;
+      if (ParseLatLon(a, &lat1, &lon1) && ParseLatLon(b, &lat2, &lon2)) {
+        return GeoSimilarity(lat1, lon1, lat2, lon2, params.geo_max_km);
+      }
+      return a == b ? 1.0 : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace snaps

@@ -1,0 +1,42 @@
+#ifndef SNAPS_STRSIM_COMPARATOR_H_
+#define SNAPS_STRSIM_COMPARATOR_H_
+
+#include <string_view>
+
+namespace snaps {
+
+/// Selects which similarity function compares two values of a QID
+/// attribute. The mapping from attributes to comparators lives in the
+/// data-set schema (see data/schema.h), matching the paper: Jaro-
+/// Winkler for names, Jaccard for other textual strings, max-abs-diff
+/// for numeric values, geo distance for geocoded addresses.
+enum class ComparatorKind {
+  kExact,          // 1 if equal else 0.
+  kJaroWinkler,    // Names.
+  kJaccardBigram,  // General strings.
+  kJaccardToken,   // Multi-word strings (occupations, causes).
+  kLevenshtein,    // Normalised edit distance.
+  kNumericYear,    // Years; max abs diff defaults to 10.
+  kGeo,            // "lat:lon" encoded coordinates.
+  kMongeElkan,     // Hybrid token similarity (addresses).
+};
+
+const char* ComparatorKindName(ComparatorKind kind);
+
+/// Tunables for the parameterised comparators.
+struct ComparatorParams {
+  double numeric_max_abs_diff = 10.0;  // Years.
+  double geo_max_km = 50.0;            // Address distance cut-off.
+};
+
+/// Compares two attribute values with the chosen comparator.
+/// Values are expected pre-normalised (see NormalizeValue). Numeric
+/// values that fail to parse fall back to exact string comparison;
+/// geo values are "lat:lon" decimal pairs.
+double CompareValues(ComparatorKind kind, std::string_view a,
+                     std::string_view b,
+                     const ComparatorParams& params = ComparatorParams());
+
+}  // namespace snaps
+
+#endif  // SNAPS_STRSIM_COMPARATOR_H_

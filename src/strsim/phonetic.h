@@ -1,0 +1,36 @@
+#ifndef SNAPS_STRSIM_PHONETIC_H_
+#define SNAPS_STRSIM_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace snaps {
+
+/// Phonetic encodings commonly used in record linkage (Christen, Data
+/// Matching, 2012, ch. 4). SNAPS uses them as an optional additional
+/// blocking key so that spelling variants of a name ("mcdonald",
+/// "macdonald") land in the same block even when their bigram overlap
+/// is low.
+
+/// American Soundex: first letter + 3 digits (e.g. "robert" -> R163).
+/// Non-alphabetic characters are ignored; empty input encodes to "".
+std::string Soundex(std::string_view name);
+
+/// NYSIIS (New York State Identification and Intelligence System)
+/// phonetic code, better suited to European names than Soundex.
+/// Returns an upper-case code of up to 6 characters.
+std::string Nysiis(std::string_view name);
+
+/// A simplified Metaphone-style consonant skeleton: vowels removed
+/// after the first character, common digraph normalisations applied
+/// (PH->F, GH->G, CK->K, MC->MAC, ...). Cheap and effective for
+/// Scottish surnames.
+std::string ConsonantSkeleton(std::string_view name);
+
+/// 1.0 when the Soundex codes agree, else 0.0 (a coarse comparator
+/// used for blocking-style equality, not for ranking).
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace snaps
+
+#endif  // SNAPS_STRSIM_PHONETIC_H_

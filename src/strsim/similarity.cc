@@ -1,0 +1,231 @@
+#include "strsim/similarity.h"
+
+#include <cassert>
+#include <cmath>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  const int match_window = std::max(0, std::max(la, lb) / 2 - 1);
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+
+  int matches = 0;
+  for (int i = 0; i < la; ++i) {
+    const int lo = std::max(0, i - match_window);
+    const int hi = std::min(lb - 1, i + match_window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched sequences.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = matches;
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  constexpr double kPrefixScale = 0.1;
+  constexpr int kMaxPrefix = 4;
+  int prefix = 0;
+  const size_t limit =
+      std::min({a.size(), b.size(), static_cast<size_t>(kMaxPrefix)});
+  while (static_cast<size_t>(prefix) < limit &&
+         a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  return jaro + prefix * kPrefixScale * (1.0 - jaro);
+}
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return static_cast<int>(b.size());
+  if (b.empty()) return static_cast<int>(a.size());
+  // Single-row dynamic program.
+  std::vector<int> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int prev_diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int cur = row[j];
+      const int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double max_len = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - LevenshteinDistance(a, b) / max_len;
+}
+
+namespace {
+
+double JaccardOverSortedSets(const std::vector<std::string>& sa,
+                             const std::vector<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t union_size = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace
+
+double JaccardBigramSimilarity(std::string_view a, std::string_view b) {
+  return JaccardOverSortedSets(DistinctBigrams(a), DistinctBigrams(b));
+}
+
+double JaccardTokenSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = Tokenize(a);
+  std::vector<std::string> tb = Tokenize(b);
+  std::sort(ta.begin(), ta.end());
+  ta.erase(std::unique(ta.begin(), ta.end()), ta.end());
+  std::sort(tb.begin(), tb.end());
+  tb.erase(std::unique(tb.begin(), tb.end()), tb.end());
+  return JaccardOverSortedSets(ta, tb);
+}
+
+double DiceBigramSimilarity(std::string_view a, std::string_view b) {
+  const std::vector<std::string> sa = DistinctBigrams(a);
+  const std::vector<std::string> sb = DistinctBigrams(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(sa.size() + sb.size());
+}
+
+int LongestCommonSubstring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<int> row(b.size() + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    int prev_diag = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const int cur = row[j];
+      if (a[i - 1] == b[j - 1]) {
+        row[j] = prev_diag + 1;
+        best = std::max(best, row[j]);
+      } else {
+        row[j] = 0;
+      }
+      prev_diag = cur;
+    }
+  }
+  return best;
+}
+
+double LcsSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  return static_cast<double>(LongestCommonSubstring(a, b)) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+namespace {
+
+double MongeElkanDirected(const std::vector<std::string>& ta,
+                          const std::vector<std::string>& tb) {
+  if (ta.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& a : ta) {
+    double best = 0.0;
+    for (const std::string& b : tb) {
+      best = std::max(best, JaroWinklerSimilarity(a, b));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+}  // namespace
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  return 0.5 * (MongeElkanDirected(ta, tb) + MongeElkanDirected(tb, ta));
+}
+
+double NumericAbsDiffSimilarity(double a, double b, double max_abs_diff) {
+  assert(max_abs_diff > 0.0);
+  const double diff = std::fabs(a - b);
+  return std::max(0.0, 1.0 - diff / max_abs_diff);
+}
+
+double HaversineKm(double lat1_deg, double lon1_deg, double lat2_deg,
+                   double lon2_deg) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  auto rad = [](double deg) { return deg * M_PI / 180.0; };
+  const double dlat = rad(lat2_deg - lat1_deg);
+  const double dlon = rad(lon2_deg - lon1_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(rad(lat1_deg)) * std::cos(rad(lat2_deg)) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double GeoSimilarity(double lat1_deg, double lon1_deg, double lat2_deg,
+                     double lon2_deg, double max_km) {
+  assert(max_km > 0.0);
+  const double d = HaversineKm(lat1_deg, lon1_deg, lat2_deg, lon2_deg);
+  return std::max(0.0, 1.0 - d / max_km);
+}
+
+}  // namespace snaps

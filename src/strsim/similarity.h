@@ -1,0 +1,67 @@
+#ifndef SNAPS_STRSIM_SIMILARITY_H_
+#define SNAPS_STRSIM_SIMILARITY_H_
+
+#include <string_view>
+
+namespace snaps {
+
+/// Approximate string comparison functions used across SNAPS. All
+/// functions return a normalised similarity in [0, 1] where 1 means
+/// identical and 0 means nothing in common (Christen, Data Matching,
+/// 2012). Comparisons are case sensitive; callers normalise first.
+
+/// Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity with the standard prefix boost
+/// (scaling factor 0.1, prefix capped at 4 characters). The paper's
+/// default comparator for personal names.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Levenshtein (edit) distance: insertions, deletions, substitutions.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Edit distance normalised to a similarity:
+/// 1 - dist / max(len(a), len(b)). Both empty -> 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard coefficient over the distinct character bigram sets.
+/// The paper's comparator for longer textual strings.
+double JaccardBigramSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard coefficient over whitespace-separated tokens.
+double JaccardTokenSimilarity(std::string_view a, std::string_view b);
+
+/// Sorensen-Dice coefficient over distinct character bigrams.
+double DiceBigramSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the longest common substring.
+int LongestCommonSubstring(std::string_view a, std::string_view b);
+
+/// Longest common substring normalised by the longer input length.
+double LcsSimilarity(std::string_view a, std::string_view b);
+
+/// Monge-Elkan hybrid similarity for multi-token strings: the mean,
+/// over the tokens of `a`, of the best Jaro-Winkler match among the
+/// tokens of `b`, symmetrised by averaging both directions. Suited to
+/// addresses and occupations where token order and extra tokens vary
+/// ("23 high street" vs "high street").
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+/// Numeric similarity based on maximum absolute difference:
+/// max(0, 1 - |a-b| / max_abs_diff). `max_abs_diff` must be > 0.
+/// The paper's comparator for year values.
+double NumericAbsDiffSimilarity(double a, double b, double max_abs_diff);
+
+/// Great-circle distance (km) between two WGS84 coordinates.
+double HaversineKm(double lat1_deg, double lon1_deg, double lat2_deg,
+                   double lon2_deg);
+
+/// Geographic similarity: max(0, 1 - distance_km / max_km). Used for
+/// the geocoded address comparison on the IOS-like data set.
+double GeoSimilarity(double lat1_deg, double lon1_deg, double lat2_deg,
+                     double lon2_deg, double max_km);
+
+}  // namespace snaps
+
+#endif  // SNAPS_STRSIM_SIMILARITY_H_

@@ -1,0 +1,151 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace snaps {
+
+int CsvTable::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvTable> ParseCsv(std::string_view content) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() -> Status {
+    end_field();
+    if (table.header.empty()) {
+      table.header = std::move(row);
+    } else {
+      if (row.size() != table.header.size()) {
+        return Status::ParseError(StrFormat(
+            "row %zu has %zu fields, header has %zu",
+            table.rows.size() + 2, row.size(), table.header.size()));
+      }
+      table.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_data = false;
+    return Status::Ok();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_data = true;
+        break;
+      case ',':
+        end_field();
+        row_has_data = true;
+        break;
+      case '\r':
+        break;  // Swallow; the following \n ends the row.
+      case '\n': {
+        if (!row_has_data && field.empty() && row.empty()) break;  // blank line
+        Status s = end_row();
+        if (!s.ok()) return s;
+        break;
+      }
+      default:
+        field.push_back(c);
+        row_has_data = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (row_has_data || !field.empty() || !row.empty()) {
+    Status s = end_row();
+    if (!s.ok()) return s;
+  }
+  if (table.header.empty()) return Status::ParseError("empty CSV content");
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseCsv(*content);
+}
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  return WriteStringToFile(path, WriteCsv(table));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read failed for " + path);
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool failed = (written != content.size()) || std::fclose(f) != 0;
+  if (failed) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace snaps

@@ -1,0 +1,47 @@
+#ifndef SNAPS_UTIL_CSV_H_
+#define SNAPS_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snaps {
+
+/// A parsed CSV file: a header row plus data rows, all rows the same
+/// width as the header.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header, or -1 if absent.
+  int ColumnIndex(std::string_view column) const;
+};
+
+/// Parses RFC-4180-style CSV content: comma separated, double-quote
+/// quoting with "" escapes, \n or \r\n row breaks. The first row is the
+/// header. Rows whose width differs from the header are a parse error.
+Result<CsvTable> ParseCsv(std::string_view content);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Quotes a single CSV field if it contains a comma, quote or newline.
+std::string CsvEscape(std::string_view field);
+
+/// Serialises a table back to CSV text.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to disk.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, replacing existing content.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_CSV_H_

@@ -1,0 +1,83 @@
+#ifndef SNAPS_UTIL_RNG_H_
+#define SNAPS_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include <utility>
+#include <vector>
+
+namespace snaps {
+
+/// Deterministic pseudo-random generator (xoshiro256**). All
+/// randomness in the library flows through explicitly seeded Rng
+/// instances so data generation, tests and benches are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Samples an index from a (non-negative, not necessarily
+  /// normalised) weight vector. Must contain at least one positive
+  /// weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      const size_t j = static_cast<size_t>(NextUint64(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.
+/// Used to model the skewed name/address frequency distributions the
+/// paper reports in Figure 2.
+class ZipfSampler {
+ public:
+  /// `n` > 0 items, exponent `s` >= 0 (s = 0 is uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank `k`.
+  double Pmf(size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // Cumulative distribution over ranks.
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_RNG_H_

@@ -1,0 +1,110 @@
+#ifndef SNAPS_UTIL_STATUS_H_
+#define SNAPS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace snaps {
+
+/// Error categories used across the library. Kept deliberately small;
+/// the message string carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object for fallible operations (the library does
+/// not use exceptions). An `Ok()` status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder, analogous to absl::StatusOr. Access to
+/// `value()` on an error result is a programming error (asserts).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::...;` directly.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_STATUS_H_

@@ -1,0 +1,131 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+#include <algorithm>
+
+namespace snaps {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string NormalizeValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char raw : TrimAscii(s)) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (std::isalnum(c) || c == '-' || c == '\'') {
+      if (pending_space) {
+        out.push_back(' ');
+        pending_space = false;
+      }
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view s, int q) {
+  std::vector<std::string> grams;
+  if (s.empty() || q <= 0) return grams;
+  if (s.size() < static_cast<size_t>(q)) {
+    grams.emplace_back(s);
+    return grams;
+  }
+  grams.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> DistinctBigrams(std::string_view s) {
+  std::vector<std::string> grams = QGrams(s, 2);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+bool ShareBigram(std::string_view a, std::string_view b) {
+  const std::vector<std::string> ga = DistinctBigrams(a);
+  const std::vector<std::string> gb = DistinctBigrams(b);
+  // Both lists are sorted; merge-scan for an intersection.
+  size_t i = 0, j = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] == gb[j]) return true;
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  return SplitString(NormalizeValue(s), ' ');
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace snaps

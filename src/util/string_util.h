@@ -1,0 +1,51 @@
+#ifndef SNAPS_UTIL_STRING_UTIL_H_
+#define SNAPS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snaps {
+
+/// Lowercases ASCII letters in place semantics (returns a copy).
+std::string ToLowerAscii(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Normalises a raw name/location token for matching: lowercase,
+/// trimmed, inner whitespace runs collapsed to single spaces, and
+/// non-alphanumeric characters (other than spaces, hyphens and
+/// apostrophes) removed. Matches the cleaning the paper applies to
+/// transcribed certificate strings.
+std::string NormalizeValue(std::string_view s);
+
+/// Extracts the (possibly overlapping) character q-grams of `s`.
+/// Strings shorter than `q` yield a single gram equal to the string
+/// itself (empty string yields none).
+std::vector<std::string> QGrams(std::string_view s, int q);
+
+/// Extracts the distinct bigrams (q=2) of `s`, sorted, deduplicated.
+/// This is the index key set used by the similarity-aware index.
+std::vector<std::string> DistinctBigrams(std::string_view s);
+
+/// True if `a` and `b` share at least one bigram.
+bool ShareBigram(std::string_view a, std::string_view b);
+
+/// Tokenises on whitespace after normalisation.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,57 @@
+#ifndef SNAPS_UTIL_THREAD_POOL_H_
+#define SNAPS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snaps {
+
+/// A small fixed-size worker pool for the embarrassingly parallel
+/// parts of the offline phase (pure per-item computations whose
+/// results are merged deterministically). The library default is
+/// single-threaded; callers opt in by passing a thread count.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 or 1 keeps everything inline on
+  /// the calling thread; no workers are spawned).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Inline pools execute immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n), spread over the pool (or inline),
+  /// and waits for completion. `fn` must be safe to call concurrently
+  /// for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_THREAD_POOL_H_

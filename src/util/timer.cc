@@ -1,0 +1,33 @@
+#include "util/timer.h"
+
+#include <cassert>
+
+namespace snaps {
+
+double LatencyStats::Min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::Max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::Mean() const {
+  assert(!samples_.empty());
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double LatencyStats::Median() const {
+  assert(!samples_.empty());
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace snaps

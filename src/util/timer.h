@@ -1,0 +1,49 @@
+#ifndef SNAPS_UTIL_TIMER_H_
+#define SNAPS_UTIL_TIMER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace snaps {
+
+/// Wall-clock stopwatch used by the experiment drivers.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates latency samples and reports the summary statistics the
+/// paper uses in Table 7 (min / average / median / max).
+class LatencyStats {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Median() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_TIMER_H_

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anon/name_mapper.h"
+#include "datagen/name_pool.h"
+#include "strsim/similarity.h"
+#include "util/rng.h"
+
+namespace snaps {
+namespace {
+
+/// Properties of the cluster-based name mapper that must hold for any
+/// sensitive name universe: consistency, injectivity, and rough
+/// preservation of the similarity structure (Section 9's stated goal).
+class NameMapperPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// A random sensitive universe sampled from the base lists with
+  /// random frequencies and some derived variants.
+  static std::vector<std::pair<std::string, int>> RandomUniverse(
+      Rng& rng, size_t n) {
+    const auto& base = BaseFemaleFirstNames();
+    std::vector<std::pair<std::string, int>> out;
+    std::set<std::string> used;
+    while (out.size() < n) {
+      std::string name = base[rng.NextUint64(base.size())];
+      if (rng.NextBool(0.3)) name += "e";  // Variant.
+      if (rng.NextBool(0.15)) name += "y";
+      if (!used.insert(name).second) continue;
+      out.emplace_back(name, 1 + static_cast<int>(rng.NextUint64(200)));
+    }
+    return out;
+  }
+};
+
+TEST_P(NameMapperPropertyTest, InjectiveAndConsistent) {
+  Rng rng(GetParam());
+  const auto universe = RandomUniverse(rng, 60);
+  NameMapper mapper(universe, PublicFemaleFirstNames());
+  std::set<std::string> images;
+  for (const auto& [name, freq] : universe) {
+    const std::string& image = mapper.Map(name);
+    EXPECT_FALSE(image.empty());
+    EXPECT_EQ(image, mapper.Map(name));  // Deterministic.
+    EXPECT_TRUE(images.insert(image).second) << name << " -> " << image;
+  }
+}
+
+TEST_P(NameMapperPropertyTest, NoIdentityMappings) {
+  Rng rng(GetParam());
+  const auto universe = RandomUniverse(rng, 60);
+  NameMapper mapper(universe, PublicFemaleFirstNames());
+  size_t identical = 0;
+  for (const auto& [name, freq] : universe) {
+    identical += (mapper.Map(name) == name);
+  }
+  // The public universe is disjoint; identity can only arise from
+  // derived variants and must stay negligible.
+  EXPECT_LE(identical, 1u);
+}
+
+TEST_P(NameMapperPropertyTest, ClusterSiblingsStaySimilar) {
+  Rng rng(GetParam());
+  const auto universe = RandomUniverse(rng, 60);
+  NameMapper mapper(universe, PublicFemaleFirstNames());
+  double in_cluster_sim = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < universe.size(); ++i) {
+    for (size_t j = i + 1; j < universe.size(); ++j) {
+      if (mapper.ClusterOf(universe[i].first) !=
+          mapper.ClusterOf(universe[j].first)) {
+        continue;
+      }
+      in_cluster_sim += JaroWinklerSimilarity(mapper.Map(universe[i].first),
+                                              mapper.Map(universe[j].first));
+      ++pairs;
+    }
+  }
+  if (pairs == 0) GTEST_SKIP() << "universe produced no shared clusters";
+  // Images of cluster siblings are drawn from one public cluster (or
+  // derived from its leader), so they stay clearly more similar than
+  // random name pairs (~0.45).
+  EXPECT_GT(in_cluster_sim / pairs, 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameMapperPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "anon/anonymizer.h"
+#include "anon/name_mapper.h"
+#include "datagen/name_pool.h"
+#include "datagen/simulator.h"
+#include "strsim/similarity.h"
+
+namespace snaps {
+namespace {
+
+// ------------------------------------------------------ NameMapper.
+
+TEST(NameMapperTest, MappingIsConsistent) {
+  NameMapper m({{"mary", 100}, {"marie", 20}, {"flora", 5}},
+               PublicFemaleFirstNames());
+  EXPECT_EQ(m.Map("mary"), m.Map("mary"));
+  EXPECT_TRUE(m.Contains("mary"));
+  EXPECT_FALSE(m.Contains("zelda"));
+}
+
+TEST(NameMapperTest, MappingIsInjective) {
+  std::vector<std::pair<std::string, int>> sensitive;
+  for (const auto& n : BaseFemaleFirstNames()) {
+    sensitive.emplace_back(n, 1 + static_cast<int>(n.size()));
+  }
+  NameMapper m(sensitive, PublicFemaleFirstNames());
+  std::set<std::string> images;
+  for (const auto& [name, freq] : sensitive) {
+    EXPECT_TRUE(images.insert(m.Map(name)).second) << name;
+  }
+}
+
+TEST(NameMapperTest, MappedNamesAreNotOriginals) {
+  std::vector<std::pair<std::string, int>> sensitive;
+  for (const auto& n : BaseFemaleFirstNames()) sensitive.emplace_back(n, 3);
+  NameMapper m(sensitive, PublicFemaleFirstNames());
+  std::set<std::string> originals(BaseFemaleFirstNames().begin(),
+                                  BaseFemaleFirstNames().end());
+  size_t leaked = 0;
+  for (const auto& [name, freq] : sensitive) {
+    leaked += originals.count(m.Map(name));
+  }
+  // The public universe is disjoint from the sensitive one, so only
+  // derived-variant collisions could leak; none are expected.
+  EXPECT_EQ(leaked, 0u);
+}
+
+TEST(NameMapperTest, SimilarNamesShareClusters) {
+  NameMapper m({{"catherine", 50},
+                {"katherine", 30},
+                {"catherina", 10},
+                {"wilhelmina", 8}},
+               PublicFemaleFirstNames());
+  EXPECT_EQ(m.ClusterOf("catherine"), m.ClusterOf("catherina"));
+  EXPECT_NE(m.ClusterOf("catherine"), m.ClusterOf("wilhelmina"));
+}
+
+TEST(NameMapperTest, UnknownNameGetsFallback) {
+  NameMapper m({{"mary", 1}}, PublicFemaleFirstNames());
+  EXPECT_FALSE(m.Map("notindata").empty());
+}
+
+// ------------------------------------------------------- Age bands.
+
+TEST(AgeBandTest, PaperStrata) {
+  EXPECT_EQ(AgeBandOf(0), AgeBand::kYoung);
+  EXPECT_EQ(AgeBandOf(20), AgeBand::kYoung);
+  EXPECT_EQ(AgeBandOf(21), AgeBand::kMiddle);
+  EXPECT_EQ(AgeBandOf(40), AgeBand::kMiddle);
+  EXPECT_EQ(AgeBandOf(41), AgeBand::kOld);
+  EXPECT_EQ(AgeBandOf(95), AgeBand::kOld);
+}
+
+// ---------------------------------------------- Dataset anonymiser.
+
+class AnonymizerTest : public ::testing::Test {
+ protected:
+  AnonymizerTest() {
+    SimulatorConfig cfg;
+    cfg.seed = 1234;
+    cfg.num_founder_couples = 60;
+    data_ = PopulationSimulator(cfg).Generate();
+    original_ = data_.dataset;  // Copy before anonymisation.
+    AnonConfig anon_cfg;
+    anon_cfg.k = 5;
+    report_ = AnonymizeDataset(&data_.dataset, anon_cfg);
+  }
+
+  GeneratedData data_;
+  Dataset original_;
+  AnonReport report_;
+};
+
+TEST_F(AnonymizerTest, NoOriginalNamesRemain) {
+  std::set<std::string> original_names;
+  for (const Record& r : original_.records()) {
+    if (r.has_value(Attr::kFirstName)) {
+      original_names.insert(r.value(Attr::kFirstName));
+    }
+    if (r.has_value(Attr::kSurname)) {
+      original_names.insert(r.value(Attr::kSurname));
+    }
+  }
+  size_t leaked = 0, total = 0;
+  for (const Record& r : data_.dataset.records()) {
+    if (r.has_value(Attr::kFirstName)) {
+      ++total;
+      leaked += original_names.count(r.value(Attr::kFirstName));
+    }
+    if (r.has_value(Attr::kSurname)) {
+      ++total;
+      leaked += original_names.count(r.value(Attr::kSurname));
+    }
+  }
+  // Derived-variant replacements could in principle coincide with an
+  // original string; require a negligible leak rate.
+  EXPECT_LT(static_cast<double>(leaked) / total, 0.01);
+}
+
+TEST_F(AnonymizerTest, YearShiftIsGlobalAndGapPreserving) {
+  ASSERT_NE(report_.year_offset, 0);
+  for (size_t i = 0; i < original_.num_certificates(); ++i) {
+    EXPECT_EQ(data_.dataset.certificate(i).year,
+              original_.certificate(i).year + report_.year_offset);
+  }
+  // Temporal distances between events are preserved exactly.
+  const int gap_before =
+      original_.certificate(10).year - original_.certificate(3).year;
+  const int gap_after = data_.dataset.certificate(10).year -
+                        data_.dataset.certificate(3).year;
+  EXPECT_EQ(gap_before, gap_after);
+}
+
+TEST_F(AnonymizerTest, CausesOfDeathAreKAnonymous) {
+  // After anonymisation every (gender, age band, cause) combination
+  // occurs at least k times or is "not known".
+  std::unordered_map<std::string, int> counts;
+  for (const Record& r : data_.dataset.records()) {
+    if (r.role != Role::kDd || !r.has_value(Attr::kCauseOfDeath)) continue;
+    const int age = std::atoi(r.value(Attr::kAgeAtDeath).c_str());
+    counts[std::string(GenderName(r.gender())) + "|" +
+           AgeBandName(AgeBandOf(age)) + "|" +
+           r.value(Attr::kCauseOfDeath)]++;
+  }
+  for (const auto& [key, n] : counts) {
+    if (key.find("not known") != std::string::npos) continue;
+    EXPECT_GE(n, 5) << key;
+  }
+}
+
+TEST_F(AnonymizerTest, StructurePreserved) {
+  // Anonymisation must not change the number of certificates,
+  // records, roles or the ground-truth structure.
+  ASSERT_EQ(data_.dataset.num_records(), original_.num_records());
+  for (size_t i = 0; i < original_.num_records(); ++i) {
+    EXPECT_EQ(data_.dataset.record(i).role, original_.record(i).role);
+    EXPECT_EQ(data_.dataset.record(i).true_person,
+              original_.record(i).true_person);
+  }
+}
+
+TEST_F(AnonymizerTest, SameTruePersonKeepsConsistentNames) {
+  // Two uncorrupted records of one person had equal first names; the
+  // mapping must send equal strings to equal strings.
+  std::unordered_map<std::string, std::string> seen;  // original->anon
+  for (size_t i = 0; i < original_.num_records(); ++i) {
+    const std::string& before = original_.record(i).value(Attr::kFirstName);
+    const std::string& after =
+        data_.dataset.record(i).value(Attr::kFirstName);
+    if (before.empty()) continue;
+    // Same gender + same original string => same anonymised string.
+    const std::string key =
+        before + "|" + GenderName(original_.record(i).gender());
+    auto [it, inserted] = seen.emplace(key, after);
+    if (!inserted) {
+      EXPECT_EQ(it->second, after) << key;
+    }
+  }
+}
+
+TEST_F(AnonymizerTest, ReportCountsPopulated) {
+  EXPECT_GT(report_.female_first_names_mapped, 0u);
+  EXPECT_GT(report_.male_first_names_mapped, 0u);
+  EXPECT_GT(report_.surnames_mapped, 0u);
+  EXPECT_GE(report_.year_offset == 0 ? 1 : std::abs(report_.year_offset), 7);
+}
+
+TEST_F(AnonymizerTest, SimilarityStructureRoughlyPreserved) {
+  // Names that were highly similar before anonymisation should map to
+  // names that are more similar on average than random name pairs.
+  std::vector<std::pair<std::string, std::string>> before_after;
+  std::set<std::string> dedupe;
+  for (size_t i = 0; i < original_.num_records(); ++i) {
+    const std::string& b = original_.record(i).value(Attr::kSurname);
+    const std::string& a = data_.dataset.record(i).value(Attr::kSurname);
+    if (!b.empty() && dedupe.insert(b).second) {
+      before_after.emplace_back(b, a);
+    }
+  }
+  double similar_pairs_sim = 0.0;
+  int similar_pairs = 0;
+  for (size_t i = 0; i < before_after.size() && similar_pairs < 200; ++i) {
+    for (size_t j = i + 1; j < before_after.size(); ++j) {
+      if (JaroWinklerSimilarity(before_after[i].first,
+                                before_after[j].first) >= 0.92) {
+        similar_pairs_sim += JaroWinklerSimilarity(before_after[i].second,
+                                                   before_after[j].second);
+        ++similar_pairs;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(similar_pairs, 10);
+  // Average similarity of images of similar names stays clearly above
+  // the random baseline (~0.4-0.55 for arbitrary surname pairs).
+  EXPECT_GT(similar_pairs_sim / similar_pairs, 0.6);
+}
+
+}  // namespace
+}  // namespace snaps

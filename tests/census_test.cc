@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "eval/metrics.h"
+#include "pedigree/pedigree_graph.h"
+
+namespace snaps {
+namespace {
+
+// ------------------------------------------------- Role machinery.
+
+TEST(CensusRoleTest, Basics) {
+  EXPECT_STREQ(CertTypeName(CertType::kCensus), "census");
+  EXPECT_EQ(RoleCertType(Role::kCh), CertType::kCensus);
+  EXPECT_EQ(RoleCertType(Role::kCc), CertType::kCensus);
+  EXPECT_EQ(RoleImpliedGender(Role::kCw), Gender::kFemale);
+  EXPECT_EQ(RoleImpliedGender(Role::kCh), Gender::kMale);
+  EXPECT_EQ(RoleImpliedGender(Role::kCc), Gender::kUnknown);
+  EXPECT_TRUE(RoleRequiresAlive(Role::kCc));
+}
+
+TEST(CensusRoleTest, HouseholdRelations) {
+  Relationship rel;
+  ASSERT_TRUE(LookupRoleRelation(Role::kCc, Role::kCw, &rel));
+  EXPECT_EQ(rel, Relationship::kMother);
+  ASSERT_TRUE(LookupRoleRelation(Role::kCh, Role::kCw, &rel));
+  EXPECT_EQ(rel, Relationship::kSpouse);
+  ASSERT_TRUE(LookupRoleRelation(Role::kCw, Role::kCc, &rel));
+  EXPECT_EQ(rel, Relationship::kChild);
+}
+
+TEST(CensusRoleTest, CensusRolesCanRecur) {
+  // A person appears in several censuses: Ch-Ch pairs are plausible.
+  EXPECT_TRUE(RolePairPlausible(Role::kCh, Role::kCh));
+  EXPECT_TRUE(RolePairPlausible(Role::kCc, Role::kBb));
+  EXPECT_FALSE(RolePairPlausible(Role::kCw, Role::kCh));  // Genders.
+}
+
+// --------------------------------------------------- Data emission.
+
+class CensusSimulatorTest : public ::testing::Test {
+ protected:
+  static const GeneratedData& Data() {
+    static const GeneratedData* data = [] {
+      SimulatorConfig cfg;
+      cfg.seed = 606;
+      cfg.num_founder_couples = 30;
+      cfg.immigrants_per_year = 1.5;
+      cfg.with_census = true;
+      return new GeneratedData(PopulationSimulator(cfg).Generate());
+    }();
+    return *data;
+  }
+};
+
+TEST_F(CensusSimulatorTest, EmitsDecennialCensuses) {
+  std::set<int> census_years;
+  size_t census_certs = 0;
+  for (const Certificate& c : Data().dataset.certificates()) {
+    if (c.type != CertType::kCensus) continue;
+    ++census_certs;
+    census_years.insert(c.year);
+  }
+  EXPECT_GT(census_certs, 100u);
+  // 1861..1901 gives five census years.
+  EXPECT_EQ(census_years.size(), 5u);
+  for (int y : census_years) EXPECT_EQ((y - 1861) % 10, 0);
+}
+
+TEST_F(CensusSimulatorTest, HouseholdsAreConsistent) {
+  const Dataset& ds = Data().dataset;
+  const auto& people = Data().people;
+  for (const Certificate& cert : ds.certificates()) {
+    if (cert.type != CertType::kCensus) continue;
+    PersonId head = kUnknownPersonId, wife = kUnknownPersonId;
+    std::vector<PersonId> children;
+    for (RecordId r : ds.CertRecords(cert.id)) {
+      const Record& rec = ds.record(r);
+      if (rec.role == Role::kCh) head = rec.true_person;
+      if (rec.role == Role::kCw) wife = rec.true_person;
+      if (rec.role == Role::kCc) children.push_back(rec.true_person);
+    }
+    ASSERT_NE(head, kUnknownPersonId);
+    ASSERT_NE(wife, kUnknownPersonId);
+    for (PersonId c : children) {
+      EXPECT_EQ(people[c].father, head);
+      // All household members were alive in the census year.
+      EXPECT_TRUE(people[c].death_year == 0 ||
+                  people[c].death_year >= cert.year);
+    }
+  }
+}
+
+TEST_F(CensusSimulatorTest, CsvRoundTripWithCensus) {
+  const Dataset& ds = Data().dataset;
+  auto back = Dataset::FromCsv(ds.ToCsv());
+  ASSERT_TRUE(back.ok());
+  size_t census = 0;
+  for (const Certificate& c : back->certificates()) {
+    if (c.type == CertType::kCensus) ++census;
+  }
+  EXPECT_GT(census, 0u);
+}
+
+// ------------------------------------------- ER + pedigree effects.
+
+TEST_F(CensusSimulatorTest, ErHandlesCensusRecords) {
+  ErResult res = ErEngine().Resolve(Data().dataset);
+  // Some census records must have been linked to statutory records.
+  size_t census_linked = 0;
+  for (EntityId e : res.entities->NonSingletonEntities()) {
+    bool has_census = false, has_statutory = false;
+    for (RecordId r : res.entities->cluster(e).records) {
+      if (RoleCertType(Data().dataset.record(r).role) == CertType::kCensus) {
+        has_census = true;
+      } else {
+        has_statutory = true;
+      }
+    }
+    if (has_census && has_statutory) ++census_linked;
+  }
+  EXPECT_GT(census_linked, 50u);
+
+  // Statutory linkage quality must not collapse with census present.
+  const auto q = EvaluatePairs(Data().dataset, res.MatchedPairs(),
+                               RolePairClass::kBpBp);
+  EXPECT_GT(q.FStar(), 0.5);
+}
+
+TEST_F(CensusSimulatorTest, PedigreeGraphCoversCensusRecords) {
+  ErResult res = ErEngine().Resolve(Data().dataset);
+  const PedigreeGraph graph = PedigreeGraph::Build(Data().dataset, res);
+  size_t covered = 0;
+  for (const PedigreeNode& n : graph.nodes()) covered += n.records.size();
+  EXPECT_EQ(covered, Data().dataset.num_records());
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "data/validation.h"
+#include "datagen/simulator.h"
+#include "eval/cluster_metrics.h"
+
+namespace snaps {
+namespace {
+
+// --------------------------------------------------------- B-cubed.
+
+/// Truth: person 1 owns records 0,1,2; person 2 owns records 3,4.
+Dataset MakeTruth() {
+  Dataset ds;
+  for (int i = 0; i < 5; ++i) {
+    const CertId c = ds.AddCertificate(CertType::kBirth, 1880);
+    Record r;
+    r.true_person = i < 3 ? 1 : 2;
+    ds.AddRecord(c, Role::kBm, r);
+  }
+  return ds;
+}
+
+TEST(BCubedTest, PerfectClustering) {
+  const Dataset ds = MakeTruth();
+  const std::vector<uint32_t> clusters = {7, 7, 7, 9, 9};
+  const ClusterQuality q = EvaluateClustering(ds, clusters);
+  EXPECT_DOUBLE_EQ(q.bcubed_precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.bcubed_recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.BCubedF1(), 1.0);
+  EXPECT_EQ(q.exact_clusters, 2u);
+  EXPECT_EQ(q.impure_clusters, 0u);
+}
+
+TEST(BCubedTest, AllSingletons) {
+  const Dataset ds = MakeTruth();
+  const std::vector<uint32_t> clusters = {0, 1, 2, 3, 4};
+  const ClusterQuality q = EvaluateClustering(ds, clusters);
+  EXPECT_DOUBLE_EQ(q.bcubed_precision, 1.0);
+  // Recall: three records see 1/3 of their person, two see 1/2.
+  EXPECT_NEAR(q.bcubed_recall, (3 * (1.0 / 3) + 2 * 0.5) / 5, 1e-9);
+  EXPECT_EQ(q.exact_clusters, 0u);
+}
+
+TEST(BCubedTest, EverythingMerged) {
+  const Dataset ds = MakeTruth();
+  const std::vector<uint32_t> clusters = {0, 0, 0, 0, 0};
+  const ClusterQuality q = EvaluateClustering(ds, clusters);
+  EXPECT_DOUBLE_EQ(q.bcubed_recall, 1.0);
+  // Precision: 3 records see 3/5 pure, 2 see 2/5.
+  EXPECT_NEAR(q.bcubed_precision, (3 * 0.6 + 2 * 0.4) / 5, 1e-9);
+  EXPECT_EQ(q.impure_clusters, 1u);
+}
+
+TEST(BCubedTest, UnknownTruthSkipped) {
+  Dataset ds;
+  const CertId c = ds.AddCertificate(CertType::kBirth, 1880);
+  ds.AddRecord(c, Role::kBm, Record());  // No truth.
+  const ClusterQuality q = EvaluateClustering(ds, {0});
+  EXPECT_EQ(q.evaluated_records, 0u);
+  EXPECT_DOUBLE_EQ(q.BCubedF1(), 0.0);
+}
+
+// ------------------------------------------------------ Validation.
+
+TEST(ValidationTest, CleanDatasetPasses) {
+  Dataset ds;
+  const CertId b = ds.AddCertificate(CertType::kBirth, 1880);
+  Record baby;
+  baby.set_value(Attr::kGender, "f");
+  ds.AddRecord(b, Role::kBb, baby);
+  ds.AddRecord(b, Role::kBm, Record());
+  const ValidationReport report = ValidateDataset(ds);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.errors(), 0u);
+  EXPECT_EQ(report.warnings(), 0u);
+}
+
+TEST(ValidationTest, DuplicateRoleIsError) {
+  auto loaded = Dataset::FromCsv(
+      "record_id,cert_id,cert_type,cert_year,role,true_person,first_name\n"
+      "0,0,birth,1880,Bb,,ann\n"
+      "1,0,birth,1880,Bb,,mary\n");
+  ASSERT_TRUE(loaded.ok());
+  const ValidationReport report = ValidateDataset(*loaded);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.errors(), 1u);
+}
+
+TEST(ValidationTest, MissingPrincipalIsWarning) {
+  Dataset ds;
+  const CertId b = ds.AddCertificate(CertType::kBirth, 1880);
+  ds.AddRecord(b, Role::kBm, Record());  // Mother but no baby.
+  const ValidationReport report = ValidateDataset(ds);
+  EXPECT_TRUE(report.ok);  // Warning only.
+  EXPECT_GE(report.warnings(), 1u);
+}
+
+TEST(ValidationTest, ImplausibleYearIsWarning) {
+  Dataset ds;
+  const CertId b = ds.AddCertificate(CertType::kBirth, 880);
+  Record baby;
+  ds.AddRecord(b, Role::kBb, baby);
+  const ValidationReport report = ValidateDataset(ds);
+  EXPECT_TRUE(report.ok);
+  EXPECT_GE(report.warnings(), 1u);
+}
+
+TEST(ValidationTest, GenderRoleConflictIsWarning) {
+  Dataset ds;
+  const CertId b = ds.AddCertificate(CertType::kBirth, 1880);
+  ds.AddRecord(b, Role::kBb, Record());
+  Record mother;
+  mother.set_value(Attr::kGender, "m");  // A male birth mother.
+  ds.AddRecord(b, Role::kBm, mother);
+  const ValidationReport report = ValidateDataset(ds);
+  EXPECT_GE(report.warnings(), 1u);
+}
+
+TEST(ValidationTest, CensusChildrenMayRepeat) {
+  Dataset ds;
+  const CertId c = ds.AddCertificate(CertType::kCensus, 1881);
+  ds.AddRecord(c, Role::kCh, Record());
+  ds.AddRecord(c, Role::kCw, Record());
+  ds.AddRecord(c, Role::kCc, Record());
+  ds.AddRecord(c, Role::kCc, Record());
+  ds.AddRecord(c, Role::kCc, Record());
+  const ValidationReport report = ValidateDataset(ds);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST(ValidationTest, GeneratedDataIsValid) {
+  SimulatorConfig cfg;
+  cfg.seed = 5150;
+  cfg.num_founder_couples = 20;
+  cfg.with_census = true;
+  GeneratedData data = PopulationSimulator(cfg).Generate();
+  const ValidationReport report = ValidateDataset(data.dataset);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+
+namespace snaps {
+namespace {
+
+Record MakeRecord(Role role, int year, Gender gender = Gender::kUnknown) {
+  Record r;
+  r.role = role;
+  r.set_value(Attr::kYear, std::to_string(year));
+  if (gender == Gender::kFemale) r.set_value(Attr::kGender, "f");
+  if (gender == Gender::kMale) r.set_value(Attr::kGender, "m");
+  return r;
+}
+
+// ------------------------------------------- TemporalConstraints.
+
+TEST(TemporalTest, BirthYearIntervals) {
+  TemporalConstraints tc;
+  int lo, hi;
+  tc.BirthYearInterval(Role::kBb, 1880, &lo, &hi);
+  EXPECT_EQ(lo, 1880);
+  EXPECT_EQ(hi, 1880);
+  tc.BirthYearInterval(Role::kBm, 1880, &lo, &hi);
+  EXPECT_EQ(lo, 1825);  // Age at most 55.
+  EXPECT_EQ(hi, 1865);  // Age at least 15.
+}
+
+TEST(TemporalTest, MissingYearIsUnconstrained) {
+  TemporalConstraints tc;
+  int lo, hi;
+  tc.BirthYearInterval(Role::kBb, 0, &lo, &hi);
+  EXPECT_LT(lo, -1000);
+  EXPECT_GT(hi, 100000 - 1);
+}
+
+TEST(TemporalTest, PaperExampleBabyToMotherGap) {
+  // A baby born 1880 can be a birth mother between 1895 and 1935.
+  TemporalConstraints tc;
+  const Record baby = MakeRecord(Role::kBb, 1880);
+  EXPECT_FALSE(tc.CompatibleRecords(baby, MakeRecord(Role::kBm, 1890)));
+  EXPECT_TRUE(tc.CompatibleRecords(baby, MakeRecord(Role::kBm, 1900)));
+  EXPECT_TRUE(tc.CompatibleRecords(baby, MakeRecord(Role::kBm, 1930)));
+  EXPECT_FALSE(tc.CompatibleRecords(baby, MakeRecord(Role::kBm, 1940)));
+}
+
+TEST(TemporalTest, BabyToDeceasedAnyAge) {
+  TemporalConstraints tc;
+  const Record baby = MakeRecord(Role::kBb, 1880);
+  EXPECT_TRUE(tc.CompatibleRecords(baby, MakeRecord(Role::kDd, 1881)));
+  EXPECT_TRUE(tc.CompatibleRecords(baby, MakeRecord(Role::kDd, 1970)));
+  // A death before the birth is impossible.
+  EXPECT_FALSE(tc.CompatibleRecords(baby, MakeRecord(Role::kDd, 1875)));
+}
+
+TEST(TemporalTest, DeathDominanceBlocksActiveRolesAfterDeath) {
+  TemporalConstraints tc;
+  const Record death = MakeRecord(Role::kDd, 1870);
+  // Being a birth mother five years after death is impossible.
+  EXPECT_FALSE(tc.CompatibleRecords(death, MakeRecord(Role::kBm, 1875)));
+  // A posthumous father within a year is allowed.
+  EXPECT_TRUE(tc.CompatibleRecords(death, MakeRecord(Role::kBf, 1871)));
+  EXPECT_FALSE(tc.CompatibleRecords(death, MakeRecord(Role::kBf, 1875)));
+}
+
+TEST(TemporalTest, PosthumousPassiveMentionsAllowed) {
+  TemporalConstraints tc;
+  const Record death = MakeRecord(Role::kDd, 1870);
+  // Appearing as the (long dead) father on a child's death
+  // certificate twenty years later is routine.
+  EXPECT_TRUE(tc.CompatibleRecords(death, MakeRecord(Role::kDf, 1890)));
+  EXPECT_TRUE(tc.CompatibleRecords(death, MakeRecord(Role::kDs, 1890)));
+  EXPECT_TRUE(tc.CompatibleRecords(death, MakeRecord(Role::kMgf, 1890)));
+}
+
+TEST(TemporalTest, CustomRangeOverride) {
+  TemporalConstraints tc;
+  tc.set_range(Role::kBm, RoleAgeRange{20, 40});
+  int lo, hi;
+  tc.BirthYearInterval(Role::kBm, 1900, &lo, &hi);
+  EXPECT_EQ(lo, 1860);
+  EXPECT_EQ(hi, 1880);
+}
+
+// ----------------------------------------------- LinkConstraints.
+
+TEST(LinkConstraintsTest, ProfileFoldsRecords) {
+  LinkConstraints lc;
+  ClusterProfile p = ClusterProfile::Empty();
+  lc.AddRecord(&p, MakeRecord(Role::kBb, 1880));
+  EXPECT_EQ(p.bb_count, 1);
+  EXPECT_EQ(p.record_count, 1);
+  EXPECT_EQ(p.birth_lo, 1880);
+  EXPECT_EQ(p.birth_hi, 1880);
+  lc.AddRecord(&p, MakeRecord(Role::kDd, 1950));
+  EXPECT_EQ(p.dd_count, 1);
+  EXPECT_EQ(p.death_year, 1950);
+}
+
+TEST(LinkConstraintsTest, SingleBirthRecordCap) {
+  LinkConstraints lc;
+  ClusterProfile a = ClusterProfile::Empty();
+  lc.AddRecord(&a, MakeRecord(Role::kBb, 1880));
+  ClusterProfile b = ClusterProfile::Empty();
+  lc.AddRecord(&b, MakeRecord(Role::kBb, 1880));
+  EXPECT_FALSE(lc.CanMerge(a, b));  // Two birth records.
+}
+
+TEST(LinkConstraintsTest, SingleDeathRecordCap) {
+  LinkConstraints lc;
+  ClusterProfile a = ClusterProfile::Empty();
+  lc.AddRecord(&a, MakeRecord(Role::kDd, 1890));
+  ClusterProfile b = ClusterProfile::Empty();
+  lc.AddRecord(&b, MakeRecord(Role::kDd, 1890));
+  EXPECT_FALSE(lc.CanMerge(a, b));
+}
+
+TEST(LinkConstraintsTest, GenderConflictBlocksMerge) {
+  LinkConstraints lc;
+  ClusterProfile a = ClusterProfile::Empty();
+  lc.AddRecord(&a, MakeRecord(Role::kBb, 1880, Gender::kFemale));
+  ClusterProfile b = ClusterProfile::Empty();
+  lc.AddRecord(&b, MakeRecord(Role::kDd, 1940, Gender::kMale));
+  EXPECT_FALSE(lc.CanMerge(a, b));
+}
+
+TEST(LinkConstraintsTest, DisjointBirthIntervalsBlockMerge) {
+  LinkConstraints lc;
+  ClusterProfile a = ClusterProfile::Empty();
+  lc.AddRecord(&a, MakeRecord(Role::kBb, 1880));  // Born exactly 1880.
+  ClusterProfile b = ClusterProfile::Empty();
+  lc.AddRecord(&b, MakeRecord(Role::kBm, 1880));  // Born 1825..1865.
+  EXPECT_FALSE(lc.CanMerge(a, b));
+}
+
+TEST(LinkConstraintsTest, CompatibleMergeAllowed) {
+  LinkConstraints lc;
+  ClusterProfile a = ClusterProfile::Empty();
+  lc.AddRecord(&a, MakeRecord(Role::kBb, 1860, Gender::kFemale));
+  ClusterProfile b = ClusterProfile::Empty();
+  lc.AddRecord(&b, MakeRecord(Role::kBm, 1885, Gender::kFemale));
+  EXPECT_TRUE(lc.CanMerge(a, b));
+}
+
+TEST(LinkConstraintsTest, DeathDominanceAtClusterLevel) {
+  LinkConstraints lc;
+  ClusterProfile dead = ClusterProfile::Empty();
+  lc.AddRecord(&dead, MakeRecord(Role::kDd, 1890));
+  ClusterProfile later_mother = ClusterProfile::Empty();
+  lc.AddRecord(&later_mother, MakeRecord(Role::kBm, 1900));
+  EXPECT_FALSE(lc.CanMerge(dead, later_mother));
+  ClusterProfile later_mention = ClusterProfile::Empty();
+  lc.AddRecord(&later_mention, MakeRecord(Role::kDm, 1900));
+  EXPECT_TRUE(lc.CanMerge(dead, later_mention));
+}
+
+TEST(LinkConstraintsTest, RecordCountCap) {
+  LinkConstraints lc(TemporalConstraints(), /*max_cluster_records=*/3);
+  ClusterProfile a = ClusterProfile::Empty();
+  ClusterProfile b = ClusterProfile::Empty();
+  for (int i = 0; i < 2; ++i) {
+    lc.AddRecord(&a, MakeRecord(Role::kBm, 1880 + i));
+    lc.AddRecord(&b, MakeRecord(Role::kBm, 1884 + i));
+  }
+  EXPECT_FALSE(lc.CanMerge(a, b));  // 4 > 3.
+}
+
+}  // namespace
+}  // namespace snaps

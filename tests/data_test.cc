@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/record.h"
+#include "data/role.h"
+#include "data/schema.h"
+
+namespace snaps {
+namespace {
+
+// ------------------------------------------------------------ Role.
+
+TEST(RoleTest, CertTypeOfRoles) {
+  EXPECT_EQ(RoleCertType(Role::kBb), CertType::kBirth);
+  EXPECT_EQ(RoleCertType(Role::kDs), CertType::kDeath);
+  EXPECT_EQ(RoleCertType(Role::kMgf), CertType::kMarriage);
+}
+
+TEST(RoleTest, ImpliedGenders) {
+  EXPECT_EQ(RoleImpliedGender(Role::kBm), Gender::kFemale);
+  EXPECT_EQ(RoleImpliedGender(Role::kBf), Gender::kMale);
+  EXPECT_EQ(RoleImpliedGender(Role::kBb), Gender::kUnknown);
+  EXPECT_EQ(RoleImpliedGender(Role::kDd), Gender::kUnknown);
+  EXPECT_EQ(RoleImpliedGender(Role::kMb), Gender::kFemale);
+}
+
+TEST(RoleTest, AllRolesHaveNames) {
+  for (int i = 0; i < kNumRoles; ++i) {
+    EXPECT_STRNE(RoleName(static_cast<Role>(i)), "??");
+  }
+}
+
+TEST(RoleTest, RoleRelationLookup) {
+  Relationship rel;
+  ASSERT_TRUE(LookupRoleRelation(Role::kBb, Role::kBm, &rel));
+  EXPECT_EQ(rel, Relationship::kMother);
+  ASSERT_TRUE(LookupRoleRelation(Role::kBm, Role::kBb, &rel));
+  EXPECT_EQ(rel, Relationship::kChild);
+  ASSERT_TRUE(LookupRoleRelation(Role::kDd, Role::kDs, &rel));
+  EXPECT_EQ(rel, Relationship::kSpouse);
+  EXPECT_FALSE(LookupRoleRelation(Role::kBb, Role::kDd, &rel));  // Cross cert.
+  EXPECT_FALSE(LookupRoleRelation(Role::kBb, Role::kBb, &rel));
+}
+
+TEST(RoleTest, CertRoleRelationsAreConsistent) {
+  // Every relation's roles belong to the certificate type.
+  for (CertType type :
+       {CertType::kBirth, CertType::kDeath, CertType::kMarriage}) {
+    for (const RoleRelation& rr : CertRoleRelations(type)) {
+      EXPECT_EQ(RoleCertType(rr.from), type);
+      EXPECT_EQ(RoleCertType(rr.to), type);
+    }
+  }
+}
+
+TEST(RoleTest, InverseRelationship) {
+  EXPECT_EQ(InverseRelationship(Relationship::kMother, Gender::kFemale),
+            Relationship::kChild);
+  EXPECT_EQ(InverseRelationship(Relationship::kSpouse, Gender::kMale),
+            Relationship::kSpouse);
+  EXPECT_EQ(InverseRelationship(Relationship::kChild, Gender::kMale),
+            Relationship::kFather);
+  EXPECT_EQ(InverseRelationship(Relationship::kChild, Gender::kFemale),
+            Relationship::kMother);
+}
+
+TEST(RoleTest, PlausiblePairs) {
+  EXPECT_FALSE(RolePairPlausible(Role::kBb, Role::kBb));
+  EXPECT_FALSE(RolePairPlausible(Role::kDd, Role::kDd));
+  EXPECT_FALSE(RolePairPlausible(Role::kBm, Role::kBf));  // Genders.
+  EXPECT_TRUE(RolePairPlausible(Role::kBb, Role::kDd));
+  EXPECT_TRUE(RolePairPlausible(Role::kBm, Role::kDm));
+  EXPECT_TRUE(RolePairPlausible(Role::kBb, Role::kBm));
+}
+
+TEST(RoleTest, AliveRequirement) {
+  EXPECT_TRUE(RoleRequiresAlive(Role::kBb));
+  EXPECT_TRUE(RoleRequiresAlive(Role::kMg));
+  EXPECT_FALSE(RoleRequiresAlive(Role::kDm));
+  EXPECT_FALSE(RoleRequiresAlive(Role::kDs));
+  EXPECT_FALSE(RoleRequiresAlive(Role::kMbf));
+}
+
+// ---------------------------------------------------------- Record.
+
+TEST(RecordTest, GenderFromAttributeOverridesRole) {
+  Record r;
+  r.role = Role::kBb;
+  r.set_value(Attr::kGender, "f");
+  EXPECT_EQ(r.gender(), Gender::kFemale);
+  r.set_value(Attr::kGender, "");
+  EXPECT_EQ(r.gender(), Gender::kUnknown);
+  r.role = Role::kBf;
+  EXPECT_EQ(r.gender(), Gender::kMale);  // Implied by role.
+}
+
+TEST(RecordTest, EventYearParsing) {
+  Record r;
+  EXPECT_EQ(r.event_year(), 0);
+  r.set_value(Attr::kYear, "1885");
+  EXPECT_EQ(r.event_year(), 1885);
+}
+
+TEST(RecordTest, EstimatedBirthYear) {
+  Record baby;
+  baby.role = Role::kBb;
+  baby.set_value(Attr::kYear, "1880");
+  EXPECT_EQ(baby.EstimatedBirthYear(), 1880);
+  Record mother;
+  mother.role = Role::kBm;
+  mother.set_value(Attr::kYear, "1880");
+  EXPECT_LT(mother.EstimatedBirthYear(), 1880);
+}
+
+TEST(RecordTest, AllAttrsHaveNames) {
+  for (int i = 0; i < kNumAttrs; ++i) {
+    EXPECT_STRNE(AttrName(static_cast<Attr>(i)), "unknown");
+  }
+}
+
+// ---------------------------------------------------------- Schema.
+
+TEST(SchemaTest, DefaultCategories) {
+  const Schema s = Schema::Default();
+  EXPECT_EQ(s.category(Attr::kFirstName), AttrCategory::kMust);
+  EXPECT_EQ(s.category(Attr::kSurname), AttrCategory::kCore);
+  EXPECT_EQ(s.category(Attr::kOccupation), AttrCategory::kExtra);
+  EXPECT_EQ(s.category(Attr::kGender), AttrCategory::kIgnored);
+}
+
+TEST(SchemaTest, SimilarityAttrsExcludeIgnored) {
+  const Schema s = Schema::Default();
+  for (Attr a : s.SimilarityAttrs()) {
+    EXPECT_NE(s.category(a), AttrCategory::kIgnored);
+  }
+}
+
+TEST(SchemaTest, GeoVariantEnablesGeoAttr) {
+  const Schema geo = Schema::Default(/*use_geo=*/true);
+  EXPECT_EQ(geo.category(Attr::kGeo), AttrCategory::kExtra);
+  const Schema plain = Schema::Default(/*use_geo=*/false);
+  EXPECT_EQ(plain.category(Attr::kGeo), AttrCategory::kIgnored);
+}
+
+// --------------------------------------------------------- Dataset.
+
+Dataset MakeTinyDataset() {
+  Dataset ds;
+  const CertId birth = ds.AddCertificate(CertType::kBirth, 1870);
+  Record bb;
+  bb.set_value(Attr::kFirstName, "mary");
+  bb.set_value(Attr::kSurname, "smith");
+  bb.true_person = 1;
+  ds.AddRecord(birth, Role::kBb, bb);
+  Record bm;
+  bm.set_value(Attr::kFirstName, "ann");
+  bm.true_person = 2;
+  ds.AddRecord(birth, Role::kBm, bm);
+  const CertId death = ds.AddCertificate(CertType::kDeath, 1890);
+  Record dd;
+  dd.set_value(Attr::kFirstName, "mary");
+  dd.true_person = 1;
+  ds.AddRecord(death, Role::kDd, dd);
+  return ds;
+}
+
+TEST(DatasetTest, AddAndQuery) {
+  Dataset ds = MakeTinyDataset();
+  EXPECT_EQ(ds.num_certificates(), 2u);
+  EXPECT_EQ(ds.num_records(), 3u);
+  EXPECT_EQ(ds.record(0).value(Attr::kFirstName), "mary");
+  EXPECT_EQ(ds.record(0).event_year(), 1870);  // Filled from cert.
+  EXPECT_EQ(ds.CertRecords(0).size(), 2u);
+  EXPECT_EQ(ds.RecordsWithRole(Role::kDd).size(), 1u);
+}
+
+TEST(DatasetTest, TrueMatch) {
+  Dataset ds = MakeTinyDataset();
+  EXPECT_TRUE(ds.IsTrueMatch(0, 2));
+  EXPECT_FALSE(ds.IsTrueMatch(0, 1));
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset ds = MakeTinyDataset();
+  auto back = Dataset::FromCsv(ds.ToCsv());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_records(), ds.num_records());
+  EXPECT_EQ(back->num_certificates(), ds.num_certificates());
+  EXPECT_EQ(back->record(0).value(Attr::kFirstName), "mary");
+  EXPECT_EQ(back->record(0).true_person, 1u);
+  EXPECT_EQ(back->record(1).true_person, 2u);
+  EXPECT_EQ(back->certificate(1).type, CertType::kDeath);
+  EXPECT_TRUE(back->IsTrueMatch(0, 2));
+}
+
+TEST(DatasetTest, CsvRejectsUnknownRole) {
+  auto r = Dataset::FromCsv(
+      "record_id,cert_id,cert_type,cert_year,role,true_person,first_name\n"
+      "0,0,birth,1870,XX,,mary\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DatasetTest, ShiftYears) {
+  Dataset ds = MakeTinyDataset();
+  ds.ShiftYears(12);
+  EXPECT_EQ(ds.certificate(0).year, 1882);
+  EXPECT_EQ(ds.record(0).event_year(), 1882);
+  EXPECT_EQ(ds.record(2).event_year(), 1902);
+}
+
+TEST(RolePairClassTest, Classification) {
+  EXPECT_EQ(ClassifyRolePair(Role::kBm, Role::kBf), RolePairClass::kBpBp);
+  EXPECT_EQ(ClassifyRolePair(Role::kBm, Role::kDf), RolePairClass::kBpDp);
+  EXPECT_EQ(ClassifyRolePair(Role::kDm, Role::kBf), RolePairClass::kBpDp);
+  EXPECT_EQ(ClassifyRolePair(Role::kBb, Role::kDd), RolePairClass::kBbDd);
+  EXPECT_EQ(ClassifyRolePair(Role::kBb, Role::kMg), RolePairClass::kOther);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/corruption.h"
+#include "datagen/name_pool.h"
+#include "datagen/simulator.h"
+#include "strsim/similarity.h"
+
+namespace snaps {
+namespace {
+
+// ------------------------------------------------------ Name pools.
+
+TEST(NamePoolTest, BaseListsAreNonEmptyAndDistinct) {
+  auto check = [](const std::vector<std::string>& names) {
+    EXPECT_GE(names.size(), 20u);
+    std::set<std::string> uniq(names.begin(), names.end());
+    EXPECT_EQ(uniq.size(), names.size());
+  };
+  check(BaseFemaleFirstNames());
+  check(BaseMaleFirstNames());
+  check(BaseSurnames());
+  check(BaseParishes());
+  check(BaseOccupations());
+  check(BaseDeathCauses());
+  check(PublicFemaleFirstNames());
+  check(PublicMaleFirstNames());
+  check(PublicSurnames());
+}
+
+TEST(NamePoolTest, PublicAndSensitiveUniversesAreDisjoint) {
+  std::set<std::string> base(BaseFemaleFirstNames().begin(),
+                             BaseFemaleFirstNames().end());
+  for (const auto& name : PublicFemaleFirstNames()) {
+    EXPECT_EQ(base.count(name), 0u) << name;
+  }
+}
+
+TEST(NamePoolTest, ExtendPoolReachesTargetDistinct) {
+  const auto extended = ExtendPool(BaseSurnames(), 500);
+  EXPECT_GE(extended.size(), 500u);
+  std::set<std::string> uniq(extended.begin(), extended.end());
+  EXPECT_EQ(uniq.size(), extended.size());
+}
+
+TEST(NamePoolTest, ZipfSamplingFavoursHead) {
+  ValuePool pool(BaseSurnames(), 1.0);
+  Rng rng(5);
+  std::unordered_map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[pool.SampleIndex(rng)]++;
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(NamePoolTest, BuildScalesPools) {
+  NamePools pools = NamePools::Build(400, 1.0);
+  EXPECT_GE(pools.female_first.size(), 400u);
+  EXPECT_GE(pools.male_first.size(), 400u);
+  EXPECT_GE(pools.surnames.size(), 400u);
+  EXPECT_GE(pools.streets.size(), 400u);
+}
+
+// ------------------------------------------------------ Corruption.
+
+TEST(CorruptionTest, RandomEditIsSingleEdit) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::string out = ApplyRandomEdit("margaret", rng);
+    // Substitution/insert/delete are distance 1; an adjacent
+    // transposition costs 2 under plain Levenshtein.
+    EXPECT_LE(LevenshteinDistance("margaret", out), 2);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(CorruptionTest, RandomEditNeverEmptiesValue) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ApplyRandomEdit("a", rng).empty());
+  }
+}
+
+TEST(CorruptionTest, SpellingVariantStaysSimilar) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const std::string v = ApplySpellingVariant("catherine", rng);
+    EXPECT_GE(JaroWinklerSimilarity("catherine", v), 0.8) << v;
+  }
+}
+
+TEST(CorruptionTest, MacPrefixVariant) {
+  Rng rng(13);
+  bool saw_mc = false;
+  for (int i = 0; i < 200 && !saw_mc; ++i) {
+    saw_mc = ApplySpellingVariant("macdonald", rng) == "mcdonald";
+  }
+  EXPECT_TRUE(saw_mc);
+}
+
+TEST(CorruptionTest, ZeroProbabilityIsIdentity) {
+  Rng rng(15);
+  CorruptionConfig cfg;
+  cfg.typo_prob = 0.0;
+  cfg.variant_prob = 0.0;
+  EXPECT_EQ(CorruptValue("flora", cfg, rng), "flora");
+}
+
+TEST(CorruptionTest, CorruptionRateRoughlyMatchesConfig) {
+  Rng rng(17);
+  CorruptionConfig cfg;
+  cfg.typo_prob = 0.5;
+  cfg.variant_prob = 0.0;
+  int changed = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (CorruptValue("alexander", cfg, rng) != "alexander") ++changed;
+  }
+  // A typo can occasionally reproduce the input; allow slack.
+  EXPECT_NEAR(static_cast<double>(changed) / n, 0.5, 0.07);
+}
+
+// ------------------------------------------------------- Simulator.
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static const GeneratedData& Data() {
+    static const GeneratedData* data = [] {
+      SimulatorConfig cfg;
+      cfg.seed = 77;
+      cfg.num_founder_couples = 40;
+      cfg.immigrants_per_year = 2.0;
+      return new GeneratedData(PopulationSimulator(cfg).Generate());
+    }();
+    return *data;
+  }
+};
+
+TEST_F(SimulatorTest, ProducesPeopleAndCertificates) {
+  EXPECT_GT(Data().people.size(), 200u);
+  EXPECT_GT(Data().dataset.num_certificates(), 200u);
+  EXPECT_GT(Data().dataset.num_records(), 600u);
+}
+
+TEST_F(SimulatorTest, CertificatesHaveValidRoleComposition) {
+  const Dataset& ds = Data().dataset;
+  for (const Certificate& cert : ds.certificates()) {
+    std::multiset<Role> roles;
+    for (RecordId r : ds.CertRecords(cert.id)) {
+      EXPECT_EQ(RoleCertType(ds.record(r).role), cert.type);
+      roles.insert(ds.record(r).role);
+    }
+    // No duplicate roles on one certificate, except census children.
+    for (Role role : roles) {
+      if (role == Role::kCc) continue;
+      EXPECT_EQ(roles.count(role), 1u);
+    }
+    if (cert.type == CertType::kBirth) {
+      EXPECT_EQ(roles.count(Role::kBb), 1u);
+    }
+    if (cert.type == CertType::kDeath) {
+      EXPECT_EQ(roles.count(Role::kDd), 1u);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, EveryRecordHasGroundTruth) {
+  for (const Record& r : Data().dataset.records()) {
+    ASSERT_NE(r.true_person, kUnknownPersonId);
+    ASSERT_LT(r.true_person, Data().people.size());
+  }
+}
+
+TEST_F(SimulatorTest, OnePersonHasAtMostOneBirthAndDeathRecord) {
+  std::unordered_map<PersonId, int> bb, dd;
+  for (const Record& r : Data().dataset.records()) {
+    if (r.role == Role::kBb) bb[r.true_person]++;
+    if (r.role == Role::kDd) dd[r.true_person]++;
+  }
+  for (const auto& [p, n] : bb) EXPECT_EQ(n, 1) << p;
+  for (const auto& [p, n] : dd) EXPECT_EQ(n, 1) << p;
+}
+
+TEST_F(SimulatorTest, CertYearsWithinRegistrationWindow) {
+  SimulatorConfig cfg;  // Defaults used by the fixture.
+  for (const Certificate& c : Data().dataset.certificates()) {
+    EXPECT_GE(c.year, cfg.reg_start_year);
+    EXPECT_LE(c.year, cfg.reg_end_year);
+  }
+}
+
+TEST_F(SimulatorTest, GendersMatchRoles) {
+  const Dataset& ds = Data().dataset;
+  for (const Record& r : ds.records()) {
+    const Gender implied = RoleImpliedGender(r.role);
+    if (implied != Gender::kUnknown) {
+      EXPECT_EQ(r.gender(), implied) << RoleName(r.role);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, ParentsOfBabyAreItsTrueParents) {
+  const Dataset& ds = Data().dataset;
+  const auto& people = Data().people;
+  for (const Certificate& cert : ds.certificates()) {
+    if (cert.type != CertType::kBirth) continue;
+    PersonId baby = kUnknownPersonId, mother = kUnknownPersonId;
+    for (RecordId r : ds.CertRecords(cert.id)) {
+      if (ds.record(r).role == Role::kBb) baby = ds.record(r).true_person;
+      if (ds.record(r).role == Role::kBm) mother = ds.record(r).true_person;
+    }
+    if (baby != kUnknownPersonId && mother != kUnknownPersonId) {
+      EXPECT_EQ(people[baby].mother, mother);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, SurnameChangesAtMarriageAppearInData) {
+  // At least one woman should have a maiden surname recorded that
+  // differs from her surname (the changing-QID challenge).
+  bool found = false;
+  for (const Record& r : Data().dataset.records()) {
+    if (r.has_value(Attr::kMaidenSurname) &&
+        r.value(Attr::kMaidenSurname) != r.value(Attr::kSurname)) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SimulatorTest, MissingOccupationRateRoughlyMatchesConfig) {
+  size_t bf = 0, missing = 0;
+  for (const Record& r : Data().dataset.records()) {
+    if (r.role != Role::kBf) continue;
+    ++bf;
+    if (!r.has_value(Attr::kOccupation)) ++missing;
+  }
+  ASSERT_GT(bf, 100u);
+  // Default missing_occupation_prob is 0.55 for fathers (who all have
+  // an occupation in the simulation).
+  EXPECT_NEAR(static_cast<double>(missing) / bf, 0.55, 0.08);
+}
+
+TEST_F(SimulatorTest, DeterministicGivenSeed) {
+  SimulatorConfig cfg;
+  cfg.seed = 77;
+  cfg.num_founder_couples = 40;
+  cfg.immigrants_per_year = 2.0;
+  GeneratedData again = PopulationSimulator(cfg).Generate();
+  ASSERT_EQ(again.dataset.num_records(), Data().dataset.num_records());
+  for (size_t i = 0; i < again.dataset.num_records(); ++i) {
+    EXPECT_EQ(again.dataset.record(i).values,
+              Data().dataset.record(i).values);
+  }
+}
+
+TEST(SimulatorPresetsTest, PresetsDiffer) {
+  const SimulatorConfig ios = SimulatorConfig::IosLike();
+  const SimulatorConfig kil = SimulatorConfig::KilLike();
+  EXPECT_TRUE(ios.with_geo);
+  EXPECT_FALSE(kil.with_geo);
+  EXPECT_GT(kil.num_founder_couples, ios.num_founder_couples);
+  const SimulatorConfig bhic = SimulatorConfig::BhicLike(1900);
+  EXPECT_EQ(bhic.reg_start_year, 1900);
+  EXPECT_EQ(bhic.reg_end_year, 1935);
+}
+
+TEST(SimulatorAgeTest, DeathRecordsCarryPlausibleAge) {
+  SimulatorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_founder_couples = 30;
+  GeneratedData data = PopulationSimulator(cfg).Generate();
+  size_t with_age = 0;
+  for (const Record& r : data.dataset.records()) {
+    if (r.role != Role::kDd) continue;
+    ASSERT_TRUE(r.has_value(Attr::kAgeAtDeath));
+    const int age = std::atoi(r.value(Attr::kAgeAtDeath).c_str());
+    EXPECT_GE(age, 0);
+    EXPECT_LE(age, 110);
+    ++with_age;
+  }
+  EXPECT_GT(with_age, 0u);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace snaps {
+namespace {
+
+/// Randomised dataset round-trip: arbitrary attribute content,
+/// arbitrary certificate/role composition, with and without ground
+/// truth, must survive ToCsv -> FromCsv.
+class DatasetRoundTripFuzz : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static std::string RandomValue(Rng& rng) {
+    static const char kAlphabet[] = "abz AZ-',\"09";
+    const size_t len = rng.NextUint64(14);
+    std::string out;
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(kAlphabet[rng.NextUint64(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+  static Dataset RandomDataset(Rng& rng) {
+    Dataset ds;
+    const size_t certs = 1 + rng.NextUint64(25);
+    for (size_t c = 0; c < certs; ++c) {
+      const CertType type =
+          static_cast<CertType>(rng.NextUint64(4));
+      const CertId cert = ds.AddCertificate(
+          type, 1850 + static_cast<int>(rng.NextUint64(60)));
+      // Pick 1..3 roles valid for this certificate type.
+      std::vector<Role> valid;
+      for (int r = 0; r < kNumRoles; ++r) {
+        if (RoleCertType(static_cast<Role>(r)) == type) {
+          valid.push_back(static_cast<Role>(r));
+        }
+      }
+      const size_t count = 1 + rng.NextUint64(valid.size());
+      for (size_t i = 0; i < count; ++i) {
+        Record rec;
+        for (int a = 0; a < kNumAttrs; ++a) {
+          if (rng.NextBool(0.6)) {
+            rec.values[a] = RandomValue(rng);
+          }
+        }
+        if (rng.NextBool(0.7)) {
+          rec.true_person = static_cast<PersonId>(rng.NextUint64(50));
+        }
+        ds.AddRecord(cert, valid[rng.NextUint64(valid.size())], rec);
+      }
+    }
+    return ds;
+  }
+};
+
+TEST_P(DatasetRoundTripFuzz, CsvPreservesEverything) {
+  Rng rng(GetParam());
+  const Dataset ds = RandomDataset(rng);
+  Result<Dataset> back = Dataset::FromCsv(ds.ToCsv());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_records(), ds.num_records());
+  ASSERT_EQ(back->num_certificates(), ds.num_certificates());
+  for (size_t i = 0; i < ds.num_records(); ++i) {
+    const Record& a = ds.record(i);
+    const Record& b = back->record(i);
+    EXPECT_EQ(a.role, b.role);
+    EXPECT_EQ(a.cert_id, b.cert_id);
+    EXPECT_EQ(a.true_person, b.true_person);
+    for (int attr = 0; attr < kNumAttrs; ++attr) {
+      if (attr == static_cast<int>(Attr::kYear)) continue;  // Backfilled.
+      EXPECT_EQ(a.values[attr], b.values[attr]) << "attr " << attr;
+    }
+  }
+  for (size_t c = 0; c < ds.num_certificates(); ++c) {
+    EXPECT_EQ(back->certificate(c).type, ds.certificate(c).type);
+    EXPECT_EQ(back->certificate(c).year, ds.certificate(c).year);
+    EXPECT_EQ(back->CertRecords(c), ds.CertRecords(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetRoundTripFuzz,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+TEST(DatasetYearBackfillTest, RecordYearDefaultsToCertYear) {
+  Dataset ds;
+  const CertId c = ds.AddCertificate(CertType::kBirth, 1877);
+  Record with_year;
+  with_year.set_value(Attr::kYear, "1876");  // Registered late.
+  ds.AddRecord(c, Role::kBb, with_year);
+  ds.AddRecord(c, Role::kBm, Record());
+  EXPECT_EQ(ds.record(0).event_year(), 1876);  // Kept.
+  EXPECT_EQ(ds.record(1).event_year(), 1877);  // Backfilled.
+}
+
+}  // namespace
+}  // namespace snaps

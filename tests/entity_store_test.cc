@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/entity_store.h"
+#include "graph/dependency_graph.h"
+
+namespace snaps {
+namespace {
+
+/// Builds a dataset of n standalone Bm records (one per certificate)
+/// with compatible years so the constraints never interfere.
+Dataset MakeRecords(int n) {
+  Dataset ds;
+  for (int i = 0; i < n; ++i) {
+    const CertId cert = ds.AddCertificate(CertType::kBirth, 1880 + (i % 3));
+    Record r;
+    r.set_value(Attr::kFirstName, "mary");
+    r.set_value(Attr::kSurname, "smith");
+    r.set_value(Attr::kGender, "f");
+    ds.AddRecord(cert, Role::kBm, r);
+  }
+  return ds;
+}
+
+class EntityStoreTest : public ::testing::Test {
+ protected:
+  EntityStoreTest() : ds_(MakeRecords(6)), store_(&ds_, LinkConstraints()) {
+    // A relational node per consecutive record pair.
+    const GroupId g = graph_.NewGroup();
+    for (RecordId i = 0; i + 1 < 6; ++i) {
+      nodes_.push_back(graph_.AddRelationalNode(i, i + 1, g));
+    }
+  }
+
+  Dataset ds_;
+  DependencyGraph graph_;
+  EntityStore store_;
+  std::vector<RelNodeId> nodes_;
+};
+
+TEST_F(EntityStoreTest, StartsAsSingletons) {
+  EXPECT_EQ(store_.NumMergedEntities(), 0u);
+  EXPECT_EQ(store_.AllEntities().size(), 6u);
+  for (RecordId r = 0; r < 6; ++r) {
+    EXPECT_EQ(store_.cluster(store_.entity_of(r)).records.size(), 1u);
+  }
+}
+
+TEST_F(EntityStoreTest, LinkMergesClusters) {
+  store_.Link(nodes_[0], 0, 1, &graph_);
+  EXPECT_EQ(store_.entity_of(0), store_.entity_of(1));
+  EXPECT_TRUE(graph_.rel_node(nodes_[0]).merged);
+  const EntityCluster& c = store_.cluster(store_.entity_of(0));
+  EXPECT_EQ(c.records.size(), 2u);
+  EXPECT_EQ(c.links.size(), 1u);
+  EXPECT_EQ(store_.NumMergedEntities(), 1u);
+}
+
+TEST_F(EntityStoreTest, TransitiveMerge) {
+  store_.Link(nodes_[0], 0, 1, &graph_);
+  store_.Link(nodes_[1], 1, 2, &graph_);
+  EXPECT_EQ(store_.entity_of(0), store_.entity_of(2));
+  EXPECT_EQ(store_.cluster(store_.entity_of(0)).records.size(), 3u);
+  EXPECT_EQ(store_.NonSingletonEntities().size(), 1u);
+}
+
+TEST_F(EntityStoreTest, ValuesAndVersionMaintained) {
+  const uint32_t v0 = store_.cluster(store_.entity_of(0)).version;
+  store_.Link(nodes_[0], 0, 1, &graph_);
+  const EntityCluster& c = store_.cluster(store_.entity_of(0));
+  EXPECT_GT(c.version, v0);
+  // Identical values are deduplicated in the per-attribute lists.
+  EXPECT_EQ(c.values[static_cast<size_t>(Attr::kFirstName)].size(), 1u);
+}
+
+TEST_F(EntityStoreTest, SplitOnLinkRemoval) {
+  store_.Link(nodes_[0], 0, 1, &graph_);
+  store_.Link(nodes_[1], 1, 2, &graph_);
+  const EntityId e = store_.entity_of(0);
+  // Dropping the 1-2 link must split {0,1,2} into {0,1} and {2}.
+  store_.RemoveLinksAndSplit(e, {nodes_[1]}, &graph_);
+  EXPECT_EQ(store_.entity_of(0), store_.entity_of(1));
+  EXPECT_NE(store_.entity_of(0), store_.entity_of(2));
+  EXPECT_FALSE(graph_.rel_node(nodes_[1]).merged);
+  EXPECT_TRUE(graph_.rel_node(nodes_[0]).merged);
+  EXPECT_EQ(store_.cluster(store_.entity_of(2)).records.size(), 1u);
+}
+
+TEST_F(EntityStoreTest, SplitRebuildsProfilesAndValues) {
+  store_.Link(nodes_[0], 0, 1, &graph_);
+  store_.Link(nodes_[1], 1, 2, &graph_);
+  const EntityId e = store_.entity_of(0);
+  store_.RemoveLinksAndSplit(e, {nodes_[0], nodes_[1]}, &graph_);
+  // All singletons again.
+  EXPECT_EQ(store_.NumMergedEntities(), 0u);
+  for (RecordId r = 0; r < 3; ++r) {
+    const EntityCluster& c = store_.cluster(store_.entity_of(r));
+    EXPECT_EQ(c.records.size(), 1u);
+    EXPECT_EQ(c.profile.record_count, 1);
+  }
+}
+
+TEST_F(EntityStoreTest, CanLinkHonoursConstraints) {
+  // Merging two Bb records is never allowed.
+  Dataset ds;
+  const CertId c1 = ds.AddCertificate(CertType::kBirth, 1880);
+  const CertId c2 = ds.AddCertificate(CertType::kBirth, 1881);
+  ds.AddRecord(c1, Role::kBb, Record());
+  ds.AddRecord(c2, Role::kBb, Record());
+  EntityStore store(&ds, LinkConstraints());
+  EXPECT_FALSE(store.CanLink(0, 1));
+}
+
+TEST_F(EntityStoreTest, LinkWithinSameEntityKeepsLink) {
+  store_.Link(nodes_[0], 0, 1, &graph_);
+  store_.Link(nodes_[1], 1, 2, &graph_);
+  // A node between records already co-clustered adds a redundant link.
+  const GroupId g = graph_.NewGroup();
+  const RelNodeId extra = graph_.AddRelationalNode(0, 2, g);
+  const EntityId e = store_.Link(extra, 0, 2, &graph_);
+  EXPECT_EQ(store_.cluster(e).links.size(), 3u);
+  EXPECT_EQ(store_.cluster(e).records.size(), 3u);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "eval/metrics.h"
+
+namespace snaps {
+namespace {
+
+/// Hand-crafted scenario from the paper (Sections 4.1-4.2): one
+/// family's two birth certificates and the baby's death certificate,
+/// plus an unrelated doppelganger family. Surnames/maiden names model
+/// the mother's name change.
+class HandCraftedFamily {
+ public:
+  HandCraftedFamily() {
+    // Birth of child 1: mother mary mackinnon (maiden gunn),
+    // father john mackinnon.
+    birth1_ = ds_.AddCertificate(CertType::kBirth, 1862);
+    bb1_ = AddPerson(birth1_, Role::kBb, "flora", "mackinnon", "f");
+    bm1_ = AddPerson(birth1_, Role::kBm, "mary", "mackinnon", "f", "gunn");
+    bf1_ = AddPerson(birth1_, Role::kBf, "john", "mackinnon", "m");
+
+    // Birth of child 2, same parents, four years later.
+    birth2_ = ds_.AddCertificate(CertType::kBirth, 1866);
+    bb2_ = AddPerson(birth2_, Role::kBb, "kenneth", "mackinnon", "m");
+    bm2_ = AddPerson(birth2_, Role::kBm, "mary", "mackinnon", "f", "gunn");
+    bf2_ = AddPerson(birth2_, Role::kBf, "john", "mackinnon", "m");
+
+    // Death of child 1 as a young woman; parents listed.
+    death1_ = ds_.AddCertificate(CertType::kDeath, 1884);
+    dd1_ = AddPerson(death1_, Role::kDd, "flora", "mackinnon", "f");
+    dm1_ = AddPerson(death1_, Role::kDm, "mary", "mackinnon", "f", "gunn");
+    df1_ = AddPerson(death1_, Role::kDf, "john", "mackinnon", "m");
+
+    // Unrelated family with a different surname in another parish.
+    birth3_ = ds_.AddCertificate(CertType::kBirth, 1871);
+    AddPerson(birth3_, Role::kBb, "flora", "nicolson", "f");
+    AddPerson(birth3_, Role::kBm, "effie", "nicolson", "f", "beaton");
+    AddPerson(birth3_, Role::kBf, "angus", "nicolson", "m");
+
+    // Filler: unique-name death certificates so name frequencies are
+    // realistic relative to |O| (Equation 2 degenerates on tiny data).
+    for (int i = 0; i < 80; ++i) {
+      const CertId c = ds_.AddCertificate(CertType::kDeath, 1861 + i % 40);
+      Record r;
+      r.set_value(Attr::kFirstName, "filler" + std::to_string(i));
+      r.set_value(Attr::kSurname, "unique" + std::to_string(i));
+      r.set_value(Attr::kGender, i % 2 == 0 ? "f" : "m");
+      ds_.AddRecord(c, Role::kDd, r);
+    }
+  }
+
+  RecordId AddPerson(CertId cert, Role role, const std::string& first,
+                     const std::string& surname, const std::string& gender,
+                     const std::string& maiden = "") {
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    r.set_value(Attr::kGender, gender);
+    if (!maiden.empty()) r.set_value(Attr::kMaidenSurname, maiden);
+    r.set_value(Attr::kParish, "portree");
+    return ds_.AddRecord(cert, role, r);
+  }
+
+  Dataset ds_;
+  CertId birth1_, birth2_, death1_, birth3_;
+  RecordId bb1_, bm1_, bf1_, bb2_, bm2_, bf2_, dd1_, dm1_, df1_;
+};
+
+TEST(ErEngineHandcraftedTest, LinksParentsAcrossBirths) {
+  HandCraftedFamily f;
+  ErResult res = ErEngine().Resolve(f.ds_);
+  // The two mother records and the two father records must merge.
+  EXPECT_EQ(res.entities->entity_of(f.bm1_), res.entities->entity_of(f.bm2_));
+  EXPECT_EQ(res.entities->entity_of(f.bf1_), res.entities->entity_of(f.bf2_));
+}
+
+TEST(ErEngineHandcraftedTest, LinksBabyToHerDeath) {
+  HandCraftedFamily f;
+  ErResult res = ErEngine().Resolve(f.ds_);
+  EXPECT_EQ(res.entities->entity_of(f.bb1_), res.entities->entity_of(f.dd1_));
+  EXPECT_EQ(res.entities->entity_of(f.bm1_), res.entities->entity_of(f.dm1_));
+  EXPECT_EQ(res.entities->entity_of(f.bf1_), res.entities->entity_of(f.df1_));
+}
+
+TEST(ErEngineHandcraftedTest, PartialMatchGroupSiblingsNotMerged) {
+  HandCraftedFamily f;
+  ErResult res = ErEngine().Resolve(f.ds_);
+  // The two siblings are different people (and different genders).
+  EXPECT_NE(res.entities->entity_of(f.bb1_), res.entities->entity_of(f.bb2_));
+  // Sibling death-cert cross link must not merge either: kenneth is
+  // not flora.
+  EXPECT_NE(res.entities->entity_of(f.bb2_), res.entities->entity_of(f.dd1_));
+}
+
+TEST(ErEngineHandcraftedTest, UnrelatedFamilyStaysSeparate) {
+  HandCraftedFamily f;
+  ErResult res = ErEngine().Resolve(f.ds_);
+  // "flora nicolson" (record 9) is not "flora mackinnon".
+  EXPECT_NE(res.entities->entity_of(f.bb1_), res.entities->entity_of(9));
+}
+
+TEST(ErEngineHandcraftedTest, MatchedPairsAreOrderedUnique) {
+  HandCraftedFamily f;
+  ErResult res = ErEngine().Resolve(f.ds_);
+  const auto pairs = res.MatchedPairs();
+  std::set<std::pair<RecordId, RecordId>> seen;
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.first, p.second);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(ErEngineHandcraftedTest, StatsAreFilled) {
+  HandCraftedFamily f;
+  ErResult res = ErEngine().Resolve(f.ds_);
+  EXPECT_GT(res.stats.num_rel_nodes, 0u);
+  EXPECT_GT(res.stats.num_groups, 0u);
+  EXPECT_GT(res.stats.num_merged_nodes, 0u);
+  EXPECT_GT(res.stats.num_entities, 0u);
+  EXPECT_GE(res.stats.total_seconds, 0.0);
+}
+
+// --------------------------------------------- Simulated-town runs.
+
+class ErEngineIntegrationTest : public ::testing::Test {
+ protected:
+  static const GeneratedData& Data() {
+    static const GeneratedData* data = [] {
+      SimulatorConfig cfg;
+      cfg.seed = 404;
+      cfg.num_founder_couples = 45;
+      cfg.immigrants_per_year = 2.0;
+      return new GeneratedData(PopulationSimulator(cfg).Generate());
+    }();
+    return *data;
+  }
+};
+
+TEST_F(ErEngineIntegrationTest, QualityAboveFloor) {
+  ErResult res = ErEngine().Resolve(Data().dataset);
+  const auto pairs = res.MatchedPairs();
+  const LinkageQuality bpbp =
+      EvaluatePairs(Data().dataset, pairs, RolePairClass::kBpBp);
+  // Floors are deliberately generous; the bench reproduces the exact
+  // table. This guards against regressions to useless quality.
+  EXPECT_GT(bpbp.Precision(), 0.8);
+  EXPECT_GT(bpbp.Recall(), 0.7);
+}
+
+TEST_F(ErEngineIntegrationTest, DeterministicAcrossRuns) {
+  ErResult a = ErEngine().Resolve(Data().dataset);
+  ErResult b = ErEngine().Resolve(Data().dataset);
+  EXPECT_EQ(a.MatchedPairs(), b.MatchedPairs());
+}
+
+TEST_F(ErEngineIntegrationTest, ClustersRespectLinkConstraints) {
+  ErResult res = ErEngine().Resolve(Data().dataset);
+  for (EntityId e : res.entities->NonSingletonEntities()) {
+    const EntityCluster& c = res.entities->cluster(e);
+    int bb = 0, dd = 0;
+    std::set<Gender> genders;
+    for (RecordId r : c.records) {
+      const Record& rec = Data().dataset.record(r);
+      if (rec.role == Role::kBb) ++bb;
+      if (rec.role == Role::kDd) ++dd;
+      if (rec.gender() != Gender::kUnknown) genders.insert(rec.gender());
+    }
+    EXPECT_LE(bb, 1);
+    EXPECT_LE(dd, 1);
+    EXPECT_LE(genders.size(), 1u);
+  }
+}
+
+TEST_F(ErEngineIntegrationTest, AblationShapes) {
+  // Removing AMB must cost precision (ambiguous merges); removing REL
+  // must cost recall (partial-match groups unresolved).
+  ErConfig base;
+  ErResult full = ErEngine(base).Resolve(Data().dataset);
+  const auto full_q = EvaluatePairs(Data().dataset, full.MatchedPairs(),
+                                    RolePairClass::kBpBp);
+
+  ErConfig no_amb = base;
+  no_amb.enable_amb = false;
+  const auto amb_q = EvaluatePairs(
+      Data().dataset, ErEngine(no_amb).Resolve(Data().dataset).MatchedPairs(),
+      RolePairClass::kBpBp);
+  EXPECT_LT(amb_q.Precision(), full_q.Precision());
+
+  ErConfig no_rel = base;
+  no_rel.enable_rel = false;
+  const auto rel_q = EvaluatePairs(
+      Data().dataset, ErEngine(no_rel).Resolve(Data().dataset).MatchedPairs(),
+      RolePairClass::kBpBp);
+  EXPECT_LT(rel_q.Recall(), full_q.Recall());
+}
+
+TEST_F(ErEngineIntegrationTest, RefRemovesSparseClusters) {
+  // With REF disabled there are at least as many merged nodes.
+  ErConfig with_ref;
+  ErConfig no_ref;
+  no_ref.enable_ref = false;
+  ErResult a = ErEngine(with_ref).Resolve(Data().dataset);
+  ErResult b = ErEngine(no_ref).Resolve(Data().dataset);
+  EXPECT_LE(a.MatchedPairs().size(), b.MatchedPairs().size());
+}
+
+TEST_F(ErEngineIntegrationTest, BootstrapOnlyIsHighPrecision) {
+  ErConfig cfg;
+  cfg.merge_passes = 0;
+  ErResult res = ErEngine(cfg).Resolve(Data().dataset);
+  const auto q = EvaluatePairs(Data().dataset, res.MatchedPairs(),
+                               RolePairClass::kBpBp);
+  EXPECT_GT(q.Precision(), 0.85);
+}
+
+}  // namespace
+}  // namespace snaps

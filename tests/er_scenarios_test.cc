@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/er_engine.h"
+
+namespace snaps {
+namespace {
+
+/// Focused behavioural scenarios for the ER engine beyond the basic
+/// handcrafted family: remarriage, posthumous mentions, doppelganger
+/// separation and refinement. Each fixture embeds filler records so
+/// the disambiguation similarity (Equation 2) behaves as on real-size
+/// data.
+class ScenarioBuilder {
+ public:
+  RecordId Add(CertId cert, Role role, const std::string& first,
+               const std::string& surname, const std::string& gender,
+               const std::string& maiden = "",
+               const std::string& parish = "") {
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    r.set_value(Attr::kGender, gender);
+    if (!maiden.empty()) r.set_value(Attr::kMaidenSurname, maiden);
+    if (!parish.empty()) r.set_value(Attr::kParish, parish);
+    return ds_.AddRecord(cert, role, r);
+  }
+
+  void AddFiller(int n) {
+    for (int i = 0; i < n; ++i) {
+      const CertId c = ds_.AddCertificate(CertType::kDeath, 1861 + i % 40);
+      Record r;
+      r.set_value(Attr::kFirstName, "filler" + std::to_string(i));
+      r.set_value(Attr::kSurname, "unique" + std::to_string(i));
+      r.set_value(Attr::kGender, i % 2 == 0 ? "f" : "m");
+      ds_.AddRecord(c, Role::kDd, r);
+    }
+  }
+
+  Dataset ds_;
+};
+
+TEST(ErScenarioTest, RemarriedWidowLinksAcrossBothMarriages) {
+  // Mary (maiden gunn) marries beaton, has a child, he dies, she
+  // remarries gillies and has another child. Both marriage
+  // certificates carry the relationship evidence (bride + groom);
+  // solitary single-record hypotheses deliberately do not merge, so
+  // the trail mirrors the real record chain of a remarriage.
+  ScenarioBuilder b;
+  const CertId m1 = b.ds_.AddCertificate(CertType::kMarriage, 1868);
+  const RecordId mary0 = b.Add(m1, Role::kMb, "morvena", "gunn", "f");
+  const RecordId hus1_m = b.Add(m1, Role::kMg, "torquil", "beaton", "m");
+
+  const CertId b1 = b.ds_.AddCertificate(CertType::kBirth, 1870);
+  const RecordId mary1 = b.Add(b1, Role::kBm, "morvena", "beaton", "f", "gunn");
+  const RecordId hus1_b = b.Add(b1, Role::kBf, "torquil", "beaton", "m");
+  b.Add(b1, Role::kBb, "ann", "beaton", "f");
+
+  const CertId d1 = b.ds_.AddCertificate(CertType::kDeath, 1872);
+  const RecordId hus1_d = b.Add(d1, Role::kDd, "torquil", "beaton", "m");
+  const RecordId mary2 = b.Add(d1, Role::kDs, "morvena", "beaton", "f", "gunn");
+
+  const CertId m2 = b.ds_.AddCertificate(CertType::kMarriage, 1874);
+  const RecordId mary3 = b.Add(m2, Role::kMb, "morvena", "gunn", "f");
+  const RecordId hus2_m = b.Add(m2, Role::kMg, "ewen", "gillies", "m");
+
+  const CertId b2 = b.ds_.AddCertificate(CertType::kBirth, 1876);
+  const RecordId mary4 = b.Add(b2, Role::kBm, "morvena", "gillies", "f", "gunn");
+  const RecordId hus2_b = b.Add(b2, Role::kBf, "ewen", "gillies", "m");
+  b.Add(b2, Role::kBb, "flora", "gillies", "f");
+
+  b.AddFiller(80);
+  ErResult res = ErEngine().Resolve(b.ds_);
+
+  // First-marriage trail: marriage -> birth -> husband's death.
+  EXPECT_EQ(res.entities->entity_of(mary0), res.entities->entity_of(mary1));
+  EXPECT_EQ(res.entities->entity_of(mary1), res.entities->entity_of(mary2));
+  EXPECT_EQ(res.entities->entity_of(hus1_m), res.entities->entity_of(hus1_b));
+  EXPECT_EQ(res.entities->entity_of(hus1_b), res.entities->entity_of(hus1_d));
+  // Second-marriage trail.
+  EXPECT_EQ(res.entities->entity_of(mary3), res.entities->entity_of(mary4));
+  EXPECT_EQ(res.entities->entity_of(hus2_m), res.entities->entity_of(hus2_b));
+  // The two husbands stay distinct people.
+  EXPECT_NE(res.entities->entity_of(hus1_b), res.entities->entity_of(hus2_b));
+
+  // Bridging the two marriages needs a solo merge of the bride
+  // records (her two grooms are negative relationship evidence, so
+  // REL strips the group down to her node alone). The default solo
+  // threshold (0.95) is deliberately conservative and leaves the two
+  // marriage trails separate ...
+  EXPECT_NE(res.entities->entity_of(mary0), res.entities->entity_of(mary3));
+
+  // ... while a solo threshold at t_m accepts the rare-name bride
+  // match and unifies the whole remarriage chain — the documented
+  // precision/recall lever of ErConfig::solo_merge_threshold.
+  ErConfig permissive;
+  permissive.solo_merge_threshold = permissive.merge_threshold;
+  ErResult res2 = ErEngine(permissive).Resolve(b.ds_);
+  EXPECT_EQ(res2.entities->entity_of(mary0),
+            res2.entities->entity_of(mary3));
+  EXPECT_EQ(res2.entities->entity_of(mary1),
+            res2.entities->entity_of(mary4));
+  EXPECT_NE(res2.entities->entity_of(hus1_b),
+            res2.entities->entity_of(hus2_b));
+}
+
+TEST(ErScenarioTest, PosthumousFatherOnChildDeathCert) {
+  // Father dies in 1870; his child dies in 1885 and the death
+  // certificate still names him. The Df mention must link to his
+  // death record despite the 15-year gap.
+  ScenarioBuilder b;
+  const CertId b1 = b.ds_.AddCertificate(CertType::kBirth, 1865);
+  b.Add(b1, Role::kBb, "kenneth", "macrae", "m");
+  const RecordId bm = b.Add(b1, Role::kBm, "oighrig", "macrae", "f", "vass");
+  const RecordId bf = b.Add(b1, Role::kBf, "farquhar", "macrae", "m");
+
+  const CertId d1 = b.ds_.AddCertificate(CertType::kDeath, 1870);
+  const RecordId dd_father = b.Add(d1, Role::kDd, "farquhar", "macrae", "m");
+  b.Add(d1, Role::kDs, "oighrig", "macrae", "f", "vass");
+
+  const CertId d2 = b.ds_.AddCertificate(CertType::kDeath, 1885);
+  b.Add(d2, Role::kDd, "kenneth", "macrae", "m");
+  const RecordId dm = b.Add(d2, Role::kDm, "oighrig", "macrae", "f", "vass");
+  const RecordId df = b.Add(d2, Role::kDf, "farquhar", "macrae", "m");
+
+  b.AddFiller(80);
+  ErResult res = ErEngine().Resolve(b.ds_);
+
+  EXPECT_EQ(res.entities->entity_of(bm), res.entities->entity_of(dm));
+  EXPECT_EQ(res.entities->entity_of(bf), res.entities->entity_of(df));
+  // The posthumous mention and the death record are the same person.
+  EXPECT_EQ(res.entities->entity_of(df),
+            res.entities->entity_of(dd_father));
+}
+
+TEST(ErScenarioTest, DoppelgangerCouplesInDifferentParishes) {
+  // Two families with identical names but different maiden surnames
+  // and parishes must not merge.
+  ScenarioBuilder b;
+  const CertId b1 = b.ds_.AddCertificate(CertType::kBirth, 1870);
+  const RecordId bm1 = b.Add(b1, Role::kBm, "marsaili", "nicolson", "f",
+                             "beaton", "portree");
+  b.Add(b1, Role::kBf, "tavish", "nicolson", "m", "", "portree");
+  b.Add(b1, Role::kBb, "una", "nicolson", "f", "", "portree");
+
+  const CertId b2 = b.ds_.AddCertificate(CertType::kBirth, 1872);
+  const RecordId bm2 = b.Add(b2, Role::kBm, "marsaili", "nicolson", "f",
+                             "macaskill", "snizort");
+  b.Add(b2, Role::kBf, "tavish", "nicolson", "m", "", "snizort");
+  b.Add(b2, Role::kBb, "rhoda", "nicolson", "f", "", "snizort");
+
+  b.AddFiller(80);
+  ErResult res = ErEngine().Resolve(b.ds_);
+  // The maiden surname mismatch (Core negative evidence) must keep
+  // the two mothers apart.
+  EXPECT_NE(res.entities->entity_of(bm1), res.entities->entity_of(bm2));
+}
+
+TEST(ErScenarioTest, TwinsKeepSeparateIdentities) {
+  // Twins: same parents, same year, different first names. The
+  // parents merge across the two certificates; the babies must not.
+  ScenarioBuilder b;
+  const CertId b1 = b.ds_.AddCertificate(CertType::kBirth, 1880);
+  const RecordId twin1 = b.Add(b1, Role::kBb, "seonaid", "gunn", "f");
+  const RecordId bm1 = b.Add(b1, Role::kBm, "peigi", "gunn", "f", "macrae");
+  const RecordId bf1 = b.Add(b1, Role::kBf, "somhairle", "gunn", "m");
+
+  const CertId b2 = b.ds_.AddCertificate(CertType::kBirth, 1880);
+  const RecordId twin2 = b.Add(b2, Role::kBb, "beathag", "gunn", "f");
+  const RecordId bm2 = b.Add(b2, Role::kBm, "peigi", "gunn", "f", "macrae");
+  const RecordId bf2 = b.Add(b2, Role::kBf, "somhairle", "gunn", "m");
+
+  b.AddFiller(80);
+  ErResult res = ErEngine().Resolve(b.ds_);
+  EXPECT_EQ(res.entities->entity_of(bm1), res.entities->entity_of(bm2));
+  EXPECT_EQ(res.entities->entity_of(bf1), res.entities->entity_of(bf2));
+  EXPECT_NE(res.entities->entity_of(twin1), res.entities->entity_of(twin2));
+}
+
+TEST(ErScenarioTest, IllegitimateBirthWithoutFather) {
+  // A fatherless birth certificate must still link the mother to her
+  // other records through her child (the child's death certificate
+  // names her as Dm).
+  ScenarioBuilder b;
+  const CertId b1 = b.ds_.AddCertificate(CertType::kBirth, 1875);
+  const RecordId bb = b.Add(b1, Role::kBb, "domhnall", "vass", "m");
+  const RecordId bm1 = b.Add(b1, Role::kBm, "silis", "vass", "f");
+
+  const CertId d1 = b.ds_.AddCertificate(CertType::kDeath, 1879);
+  const RecordId dd_child = b.Add(d1, Role::kDd, "domhnall", "vass", "m");
+  const RecordId dm = b.Add(d1, Role::kDm, "silis", "vass", "f");
+
+  b.AddFiller(80);
+  ErResult res = ErEngine().Resolve(b.ds_);
+  EXPECT_EQ(res.entities->entity_of(bb), res.entities->entity_of(dd_child));
+  EXPECT_EQ(res.entities->entity_of(bm1), res.entities->entity_of(dm));
+}
+
+}  // namespace
+}  // namespace snaps

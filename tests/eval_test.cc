@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace snaps {
+namespace {
+
+TEST(LinkageQualityTest, PerfectClassification) {
+  LinkageQuality q;
+  q.tp = 10;
+  EXPECT_DOUBLE_EQ(q.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(q.FStar(), 1.0);
+}
+
+TEST(LinkageQualityTest, KnownValues) {
+  LinkageQuality q;
+  q.tp = 6;
+  q.fp = 2;
+  q.fn = 4;
+  EXPECT_DOUBLE_EQ(q.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.6);
+  EXPECT_DOUBLE_EQ(q.FStar(), 0.5);
+}
+
+TEST(LinkageQualityTest, EmptyIsZero) {
+  LinkageQuality q;
+  EXPECT_DOUBLE_EQ(q.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(q.FStar(), 0.0);
+}
+
+TEST(LinkageQualityTest, FStarIsMonotoneTransformOfF1) {
+  // F* = F1 / (2 - F1): verify the relationship numerically.
+  LinkageQuality q;
+  q.tp = 8;
+  q.fp = 3;
+  q.fn = 5;
+  const double p = q.Precision();
+  const double r = q.Recall();
+  const double f1 = 2 * p * r / (p + r);
+  EXPECT_NEAR(q.FStar(), f1 / (2 - f1), 1e-12);
+}
+
+/// Dataset with two people: person 1 has two Bm records, person 2 one
+/// Bm and one Dm record.
+Dataset MakeTruthDataset() {
+  Dataset ds;
+  auto add = [&ds](CertType type, Role role, PersonId person) {
+    const CertId c = ds.AddCertificate(type, 1880);
+    Record r;
+    r.true_person = person;
+    r.set_value(Attr::kGender, "f");
+    ds.AddRecord(c, role, r);
+  };
+  add(CertType::kBirth, Role::kBm, 1);  // Record 0.
+  add(CertType::kBirth, Role::kBm, 1);  // Record 1.
+  add(CertType::kBirth, Role::kBm, 2);  // Record 2.
+  add(CertType::kDeath, Role::kDm, 2);  // Record 3.
+  return ds;
+}
+
+TEST(CountTrueMatchesTest, PerClassCounts) {
+  Dataset ds = MakeTruthDataset();
+  EXPECT_EQ(CountTrueMatches(ds, RolePairClass::kBpBp), 1u);  // 0-1.
+  EXPECT_EQ(CountTrueMatches(ds, RolePairClass::kBpDp), 1u);  // 2-3.
+  EXPECT_EQ(CountTrueMatches(ds, RolePairClass::kBbDd), 0u);
+}
+
+TEST(EvaluatePairsTest, CountsTpFpFn) {
+  Dataset ds = MakeTruthDataset();
+  // Predict the true 0-1 link plus a wrong 1-2 link.
+  const std::vector<std::pair<RecordId, RecordId>> predicted = {{0, 1},
+                                                                {1, 2}};
+  const LinkageQuality q = EvaluatePairs(ds, predicted, RolePairClass::kBpBp);
+  EXPECT_EQ(q.tp, 1u);
+  EXPECT_EQ(q.fp, 1u);
+  EXPECT_EQ(q.fn, 0u);
+}
+
+TEST(EvaluatePairsTest, IgnoresOtherClasses) {
+  Dataset ds = MakeTruthDataset();
+  // A Bp-Dp prediction does not affect the Bp-Bp evaluation.
+  const std::vector<std::pair<RecordId, RecordId>> predicted = {{2, 3}};
+  const LinkageQuality q = EvaluatePairs(ds, predicted, RolePairClass::kBpBp);
+  EXPECT_EQ(q.tp, 0u);
+  EXPECT_EQ(q.fp, 0u);
+  EXPECT_EQ(q.fn, 1u);  // The 0-1 truth was missed.
+}
+
+TEST(EvaluatePairsTest, MissedMatchesBecomeFn) {
+  Dataset ds = MakeTruthDataset();
+  const LinkageQuality q = EvaluatePairs(ds, {}, RolePairClass::kBpDp);
+  EXPECT_EQ(q.fn, 1u);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "datagen/simulator.h"
+#include "learn/fellegi_sunter.h"
+
+namespace snaps {
+namespace {
+
+class FellegiSunterTest : public ::testing::Test {
+ protected:
+  static const GeneratedData& Data() {
+    static const GeneratedData* data = [] {
+      SimulatorConfig cfg;
+      cfg.seed = 1969;  // Fellegi & Sunter's year.
+      cfg.num_founder_couples = 30;
+      return new GeneratedData(PopulationSimulator(cfg).Generate());
+    }();
+    return *data;
+  }
+
+  static const FsModel& Model() {
+    static const FsModel* model = [] {
+      const Schema schema = Schema::Default();
+      // m from the blocked matches, u from random pairs: blocked
+      // pairs alone would bias u towards 1 for the name attributes.
+      const auto pairs = LabelTrainingPairs(Data().dataset, 30000);
+      return new FsModel(
+          EstimateFellegiSunter(Data().dataset, schema, pairs));
+    }();
+    return *model;
+  }
+};
+
+TEST_F(FellegiSunterTest, MatchProbabilitiesExceedNonMatch) {
+  // Agreement must be far more likely among matches for the stable
+  // name attributes.
+  for (const FsAttributeWeight& w : Model().attributes) {
+    if (w.attr == Attr::kFirstName || w.attr == Attr::kSurname) {
+      EXPECT_GT(w.m, w.u) << AttrName(w.attr);
+      EXPECT_GT(w.log_odds, 1.0) << AttrName(w.attr);
+    }
+  }
+}
+
+TEST_F(FellegiSunterTest, NamesOutweighLocation) {
+  double first = 0, parish = 0;
+  for (const FsAttributeWeight& w : Model().attributes) {
+    if (w.attr == Attr::kFirstName) first = w.log_odds;
+    if (w.attr == Attr::kParish) parish = w.log_odds;
+  }
+  // First name is the Must attribute for a reason: its agreement
+  // carries far more evidence than sharing a parish.
+  EXPECT_GT(first, parish);
+}
+
+TEST_F(FellegiSunterTest, ProbabilitiesAreProbabilities) {
+  for (const FsAttributeWeight& w : Model().attributes) {
+    EXPECT_GT(w.m, 0.0);
+    EXPECT_LT(w.m, 1.0);
+    EXPECT_GT(w.u, 0.0);
+    EXPECT_LT(w.u, 1.0);
+  }
+}
+
+TEST_F(FellegiSunterTest, QueryConfigIsNormalised) {
+  const QueryConfig cfg = Model().ToQueryConfig();
+  const double total = cfg.first_name_weight + cfg.surname_weight +
+                       cfg.parish_weight + cfg.gender_weight +
+                       cfg.year_weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(cfg.first_name_weight, 0.0);
+  EXPECT_GT(cfg.surname_weight, 0.0);
+  // Learned name weights dominate, as the paper's manual setting
+  // anticipated.
+  EXPECT_GT(cfg.first_name_weight + cfg.surname_weight,
+            cfg.parish_weight + cfg.gender_weight + cfg.year_weight);
+}
+
+TEST_F(FellegiSunterTest, EmptyTrainingKeepsBaseConfig) {
+  const Schema schema = Schema::Default();
+  const FsModel model =
+      EstimateFellegiSunter(Data().dataset, schema, {});
+  // With no data every m = u = 0.5 (Laplace), log-odds 0: base kept.
+  QueryConfig base;
+  base.first_name_weight = 0.42;
+  const QueryConfig cfg = model.ToQueryConfig(base);
+  EXPECT_DOUBLE_EQ(cfg.first_name_weight, 0.42);
+}
+
+TEST_F(FellegiSunterTest, LabelCandidatePairsRespectsCap) {
+  const auto pairs = LabelCandidatePairs(Data().dataset, 100);
+  EXPECT_EQ(pairs.size(), 100u);
+  bool any_match = false, any_nonmatch = false;
+  for (const LabeledPair& p : LabelCandidatePairs(Data().dataset, 5000)) {
+    any_match |= p.is_match;
+    any_nonmatch |= !p.is_match;
+  }
+  EXPECT_TRUE(any_match);
+  EXPECT_TRUE(any_nonmatch);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "geo/gazetteer.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/pedigree_graph.h"
+#include "pedigree/serialization.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+namespace {
+
+// ----------------------------------------------------- GeoPoint IO.
+
+TEST(ParseGeoValueTest, Valid) {
+  const auto p = ParseGeoValue("57.4125:-6.1960");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->lat, 57.4125, 1e-9);
+  EXPECT_NEAR(p->lon, -6.1960, 1e-9);
+}
+
+TEST(ParseGeoValueTest, Invalid) {
+  EXPECT_FALSE(ParseGeoValue("").has_value());
+  EXPECT_FALSE(ParseGeoValue("57.4").has_value());
+  EXPECT_FALSE(ParseGeoValue("north:south").has_value());
+  EXPECT_FALSE(ParseGeoValue("99:200").has_value());  // Out of range.
+}
+
+// ------------------------------------------------------ Gazetteer.
+
+TEST(GazetteerTest, AddAndFind) {
+  Gazetteer g;
+  g.Add("Portree", GeoPoint{57.41, -6.19});
+  const auto p = g.Find("portree");  // Normalised lookup.
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->lat, 57.41, 1e-9);
+  EXPECT_FALSE(g.Find("snizort").has_value());
+}
+
+TEST(GazetteerTest, RepeatedAddsAverage) {
+  Gazetteer g;
+  g.Add("portree", GeoPoint{57.40, -6.20});
+  g.Add("portree", GeoPoint{57.42, -6.18});
+  const auto p = g.Find("portree");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->lat, 57.41, 1e-9);
+  EXPECT_NEAR(p->lon, -6.19, 1e-9);
+}
+
+TEST(GazetteerTest, ApproximateLookup) {
+  Gazetteer g;
+  g.Add("duirinish", GeoPoint{57.45, -6.6});
+  EXPECT_TRUE(g.FindApprox("duirinsh").has_value());   // Typo.
+  EXPECT_FALSE(g.FindApprox("kilmarnock").has_value());
+}
+
+TEST(GazetteerTest, CentroidOverToken) {
+  Gazetteer g;
+  g.Add("1 high street", GeoPoint{57.0, -6.0});
+  g.Add("2 high street", GeoPoint{57.2, -6.2});
+  g.Add("mill lane", GeoPoint{10.0, 10.0});
+  const auto c = g.Centroid("high street");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->lat, 57.1, 1e-9);
+  EXPECT_FALSE(g.Centroid("nowhere road").has_value());
+}
+
+TEST(GazetteerTest, OutlierRemoval) {
+  Gazetteer g;
+  for (int i = 0; i < 10; ++i) {
+    g.Add("place" + std::to_string(i),
+          GeoPoint{57.0 + i * 0.001, -6.0});
+  }
+  g.Add("mistranscribed", GeoPoint{12.0, 99.0});  // Wild coordinate.
+  EXPECT_EQ(g.RemoveOutliers(100.0), 1u);
+  EXPECT_EQ(g.size(), 10u);
+  EXPECT_FALSE(g.Find("mistranscribed").has_value());
+}
+
+TEST(GazetteerTest, FromDataset) {
+  SimulatorConfig cfg = SimulatorConfig::IosLike();
+  cfg.num_founder_couples = 15;
+  cfg.immigrants_per_year = 1.0;
+  GeneratedData data = PopulationSimulator(cfg).Generate();
+  const Gazetteer g = Gazetteer::FromDataset(data.dataset);
+  EXPECT_GT(g.size(), 10u);
+}
+
+// ------------------------------------------- Region-limited query.
+
+class GeoQueryTest : public ::testing::Test {
+ protected:
+  GeoQueryTest() {
+    // Two same-named people in places ~60km apart.
+    AddBirth(1880, "flora", "macrae", "portree", "57.41:-6.19");
+    AddBirth(1882, "flora", "macrae", "kilmuir", "57.95:-6.30");
+    result_ = std::make_unique<ErResult>(ErEngine().Resolve(ds_));
+    graph_ = std::make_unique<PedigreeGraph>(
+        PedigreeGraph::Build(ds_, *result_));
+    keyword_ = std::make_unique<KeywordIndex>(graph_.get());
+    similarity_ = std::make_unique<SimilarityIndex>(keyword_.get());
+    processor_ = std::make_unique<QueryProcessor>(keyword_.get(),
+                                                  similarity_.get());
+    gazetteer_.Add("portree", GeoPoint{57.41, -6.19});
+    gazetteer_.Add("kilmuir", GeoPoint{57.95, -6.30});
+    processor_->set_gazetteer(&gazetteer_);
+  }
+
+  void AddBirth(int year, const std::string& first,
+                const std::string& surname, const std::string& parish,
+                const std::string& geo) {
+    const CertId c = ds_.AddCertificate(CertType::kBirth, year);
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    r.set_value(Attr::kGender, "f");
+    r.set_value(Attr::kParish, parish);
+    r.set_value(Attr::kGeo, geo);
+    ds_.AddRecord(c, Role::kBb, r);
+  }
+
+  Dataset ds_;
+  std::unique_ptr<ErResult> result_;
+  std::unique_ptr<PedigreeGraph> graph_;
+  std::unique_ptr<KeywordIndex> keyword_;
+  std::unique_ptr<SimilarityIndex> similarity_;
+  std::unique_ptr<QueryProcessor> processor_;
+  Gazetteer gazetteer_;
+};
+
+TEST_F(GeoQueryTest, NodesCarryLocations) {
+  size_t located = 0;
+  for (const PedigreeNode& n : graph_->nodes()) located += n.has_location;
+  EXPECT_EQ(located, 2u);
+}
+
+TEST_F(GeoQueryTest, RegionLimitFilters) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "macrae";
+  EXPECT_EQ(processor_->Search(q).size(), 2u);  // No limit: both.
+
+  q.near_place = "portree";
+  q.within_km = 25.0;
+  const auto near = processor_->Search(q);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(graph_->node(near[0].node).parishes[0], "portree");
+}
+
+TEST_F(GeoQueryTest, UnresolvablePlaceKeepsEverything) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "macrae";
+  q.near_place = "atlantis";
+  EXPECT_EQ(processor_->Search(q).size(), 2u);
+}
+
+TEST_F(GeoQueryTest, LocationSurvivesSerialization) {
+  Result<PedigreeGraph> back =
+      DeserializePedigreeGraph(SerializePedigreeGraph(*graph_));
+  ASSERT_TRUE(back.ok());
+  for (PedigreeNodeId id = 0; id < graph_->num_nodes(); ++id) {
+    EXPECT_EQ(back->node(id).has_location, graph_->node(id).has_location);
+    if (graph_->node(id).has_location) {
+      EXPECT_NEAR(back->node(id).lat, graph_->node(id).lat, 1e-5);
+      EXPECT_NEAR(back->node(id).lon, graph_->node(id).lon, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snaps

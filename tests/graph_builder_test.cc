@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/graph_builder.h"
+
+namespace snaps {
+namespace {
+
+/// Two birth certificates of the same family plus one death
+/// certificate: exercises group formation, relationship edges and the
+/// construction-time filters.
+class GraphBuilderTest : public ::testing::Test {
+ protected:
+  GraphBuilderTest() {
+    b1_ = ds_.AddCertificate(CertType::kBirth, 1870);
+    bb1_ = Add(b1_, Role::kBb, "ann", "gunn", "f");
+    bm1_ = Add(b1_, Role::kBm, "mary", "gunn", "f", "macrae");
+    bf1_ = Add(b1_, Role::kBf, "john", "gunn", "m");
+
+    b2_ = ds_.AddCertificate(CertType::kBirth, 1874);
+    bb2_ = Add(b2_, Role::kBb, "flora", "gunn", "f");
+    bm2_ = Add(b2_, Role::kBm, "mary", "gunn", "f", "macrae");
+    bf2_ = Add(b2_, Role::kBf, "john", "gunn", "m");
+
+    d1_ = ds_.AddCertificate(CertType::kDeath, 1890);
+    dd1_ = Add(d1_, Role::kDd, "ann", "gunn", "f");
+    dm1_ = Add(d1_, Role::kDm, "mary", "gunn", "f", "macrae");
+    df1_ = Add(d1_, Role::kDf, "john", "gunn", "m");
+
+    BuildDependencyGraphForDataset(ds_, ErConfig(), &graph_, &stats_);
+  }
+
+  RecordId Add(CertId cert, Role role, const std::string& first,
+               const std::string& surname, const std::string& gender,
+               const std::string& maiden = "") {
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    r.set_value(Attr::kGender, gender);
+    if (!maiden.empty()) r.set_value(Attr::kMaidenSurname, maiden);
+    return ds_.AddRecord(cert, role, r);
+  }
+
+  /// Finds the relational node pairing two records, or kInvalidRelNode.
+  RelNodeId FindNode(RecordId a, RecordId b) const {
+    for (RelNodeId id = 0; id < graph_.num_rel_nodes(); ++id) {
+      const RelationalNode& n = graph_.rel_node(id);
+      if ((n.rec_a == a && n.rec_b == b) || (n.rec_a == b && n.rec_b == a)) {
+        return id;
+      }
+    }
+    return kInvalidRelNode;
+  }
+
+  Dataset ds_;
+  CertId b1_, b2_, d1_;
+  RecordId bb1_, bm1_, bf1_, bb2_, bm2_, bf2_, dd1_, dm1_, df1_;
+  DependencyGraph graph_;
+  ErStats stats_;
+};
+
+TEST_F(GraphBuilderTest, ParentNodesExist) {
+  EXPECT_NE(FindNode(bm1_, bm2_), kInvalidRelNode);
+  EXPECT_NE(FindNode(bf1_, bf2_), kInvalidRelNode);
+  EXPECT_NE(FindNode(bb1_, dd1_), kInvalidRelNode);
+}
+
+TEST_F(GraphBuilderTest, ImpossibleRolePairsAbsent) {
+  // Two babies can never be the same person.
+  EXPECT_EQ(FindNode(bb1_, bb2_), kInvalidRelNode);
+  // Gender conflict: mother vs father.
+  EXPECT_EQ(FindNode(bm1_, bf2_), kInvalidRelNode);
+}
+
+TEST_F(GraphBuilderTest, TemporallyImpossiblePairsAbsent) {
+  // bb2 (born 1874) cannot be the mother on the 1870 birth.
+  EXPECT_EQ(FindNode(bb2_, bm1_), kInvalidRelNode);
+}
+
+TEST_F(GraphBuilderTest, DissimilarNamePairsStillBecomeNodes) {
+  // The sibling-style node (baby flora of cert 2 vs her deceased
+  // sister ann) must be in the graph even though the first names are
+  // dissimilar: partial-match groups need its negative evidence.
+  EXPECT_NE(FindNode(bb2_, dd1_), kInvalidRelNode);
+  const RelationalNode& n = graph_.rel_node(FindNode(bb2_, dd1_));
+  // Its first-name evidence is present but low.
+  const float fsim = n.raw_sims[static_cast<size_t>(Attr::kFirstName)];
+  EXPECT_GE(fsim, 0.0f);
+  EXPECT_LT(fsim, 0.8f);
+}
+
+TEST_F(GraphBuilderTest, RelationshipEdgesMatchRoles) {
+  const RelNodeId baby = FindNode(bb1_, dd1_);
+  const RelNodeId mother = FindNode(bm1_, dm1_);
+  ASSERT_NE(baby, kInvalidRelNode);
+  ASSERT_NE(mother, kInvalidRelNode);
+  bool found_mother_edge = false;
+  for (const RelEdge& e : graph_.rel_node(baby).neighbors) {
+    if (e.target == mother) {
+      EXPECT_EQ(e.rel, Relationship::kMother);
+      found_mother_edge = true;
+    }
+  }
+  EXPECT_TRUE(found_mother_edge);
+}
+
+TEST_F(GraphBuilderTest, GroupsAreRelationshipComponents) {
+  // The family nodes of the cert pair (b1, d1) share one group.
+  const RelNodeId baby = FindNode(bb1_, dd1_);
+  const RelNodeId mother = FindNode(bm1_, dm1_);
+  const RelNodeId father = FindNode(bf1_, df1_);
+  EXPECT_EQ(graph_.rel_node(baby).group, graph_.rel_node(mother).group);
+  EXPECT_EQ(graph_.rel_node(mother).group, graph_.rel_node(father).group);
+}
+
+TEST_F(GraphBuilderTest, CrossRoleNodesFormSeparateGroups) {
+  // (bb1, dm1): the baby of cert 1 as the mother on the death cert.
+  // It has no consistent relationship partner, so it sits in its own
+  // group (not the family group).
+  const RelNodeId cross = FindNode(bb1_, dm1_);
+  if (cross == kInvalidRelNode) GTEST_SKIP() << "filtered by constraints";
+  const RelNodeId baby = FindNode(bb1_, dd1_);
+  EXPECT_NE(graph_.rel_node(cross).group, graph_.rel_node(baby).group);
+}
+
+TEST_F(GraphBuilderTest, AtomicNodesThresholded) {
+  for (RelNodeId id = 0; id < graph_.num_rel_nodes(); ++id) {
+    const RelationalNode& n = graph_.rel_node(id);
+    for (int i = 0; i < kNumAttrs; ++i) {
+      if (n.atomic[i] == kInvalidAtomicNode) continue;
+      EXPECT_GE(graph_.atomic_node(n.atomic[i]).similarity, 0.9);
+    }
+  }
+}
+
+TEST_F(GraphBuilderTest, BaseSimsMirrorRawSimsAtConstruction) {
+  for (RelNodeId id = 0; id < graph_.num_rel_nodes(); ++id) {
+    const RelationalNode& n = graph_.rel_node(id);
+    for (int i = 0; i < kNumAttrs; ++i) {
+      EXPECT_FLOAT_EQ(n.raw_sims[i], n.base_sims[i]);
+    }
+  }
+}
+
+TEST_F(GraphBuilderTest, StatsFilled) {
+  EXPECT_EQ(stats_.num_rel_nodes, graph_.num_rel_nodes());
+  EXPECT_EQ(stats_.num_atomic_nodes, graph_.num_atomic_nodes());
+  EXPECT_GT(stats_.num_groups, 0u);
+  EXPECT_GT(stats_.num_rel_edges, 0u);
+}
+
+TEST(GraphBuilderMaidenTest, MaidenSurnameCreditsSurnameComparison) {
+  // A woman's baby record (maiden surname) against her married-name
+  // record carrying the maiden surname: the surname raw similarity
+  // must be credited through the cross comparison.
+  Dataset ds;
+  const CertId b1 = ds.AddCertificate(CertType::kBirth, 1860);
+  Record baby;
+  baby.set_value(Attr::kFirstName, "mary");
+  baby.set_value(Attr::kSurname, "beaton");
+  baby.set_value(Attr::kGender, "f");
+  const RecordId r1 = ds.AddRecord(b1, Role::kBb, baby);
+
+  const CertId b2 = ds.AddCertificate(CertType::kBirth, 1885);
+  Record mother;
+  mother.set_value(Attr::kFirstName, "mary");
+  mother.set_value(Attr::kSurname, "gillies");
+  mother.set_value(Attr::kMaidenSurname, "beaton");
+  mother.set_value(Attr::kGender, "f");
+  const RecordId r2 = ds.AddRecord(b2, Role::kBm, mother);
+
+  DependencyGraph graph;
+  ErStats stats;
+  BuildDependencyGraphForDataset(ds, ErConfig(), &graph, &stats);
+  ASSERT_GT(graph.num_rel_nodes(), 0u);
+  bool found = false;
+  for (RelNodeId id = 0; id < graph.num_rel_nodes(); ++id) {
+    const RelationalNode& n = graph.rel_node(id);
+    if ((n.rec_a == r1 && n.rec_b == r2) ||
+        (n.rec_a == r2 && n.rec_b == r1)) {
+      EXPECT_FLOAT_EQ(n.raw_sims[static_cast<size_t>(Attr::kSurname)], 1.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace snaps

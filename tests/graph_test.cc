@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/dependency_graph.h"
+#include "util/rng.h"
+
+namespace snaps {
+namespace {
+
+// ------------------------------------------------------ SmallGraph.
+
+TEST(SmallGraphTest, EdgeDeduplication) {
+  SmallGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 0);  // Self loops ignored.
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(SmallGraphTest, DensityOfCliqueAndChain) {
+  SmallGraph clique(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) clique.AddEdge(i, j);
+  }
+  EXPECT_DOUBLE_EQ(clique.Density(), 1.0);
+
+  SmallGraph chain(4);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  chain.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(chain.Density(), 0.5);
+}
+
+TEST(SmallGraphTest, DensityDegenerate) {
+  EXPECT_DOUBLE_EQ(SmallGraph(0).Density(), 1.0);
+  EXPECT_DOUBLE_EQ(SmallGraph(1).Density(), 1.0);
+}
+
+TEST(SmallGraphTest, ConnectedComponents) {
+  SmallGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(3, 4);
+  size_t n = 0;
+  const auto comp = g.ConnectedComponents(&n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(SmallGraphTest, BridgesInChain) {
+  SmallGraph chain(4);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  chain.AddEdge(2, 3);
+  const auto bridges = chain.Bridges();
+  EXPECT_EQ(bridges.size(), 3u);  // Every chain edge is a bridge.
+}
+
+TEST(SmallGraphTest, NoBridgesInCycle) {
+  SmallGraph cycle(4);
+  cycle.AddEdge(0, 1);
+  cycle.AddEdge(1, 2);
+  cycle.AddEdge(2, 3);
+  cycle.AddEdge(3, 0);
+  EXPECT_TRUE(cycle.Bridges().empty());
+}
+
+TEST(SmallGraphTest, BridgeBetweenTwoCliques) {
+  // Two triangles joined by one edge: only the joining edge bridges.
+  SmallGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 3);
+  g.AddEdge(2, 3);
+  const auto bridges = g.Bridges();
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], (std::pair<size_t, size_t>{2, 3}));
+}
+
+TEST(SmallGraphTest, MinDegreeNode) {
+  SmallGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EXPECT_NE(g.MinDegreeNode(), 0u);
+}
+
+/// Property: removing a reported bridge must increase the number of
+/// connected components; removing a non-bridge must not.
+class BridgePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BridgePropertyTest, BridgeRemovalDisconnects) {
+  Rng rng(GetParam());
+  const size_t n = 8 + rng.NextUint64(8);
+  SmallGraph g(n);
+  std::vector<std::pair<size_t, size_t>> edges;
+  const size_t num_edges = n + rng.NextUint64(n);
+  for (size_t e = 0; e < num_edges; ++e) {
+    const size_t a = rng.NextUint64(n);
+    const size_t b = rng.NextUint64(n);
+    if (a == b) continue;
+    g.AddEdge(a, b);
+  }
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  const auto bridges = g.Bridges();
+  size_t base_components = 0;
+  g.ConnectedComponents(&base_components);
+
+  for (const auto& edge : edges) {
+    // Rebuild without this edge.
+    SmallGraph without(n);
+    for (const auto& other : edges) {
+      if (other != edge) without.AddEdge(other.first, other.second);
+    }
+    size_t components = 0;
+    without.ConnectedComponents(&components);
+    const bool is_bridge =
+        std::find(bridges.begin(), bridges.end(), edge) != bridges.end();
+    if (is_bridge) {
+      EXPECT_GT(components, base_components)
+          << edge.first << "-" << edge.second;
+    } else {
+      EXPECT_EQ(components, base_components)
+          << edge.first << "-" << edge.second;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BridgePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------ DependencyGraph.
+
+TEST(DependencyGraphTest, AtomicNodeInterning) {
+  DependencyGraph g;
+  const AtomicNodeId a =
+      g.InternAtomicNode(Attr::kSurname, "smith", "smyth", 0.93);
+  const AtomicNodeId b =
+      g.InternAtomicNode(Attr::kSurname, "smyth", "smith", 0.93);
+  EXPECT_EQ(a, b);  // Order-normalised dedupe.
+  const AtomicNodeId c =
+      g.InternAtomicNode(Attr::kFirstName, "smith", "smyth", 0.93);
+  EXPECT_NE(a, c);  // Different attribute.
+  EXPECT_EQ(g.num_atomic_nodes(), 2u);
+  EXPECT_EQ(g.atomic_node(a).value_a, "smith");
+  EXPECT_EQ(g.atomic_node(a).value_b, "smyth");
+}
+
+TEST(DependencyGraphTest, RelationalNodesAndGroups) {
+  DependencyGraph g;
+  const GroupId group = g.NewGroup();
+  const RelNodeId n1 = g.AddRelationalNode(0, 10, group);
+  const RelNodeId n2 = g.AddRelationalNode(1, 11, group);
+  g.AddRelEdge(n1, n2, Relationship::kMother);
+  EXPECT_EQ(g.num_rel_nodes(), 2u);
+  EXPECT_EQ(g.GroupMembers(group).size(), 2u);
+  ASSERT_EQ(g.rel_node(n1).neighbors.size(), 1u);
+  EXPECT_EQ(g.rel_node(n1).neighbors[0].target, n2);
+  EXPECT_EQ(g.rel_node(n1).neighbors[0].rel, Relationship::kMother);
+}
+
+TEST(DependencyGraphTest, FreshNodeState) {
+  DependencyGraph g;
+  const GroupId group = g.NewGroup();
+  const RelNodeId id = g.AddRelationalNode(3, 4, group);
+  const RelationalNode& n = g.rel_node(id);
+  EXPECT_FALSE(n.merged);
+  EXPECT_FALSE(n.pruned);
+  for (int i = 0; i < kNumAttrs; ++i) {
+    EXPECT_EQ(n.atomic[i], kInvalidAtomicNode);
+    EXPECT_LT(n.raw_sims[i], 0.0f);
+    EXPECT_LT(n.base_sims[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace snaps

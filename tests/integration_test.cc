@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "anon/anonymizer.h"
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/extraction.h"
+#include "pedigree/pedigree_graph.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+namespace {
+
+/// End-to-end offline + online pipeline over a simulated town:
+/// generate -> resolve -> pedigree graph -> indices -> query ->
+/// extract. This mirrors the architecture of Figure 1.
+class PipelineTest : public ::testing::Test {
+ protected:
+  struct Pipeline {
+    GeneratedData data;
+    ErResult result;
+    PedigreeGraph graph;
+    std::unique_ptr<KeywordIndex> keyword;
+    std::unique_ptr<SimilarityIndex> similarity;
+    std::unique_ptr<QueryProcessor> processor;
+  };
+
+  static Pipeline& Get() {
+    static Pipeline* p = [] {
+      auto* pipe = new Pipeline();
+      SimulatorConfig cfg;
+      cfg.seed = 2022;
+      cfg.num_founder_couples = 40;
+      cfg.immigrants_per_year = 2.0;
+      pipe->data = PopulationSimulator(cfg).Generate();
+      pipe->result = ErEngine().Resolve(pipe->data.dataset);
+      pipe->graph = PedigreeGraph::Build(pipe->data.dataset, pipe->result);
+      pipe->keyword = std::make_unique<KeywordIndex>(&pipe->graph);
+      pipe->similarity =
+          std::make_unique<SimilarityIndex>(pipe->keyword.get());
+      pipe->processor = std::make_unique<QueryProcessor>(
+          pipe->keyword.get(), pipe->similarity.get());
+      return pipe;
+    }();
+    return *p;
+  }
+};
+
+TEST_F(PipelineTest, EveryRecordReachableInPedigreeGraph) {
+  size_t records_in_graph = 0;
+  for (const PedigreeNode& n : Get().graph.nodes()) {
+    records_in_graph += n.records.size();
+  }
+  EXPECT_EQ(records_in_graph, Get().data.dataset.num_records());
+}
+
+TEST_F(PipelineTest, PedigreeEdgesAreMutual) {
+  // Every motherOf edge has a childOf edge back.
+  const PedigreeGraph& g = Get().graph;
+  for (const PedigreeNode& n : g.nodes()) {
+    for (const PedigreeEdge& e : g.Edges(n.id)) {
+      if (e.rel != Relationship::kMother && e.rel != Relationship::kFather) {
+        continue;
+      }
+      const auto back = g.Neighbors(e.target, Relationship::kChild);
+      EXPECT_NE(std::find(back.begin(), back.end(), n.id), back.end());
+    }
+  }
+}
+
+TEST_F(PipelineTest, QueryFindsKnownDeceasedPerson) {
+  // Pick a deceased person with a reasonably rare name and query for
+  // them; the true entity should rank first.
+  const Dataset& ds = Get().data.dataset;
+  for (const Record& r : ds.records()) {
+    if (r.role != Role::kDd) continue;
+    if (!r.has_value(Attr::kFirstName) || !r.has_value(Attr::kSurname)) {
+      continue;
+    }
+    Query q;
+    q.first_name = r.value(Attr::kFirstName);
+    q.surname = r.value(Attr::kSurname);
+    q.kind = SearchKind::kDeath;
+    const auto results = Get().processor->Search(q);
+    ASSERT_FALSE(results.empty());
+    // The top result must contain a record with the same true person
+    // or at least an exact name match (doppelgangers permitted).
+    EXPECT_EQ(results[0].first_name_match, MatchType::kExact);
+    EXPECT_EQ(results[0].surname_match, MatchType::kExact);
+    break;
+  }
+}
+
+TEST_F(PipelineTest, ExtractedPedigreeContainsTrueRelatives) {
+  // For a person whose entity contains a Bb record, the 1-hop
+  // pedigree must include entities holding their true parents'
+  // records (the certificate guarantees the edges).
+  const Dataset& ds = Get().data.dataset;
+  const auto& people = Get().data.people;
+  for (const PedigreeNode& n : Get().graph.nodes()) {
+    if (n.true_person == kUnknownPersonId) continue;
+    bool has_bb = false;
+    for (RecordId r : n.records) {
+      if (ds.record(r).role == Role::kBb) has_bb = true;
+    }
+    if (!has_bb) continue;
+    const SimPerson& person = people[n.true_person];
+    if (person.mother == kUnknownPersonId) continue;
+
+    const FamilyPedigree p = ExtractPedigree(Get().graph, n.id, 1);
+    bool found_mother = false;
+    for (const PedigreeMember& m : p.members) {
+      if (Get().graph.node(m.node).true_person == person.mother) {
+        found_mother = true;
+      }
+    }
+    EXPECT_TRUE(found_mother);
+    break;
+  }
+}
+
+TEST_F(PipelineTest, AnonymisedPipelineStillSearchable) {
+  // Anonymise a copy, rebuild the online side, and check a query for
+  // an anonymised name succeeds (the public demo mode of Section 9).
+  Dataset anon_ds = Get().data.dataset;
+  AnonConfig cfg;
+  AnonymizeDataset(&anon_ds, cfg);
+  ErResult result = ErEngine().Resolve(anon_ds);
+  PedigreeGraph graph = PedigreeGraph::Build(anon_ds, result);
+  KeywordIndex keyword(&graph);
+  SimilarityIndex similarity(&keyword);
+  QueryProcessor processor(&keyword, &similarity);
+
+  for (const Record& r : anon_ds.records()) {
+    if (r.role != Role::kDd) continue;
+    if (!r.has_value(Attr::kFirstName) || !r.has_value(Attr::kSurname)) {
+      continue;
+    }
+    Query q;
+    q.first_name = r.value(Attr::kFirstName);
+    q.surname = r.value(Attr::kSurname);
+    EXPECT_FALSE(processor.Search(q).empty());
+    break;
+  }
+}
+
+TEST_F(PipelineTest, MajorityOfEntitiesPure) {
+  // Cluster purity: the dominant true person of each multi-record
+  // entity should own most of its records.
+  const Dataset& ds = Get().data.dataset;
+  size_t pure = 0, impure = 0;
+  for (EntityId e : Get().result.entities->NonSingletonEntities()) {
+    std::unordered_map<PersonId, size_t> votes;
+    const auto& records = Get().result.entities->cluster(e).records;
+    for (RecordId r : records) votes[ds.record(r).true_person]++;
+    size_t best = 0;
+    for (const auto& [p, v] : votes) best = std::max(best, v);
+    if (best == records.size()) {
+      ++pure;
+    } else {
+      ++impure;
+    }
+  }
+  ASSERT_GT(pure + impure, 100u);
+  EXPECT_GT(static_cast<double>(pure) / (pure + impure), 0.85);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "datagen/simulator.h"
+#include "learn/classifier.h"
+#include "learn/features.h"
+#include "learn/magellan.h"
+#include "util/rng.h"
+
+namespace snaps {
+namespace {
+
+/// Linearly separable toy problem: label = (x0 + x1 > 1).
+void MakeToyData(std::vector<std::vector<double>>* x, std::vector<int>* y,
+                 int n, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    x->push_back({a, b});
+    y->push_back(a + b > 1.0 ? 1 : 0);
+  }
+}
+
+double Accuracy(const Classifier& c,
+                const std::vector<std::vector<double>>& x,
+                const std::vector<int>& y) {
+  int hits = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    hits += (c.Predict(x[i]) >= 0.5) == (y[i] == 1);
+  }
+  return static_cast<double>(hits) / static_cast<double>(x.size());
+}
+
+class ClassifierToyTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Classifier> Make() const {
+    const std::string which = GetParam();
+    if (which == "logistic") return MakeLogisticRegression();
+    if (which == "svm") return MakeLinearSvm();
+    if (which == "tree") return MakeDecisionTree();
+    if (which == "bayes") return MakeNaiveBayes();
+    return MakeRandomForest();
+  }
+};
+
+TEST_P(ClassifierToyTest, LearnsSeparableProblem) {
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<int> train_y, test_y;
+  MakeToyData(&train_x, &train_y, 600, 42);
+  MakeToyData(&test_x, &test_y, 300, 43);
+  auto classifier = Make();
+  classifier->Train(train_x, train_y);
+  EXPECT_GT(Accuracy(*classifier, test_x, test_y), 0.9) << GetParam();
+}
+
+TEST_P(ClassifierToyTest, PredictionInUnitInterval) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  MakeToyData(&x, &y, 200, 7);
+  auto classifier = Make();
+  classifier->Train(x, y);
+  for (const auto& row : x) {
+    const double p = classifier->Predict(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(ClassifierToyTest, UntrainedPredictsZero) {
+  auto classifier = Make();
+  EXPECT_DOUBLE_EQ(classifier->Predict({0.5, 0.5}), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassifierToyTest,
+                         ::testing::Values("logistic", "svm", "tree",
+                                           "forest", "bayes"),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------------------------------ FeatureExtractor.
+
+TEST(FeatureExtractorTest, SizeAndNamesAgree) {
+  Dataset ds;
+  const CertId c1 = ds.AddCertificate(CertType::kBirth, 1880);
+  Record r;
+  r.set_value(Attr::kFirstName, "mary");
+  r.set_value(Attr::kSurname, "gunn");
+  ds.AddRecord(c1, Role::kBm, r);
+  const CertId c2 = ds.AddCertificate(CertType::kBirth, 1884);
+  ds.AddRecord(c2, Role::kBm, r);
+
+  Schema schema = Schema::Default();
+  FeatureExtractor fx(&ds, &schema);
+  const auto features = fx.Extract(0, 1);
+  EXPECT_EQ(features.size(), fx.NumFeatures());
+  EXPECT_EQ(fx.FeatureNames().size(), fx.NumFeatures());
+  for (double f : features) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(FeatureExtractorTest, IdenticalRecordsFullSimilarity) {
+  Dataset ds;
+  Record r;
+  r.set_value(Attr::kFirstName, "mary");
+  r.set_value(Attr::kSurname, "gunn");
+  r.set_value(Attr::kGender, "f");
+  const CertId c1 = ds.AddCertificate(CertType::kBirth, 1880);
+  ds.AddRecord(c1, Role::kBm, r);
+  const CertId c2 = ds.AddCertificate(CertType::kBirth, 1880);
+  ds.AddRecord(c2, Role::kBm, r);
+  Schema schema = Schema::Default();
+  FeatureExtractor fx(&ds, &schema);
+  const auto features = fx.Extract(0, 1);
+  // first_name_sim and its presence flag are the first two features.
+  EXPECT_DOUBLE_EQ(features[0], 1.0);
+  EXPECT_DOUBLE_EQ(features[1], 1.0);
+}
+
+// --------------------------------------------------- Magellan runs.
+
+TEST(MagellanTest, RunsAndSummarizes) {
+  SimulatorConfig cfg;
+  cfg.seed = 99;
+  cfg.num_founder_couples = 25;
+  cfg.immigrants_per_year = 1.0;
+  GeneratedData data = PopulationSimulator(cfg).Generate();
+
+  MagellanBaseline baseline;
+  double runtime = 0.0;
+  const auto outcomes = baseline.Run(
+      data.dataset, {RolePairClass::kBpBp, RolePairClass::kBpDp}, &runtime);
+  // 4 classifiers x 2 regimes x 2 role classes.
+  EXPECT_EQ(outcomes.size(), 16u);
+  EXPECT_GT(runtime, 0.0);
+
+  const auto summaries = MagellanBaseline::Summarize(outcomes);
+  ASSERT_EQ(summaries.size(), 2u);
+  for (const auto& s : summaries) {
+    EXPECT_EQ(s.runs, 8u);
+    EXPECT_GE(s.precision_mean, 0.0);
+    EXPECT_LE(s.precision_mean, 100.0);
+    EXPECT_GE(s.precision_std, 0.0);
+  }
+}
+
+TEST(MagellanTest, SupervisedLearnsSomething) {
+  SimulatorConfig cfg;
+  cfg.seed = 101;
+  cfg.num_founder_couples = 30;
+  GeneratedData data = PopulationSimulator(cfg).Generate();
+  const auto outcomes =
+      MagellanBaseline().Run(data.dataset, {RolePairClass::kBpBp}, nullptr);
+  // The best classifier/regime combination should be clearly better
+  // than chance on held-out data. (The recall denominator charges the
+  // classifier with true matches blocking never surfaced, so the
+  // ceiling on this small town is well below 1.)
+  double best_fstar = 0.0;
+  for (const auto& o : outcomes) {
+    best_fstar = std::max(best_fstar, o.quality.FStar());
+  }
+  EXPECT_GT(best_fstar, 0.35);
+}
+
+TEST(MagellanTest, SummaryStatisticsMath) {
+  std::vector<MagellanOutcome> outcomes(2);
+  outcomes[0].role_pair = RolePairClass::kBpBp;
+  outcomes[0].quality.tp = 10;  // P = 100, R = 100.
+  outcomes[1].role_pair = RolePairClass::kBpBp;
+  outcomes[1].quality.tp = 5;
+  outcomes[1].quality.fp = 5;
+  outcomes[1].quality.fn = 5;  // P = 50, R = 50.
+  const auto summaries = MagellanBaseline::Summarize(outcomes);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_NEAR(summaries[0].precision_mean, 75.0, 1e-9);
+  EXPECT_NEAR(summaries[0].recall_mean, 75.0, 1e-9);
+  EXPECT_GT(summaries[0].precision_std, 0.0);
+}
+
+TEST(TrainingRegimeTest, Names) {
+  EXPECT_STREQ(TrainingRegimeName(TrainingRegime::kPerRolePair),
+               "per_role_pair");
+  EXPECT_STREQ(TrainingRegimeName(TrainingRegime::kAllRolePairs),
+               "all_role_pairs");
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "eval/pedigree_metrics.h"
+
+namespace snaps {
+namespace {
+
+/// True family: grandparents (0,1) -> mother (2) married to father (3)
+/// -> children (4,5).
+std::vector<SimPerson> MakeFamily() {
+  std::vector<SimPerson> people(6);
+  for (size_t i = 0; i < people.size(); ++i) {
+    people[i].id = static_cast<PersonId>(i);
+  }
+  people[0].gender = Gender::kFemale;
+  people[1].gender = Gender::kMale;
+  people[0].spouse = 1;
+  people[1].spouse = 0;
+  people[2].gender = Gender::kFemale;
+  people[2].mother = 0;
+  people[2].father = 1;
+  people[2].spouse = 3;
+  people[3].gender = Gender::kMale;
+  people[3].spouse = 2;
+  for (PersonId c : {4u, 5u}) {
+    people[c].mother = 2;
+    people[c].father = 3;
+  }
+  return people;
+}
+
+TEST(TrueRelativesTest, OneGeneration) {
+  const auto people = MakeFamily();
+  // Around the mother (2): parents 0,1 + spouse 3 + children 4,5.
+  const auto rel = TrueRelatives(people, 2, 1);
+  EXPECT_EQ(rel.size(), 5u);
+}
+
+TEST(TrueRelativesTest, TwoGenerationsFromChild) {
+  const auto people = MakeFamily();
+  // Around child 4: parents (2,3) at hop 1; grandparents (0,1) and
+  // sibling (5) at hop 2.
+  const auto rel = TrueRelatives(people, 4, 2);
+  EXPECT_EQ(rel.size(), 5u);
+  // One generation stops at the parents.
+  EXPECT_EQ(TrueRelatives(people, 4, 1).size(), 2u);
+}
+
+TEST(TrueRelativesTest, IsolatedPerson) {
+  std::vector<SimPerson> people(1);
+  people[0].id = 0;
+  EXPECT_TRUE(TrueRelatives(people, 0, 3).empty());
+}
+
+/// Pedigree graph mirroring the true family, with configurable
+/// errors.
+struct GraphFixture {
+  PedigreeGraph graph;
+  std::vector<PedigreeNodeId> node_of;  // Per person.
+
+  explicit GraphFixture(const std::vector<SimPerson>& people) {
+    for (const SimPerson& p : people) {
+      PedigreeNode n;
+      n.true_person = p.id;
+      n.gender = p.gender;
+      n.birth_year = 1870;  // Mark as principal for EvaluateAll.
+      node_of.push_back(graph.AddNode(std::move(n)));
+    }
+    for (const SimPerson& p : people) {
+      if (p.mother != kUnknownPersonId) {
+        graph.AddEdge(node_of[p.id], node_of[p.mother],
+                      Relationship::kMother);
+        graph.AddEdge(node_of[p.mother], node_of[p.id],
+                      Relationship::kChild);
+      }
+      if (p.father != kUnknownPersonId) {
+        graph.AddEdge(node_of[p.id], node_of[p.father],
+                      Relationship::kFather);
+        graph.AddEdge(node_of[p.father], node_of[p.id],
+                      Relationship::kChild);
+      }
+      if (p.spouse != kUnknownPersonId) {
+        graph.AddEdge(node_of[p.id], node_of[p.spouse],
+                      Relationship::kSpouse);
+      }
+    }
+  }
+};
+
+TEST(EvaluatePedigreeTest, PerfectGraphScoresPerfectly) {
+  const auto people = MakeFamily();
+  GraphFixture fx(people);
+  const FamilyPedigree p = ExtractPedigree(fx.graph, fx.node_of[4], 2);
+  const PedigreeQuality q = EvaluatePedigree(fx.graph, p, people, 2);
+  EXPECT_EQ(q.true_members, 5u);
+  EXPECT_EQ(q.correct_members, 5u);
+  EXPECT_DOUBLE_EQ(q.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 1.0);
+}
+
+TEST(EvaluatePedigreeTest, WrongRelativeCostsPrecision) {
+  const auto people = MakeFamily();
+  GraphFixture fx(people);
+  // Attach a stranger as a second spouse of the mother (an ER error).
+  PedigreeNode stranger;
+  stranger.true_person = kUnknownPersonId;
+  const PedigreeNodeId sid = fx.graph.AddNode(std::move(stranger));
+  fx.graph.AddEdge(fx.node_of[2], sid, Relationship::kSpouse);
+
+  const FamilyPedigree p = ExtractPedigree(fx.graph, fx.node_of[2], 1);
+  const PedigreeQuality q = EvaluatePedigree(fx.graph, p, people, 1);
+  EXPECT_EQ(q.true_members, 5u);
+  EXPECT_EQ(q.correct_members, 5u);
+  EXPECT_EQ(q.extracted_members, 6u);  // Includes the stranger.
+  EXPECT_LT(q.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 1.0);
+}
+
+TEST(EvaluatePedigreeTest, MissingEdgeCostsRecall) {
+  const auto people = MakeFamily();
+  // Graph without the father->child edges (ER failed to link dad).
+  PedigreeGraph graph;
+  std::vector<PedigreeNodeId> node_of;
+  for (const SimPerson& p : people) {
+    PedigreeNode n;
+    n.true_person = p.id;
+    node_of.push_back(graph.AddNode(std::move(n)));
+  }
+  graph.AddEdge(node_of[4], node_of[2], Relationship::kMother);
+  const FamilyPedigree p = ExtractPedigree(graph, node_of[4], 1);
+  const PedigreeQuality q = EvaluatePedigree(graph, p, people, 1);
+  EXPECT_EQ(q.true_members, 2u);  // Both parents.
+  EXPECT_EQ(q.correct_members, 1u);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(q.Precision(), 1.0);
+}
+
+TEST(EvaluatePedigreeTest, SplitEntityCreditedOnce) {
+  const auto people = MakeFamily();
+  GraphFixture fx(people);
+  // A duplicate node for the mother (ER split her records) connected
+  // to the child as a second mother.
+  PedigreeNode dup;
+  dup.true_person = 2;
+  const PedigreeNodeId did = fx.graph.AddNode(std::move(dup));
+  fx.graph.AddEdge(fx.node_of[4], did, Relationship::kMother);
+
+  const FamilyPedigree p = ExtractPedigree(fx.graph, fx.node_of[4], 1);
+  const PedigreeQuality q = EvaluatePedigree(fx.graph, p, people, 1);
+  EXPECT_EQ(q.extracted_members, 3u);
+  EXPECT_EQ(q.correct_members, 2u);  // Mother credited once.
+}
+
+TEST(EvaluateAllPedigreesTest, AggregatesOverRoots) {
+  const auto people = MakeFamily();
+  GraphFixture fx(people);
+  const PedigreeQuality q = EvaluateAllPedigrees(fx.graph, people, 1);
+  EXPECT_GT(q.true_members, 0u);
+  EXPECT_DOUBLE_EQ(q.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.Recall(), 1.0);
+}
+
+}  // namespace
+}  // namespace snaps

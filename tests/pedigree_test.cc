@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/er_engine.h"
+#include "pedigree/extraction.h"
+#include "pedigree/pedigree_graph.h"
+
+namespace snaps {
+namespace {
+
+/// Three-generation hand-built family: grandparents -> mother ->
+/// child, via two birth certificates linked by the mother.
+class ThreeGenerations : public ::testing::Test {
+ protected:
+  ThreeGenerations() {
+    // Birth of "mary beaton" (the future mother) to her parents.
+    const CertId b1 = ds_.AddCertificate(CertType::kBirth, 1860);
+    mary_bb_ = Add(b1, Role::kBb, "mary", "beaton", "f");
+    grandma_ = Add(b1, Role::kBm, "ann", "beaton", "f", "macrae");
+    grandpa_ = Add(b1, Role::kBf, "donald", "beaton", "m");
+
+    // Mary's marriage: bride under her maiden name, with her parents
+    // and the groom. Marriage certificates are the linkage path from
+    // a woman's birth to her married-name records.
+    const CertId m1 = ds_.AddCertificate(CertType::kMarriage, 1882);
+    mary_mb_ = Add(m1, Role::kMb, "mary", "beaton", "f");
+    Add(m1, Role::kMg, "neil", "gillies", "m");
+    Add(m1, Role::kMbm, "ann", "beaton", "f", "macrae");
+    Add(m1, Role::kMbf, "donald", "beaton", "m");
+
+    // Birth of mary's child; mary now married (surname gillies).
+    const CertId b2 = ds_.AddCertificate(CertType::kBirth, 1885);
+    child_ = Add(b2, Role::kBb, "flora", "gillies", "f");
+    mary_bm_ = Add(b2, Role::kBm, "mary", "gillies", "f", "beaton");
+    father_ = Add(b2, Role::kBf, "neil", "gillies", "m");
+
+    // Filler: unique-name death certificates so name frequencies are
+    // realistic relative to |O| (Equation 2 degenerates on tiny data).
+    for (int i = 0; i < 60; ++i) {
+      const CertId c = ds_.AddCertificate(CertType::kDeath, 1861 + i % 40);
+      Record r;
+      r.set_value(Attr::kFirstName, "filler" + std::to_string(i));
+      r.set_value(Attr::kSurname, "unique" + std::to_string(i));
+      r.set_value(Attr::kGender, i % 2 == 0 ? "f" : "m");
+      ds_.AddRecord(c, Role::kDd, r);
+    }
+
+    result_ = std::make_unique<ErResult>(ErEngine().Resolve(ds_));
+    graph_ = std::make_unique<PedigreeGraph>(
+        PedigreeGraph::Build(ds_, *result_));
+  }
+
+  RecordId Add(CertId cert, Role role, const std::string& first,
+               const std::string& surname, const std::string& gender,
+               const std::string& maiden = "") {
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    r.set_value(Attr::kGender, gender);
+    if (!maiden.empty()) r.set_value(Attr::kMaidenSurname, maiden);
+    return ds_.AddRecord(cert, role, r);
+  }
+
+  PedigreeNodeId NodeOf(RecordId record) const {
+    const EntityId e = result_->entities->entity_of(record);
+    for (const PedigreeNode& n : graph_->nodes()) {
+      for (RecordId r : n.records) {
+        if (r == record) return n.id;
+      }
+    }
+    (void)e;
+    return kInvalidPedigreeNode;
+  }
+
+  Dataset ds_;
+  RecordId mary_bb_, grandma_, grandpa_, child_, mary_bm_, mary_mb_, father_;
+  std::unique_ptr<ErResult> result_;
+  std::unique_ptr<PedigreeGraph> graph_;
+};
+
+TEST_F(ThreeGenerations, MaryIsOneEntity) {
+  // The ER step must link mary's baby record to her mother record
+  // (surname changed, maiden surname carries the evidence).
+  EXPECT_EQ(result_->entities->entity_of(mary_bb_),
+            result_->entities->entity_of(mary_bm_));
+}
+
+TEST_F(ThreeGenerations, MarriageBridgesMaidenAndMarriedRecords) {
+  EXPECT_EQ(result_->entities->entity_of(mary_bb_),
+            result_->entities->entity_of(mary_mb_));
+  EXPECT_EQ(result_->entities->entity_of(mary_mb_),
+            result_->entities->entity_of(mary_bm_));
+}
+
+TEST_F(ThreeGenerations, EveryEntityBecomesANode) {
+  EXPECT_EQ(graph_->num_nodes(), result_->entities->AllEntities().size());
+}
+
+TEST_F(ThreeGenerations, EdgesFollowCertificates) {
+  const PedigreeNodeId mary = NodeOf(mary_bb_);
+  ASSERT_NE(mary, kInvalidPedigreeNode);
+  // Mary's mother-neighbours contain grandma; her child-neighbours
+  // contain the child.
+  const auto mothers = graph_->Neighbors(mary, Relationship::kMother);
+  ASSERT_EQ(mothers.size(), 1u);
+  EXPECT_EQ(mothers[0], NodeOf(grandma_));
+  const auto children = graph_->Neighbors(mary, Relationship::kChild);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], NodeOf(child_));
+}
+
+TEST_F(ThreeGenerations, NodeAttributesAccumulated) {
+  const PedigreeNode& mary = graph_->node(NodeOf(mary_bb_));
+  EXPECT_EQ(mary.gender, Gender::kFemale);
+  EXPECT_EQ(mary.birth_year, 1860);
+  // Both surnames (maiden and married) present.
+  EXPECT_EQ(mary.surnames.size(), 2u);
+}
+
+TEST_F(ThreeGenerations, ExtractTwoGenerations) {
+  const FamilyPedigree p =
+      ExtractPedigree(*graph_, NodeOf(child_), /*generations=*/2);
+  // Child + parents (mary, neil) + grandparents (ann, donald).
+  EXPECT_EQ(p.members.size(), 5u);
+  int grandparents = 0;
+  for (const PedigreeMember& m : p.members) {
+    EXPECT_LE(m.hops, 2);
+    if (m.generation == -2) ++grandparents;
+  }
+  EXPECT_EQ(grandparents, 2);
+}
+
+TEST_F(ThreeGenerations, ExtractOneGenerationStopsAtParents) {
+  const FamilyPedigree p =
+      ExtractPedigree(*graph_, NodeOf(child_), /*generations=*/1);
+  EXPECT_EQ(p.members.size(), 3u);  // Child + two parents.
+}
+
+TEST_F(ThreeGenerations, SpouseDoesNotChangeGeneration) {
+  const FamilyPedigree p =
+      ExtractPedigree(*graph_, NodeOf(mary_bm_), /*generations=*/1);
+  for (const PedigreeMember& m : p.members) {
+    if (m.node == NodeOf(father_)) EXPECT_EQ(m.generation, 0);
+  }
+}
+
+TEST_F(ThreeGenerations, RenderContainsNamesAndGenerations) {
+  const FamilyPedigree p = ExtractPedigree(*graph_, NodeOf(child_), 2);
+  const std::string tree = RenderPedigreeTree(*graph_, p);
+  EXPECT_NE(tree.find("flora gillies"), std::string::npos);
+  EXPECT_NE(tree.find("generation -2"), std::string::npos);
+  EXPECT_NE(tree.find("* "), std::string::npos);  // Root marker.
+}
+
+TEST_F(ThreeGenerations, GedcomExportStructure) {
+  const FamilyPedigree p = ExtractPedigree(*graph_, NodeOf(child_), 2);
+  const std::string ged = ExportGedcomLike(*graph_, p);
+  EXPECT_NE(ged.find("0 HEAD"), std::string::npos);
+  EXPECT_NE(ged.find("0 TRLR"), std::string::npos);
+  EXPECT_NE(ged.find("INDI"), std::string::npos);
+  EXPECT_NE(ged.find("1 SEX F"), std::string::npos);
+  EXPECT_NE(ged.find("motherOf"), std::string::npos);
+}
+
+TEST(PedigreeGraphTest, AddEdgeDeduplicatesAndRejectsSelf) {
+  PedigreeGraph g;
+  const PedigreeNodeId a = g.AddNode(PedigreeNode{});
+  const PedigreeNodeId b = g.AddNode(PedigreeNode{});
+  g.AddEdge(a, b, Relationship::kSpouse);
+  g.AddEdge(a, b, Relationship::kSpouse);
+  g.AddEdge(a, a, Relationship::kSpouse);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(PedigreeLabelTest, HandlesMissingFields) {
+  PedigreeNode n;
+  n.gender = Gender::kMale;
+  EXPECT_EQ(NodeLabel(n), "? ? [m]");
+  n.first_names.push_back("john");
+  n.surnames.push_back("gunn");
+  n.birth_year = 1850;
+  EXPECT_EQ(NodeLabel(n), "john gunn (1850-?) [m]");
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "strsim/phonetic.h"
+
+namespace snaps {
+namespace {
+
+// --------------------------------------------------------- Soundex.
+
+TEST(SoundexTest, ClassicExamples) {
+  EXPECT_EQ(Soundex("robert"), "R163");
+  EXPECT_EQ(Soundex("rupert"), "R163");
+  EXPECT_EQ(Soundex("ashcraft"), "A261");
+  EXPECT_EQ(Soundex("ashcroft"), "A261");
+  EXPECT_EQ(Soundex("tymczak"), "T522");
+  EXPECT_EQ(Soundex("pfister"), "P236");
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("obrien"));
+  EXPECT_EQ(Soundex("MacDonald"), Soundex("macdonald"));
+}
+
+TEST(SoundexTest, ScottishVariantsCollide) {
+  EXPECT_EQ(Soundex("macdonald"), Soundex("mcdonald"));
+  EXPECT_EQ(Soundex("macleod"), Soundex("mcleod"));
+}
+
+TEST(SoundexTest, EmptyAndShortInputs) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("42"), "");
+}
+
+TEST(SoundexTest, PadsToFourCharacters) {
+  EXPECT_EQ(Soundex("lee").size(), 4u);
+  EXPECT_EQ(Soundex("lee"), "L000");
+}
+
+TEST(SoundexSimilarityTest, BinaryOutcome) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "flora"), 0.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("", "flora"), 0.0);
+}
+
+// ---------------------------------------------------------- NYSIIS.
+
+TEST(NysiisTest, StableKnownCodes) {
+  // Spelling variants of one name share a code; the canonical
+  // algorithm keeps Y distinct (smith -> SNAT vs smyth -> SNYT).
+  EXPECT_EQ(Nysiis("catherine"), Nysiis("katherine"));
+  EXPECT_EQ(Nysiis("johnson"), Nysiis("jonson"));
+  EXPECT_EQ(Nysiis("smith"), "SNAT");
+  EXPECT_EQ(Nysiis("knight"), Nysiis("night"));
+}
+
+TEST(NysiisTest, MacPrefixNormalised) {
+  EXPECT_EQ(Nysiis("macdonald"), Nysiis("mcdonald"));
+}
+
+TEST(NysiisTest, CodeShapeConstraints) {
+  EXPECT_LE(Nysiis("wotherspoonhamilton").size(), 6u);
+  EXPECT_EQ(Nysiis(""), "");
+  for (char c : Nysiis("margaret")) {
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(NysiisTest, DistinctNamesUsuallyDiffer) {
+  EXPECT_NE(Nysiis("campbell"), Nysiis("sutherland"));
+  EXPECT_NE(Nysiis("mary"), Nysiis("john"));
+}
+
+// ---------------------------------------------- ConsonantSkeleton.
+
+TEST(ConsonantSkeletonTest, DropsVowelsKeepsFirst) {
+  EXPECT_EQ(ConsonantSkeleton("alexander"), "ALXNDR");
+  EXPECT_EQ(ConsonantSkeleton("aeiou"), "A");
+}
+
+TEST(ConsonantSkeletonTest, DigraphNormalisation) {
+  EXPECT_EQ(ConsonantSkeleton("philip"), ConsonantSkeleton("filip"));
+  EXPECT_EQ(ConsonantSkeleton("mcdonald"), ConsonantSkeleton("macdonald"));
+}
+
+TEST(ConsonantSkeletonTest, CollapsesDoubles) {
+  EXPECT_EQ(ConsonantSkeleton("campbell"), "CMPBL");
+}
+
+TEST(ConsonantSkeletonTest, EmptyInput) {
+  EXPECT_EQ(ConsonantSkeleton(""), "");
+}
+
+}  // namespace
+}  // namespace snaps

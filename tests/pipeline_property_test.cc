@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "anon/anonymizer.h"
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/extraction.h"
+#include "pedigree/pedigree_graph.h"
+#include "pedigree/serialization.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+namespace {
+
+/// Whole-pipeline invariants that must hold for ANY generated
+/// population, swept over random seeds (property-based end-to-end
+/// testing; each seed gives a structurally different town).
+class PipelinePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  PipelinePropertyTest() {
+    SimulatorConfig cfg;
+    cfg.seed = GetParam();
+    cfg.num_founder_couples = 12 + static_cast<int>(GetParam() % 17);
+    cfg.immigrants_per_year = 1.0;
+    cfg.with_census = GetParam() % 2 == 0;
+    data_ = PopulationSimulator(cfg).Generate();
+    result_ = ErEngine().Resolve(data_.dataset);
+    graph_ = PedigreeGraph::Build(data_.dataset, result_);
+  }
+
+  GeneratedData data_;
+  ErResult result_;
+  PedigreeGraph graph_;
+};
+
+TEST_P(PipelinePropertyTest, EveryRecordInExactlyOneEntity) {
+  std::unordered_set<RecordId> seen;
+  for (EntityId e : result_.entities->AllEntities()) {
+    for (RecordId r : result_.entities->cluster(e).records) {
+      EXPECT_TRUE(seen.insert(r).second) << "record in two clusters";
+      EXPECT_EQ(result_.entities->entity_of(r), e);
+    }
+  }
+  EXPECT_EQ(seen.size(), data_.dataset.num_records());
+}
+
+TEST_P(PipelinePropertyTest, ClusterInvariants) {
+  for (EntityId e : result_.entities->NonSingletonEntities()) {
+    const EntityCluster& c = result_.entities->cluster(e);
+    int bb = 0, dd = 0;
+    std::set<Gender> genders;
+    for (RecordId r : c.records) {
+      const Record& rec = data_.dataset.record(r);
+      if (rec.role == Role::kBb) ++bb;
+      if (rec.role == Role::kDd) ++dd;
+      if (rec.gender() != Gender::kUnknown) genders.insert(rec.gender());
+    }
+    EXPECT_LE(bb, 1);
+    EXPECT_LE(dd, 1);
+    EXPECT_LE(genders.size(), 1u);
+    // Every link's endpoints live in this cluster.
+    for (RelNodeId l : c.links) {
+      const RelationalNode& n = result_.graph.rel_node(l);
+      EXPECT_EQ(result_.entities->entity_of(n.rec_a), e);
+      EXPECT_EQ(result_.entities->entity_of(n.rec_b), e);
+      EXPECT_TRUE(n.merged);
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, MergedNodeSimilaritiesInRange) {
+  for (RelNodeId id = 0; id < result_.graph.num_rel_nodes(); ++id) {
+    const RelationalNode& n = result_.graph.rel_node(id);
+    EXPECT_GE(n.similarity, 0.0);
+    EXPECT_LE(n.similarity, 1.0 + 1e-9);
+    for (int a = 0; a < kNumAttrs; ++a) {
+      if (n.raw_sims[a] >= 0.0f) {
+        EXPECT_LE(n.raw_sims[a], 1.0f + 1e-6f);
+        // Propagation may only raise evidence above the pair baseline.
+        EXPECT_GE(n.raw_sims[a] + 1e-6f, n.base_sims[a]);
+      }
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, PedigreeGraphConsistent) {
+  // Every edge target is a valid node and no self edges exist.
+  for (const PedigreeNode& n : graph_.nodes()) {
+    for (const PedigreeEdge& e : graph_.Edges(n.id)) {
+      ASSERT_LT(e.target, graph_.num_nodes());
+      EXPECT_NE(e.target, n.id);
+    }
+  }
+  // Parent edges are at most two per relationship kind... not
+  // guaranteed under ER errors, but mother/father neighbours must be
+  // gender-consistent when known.
+  for (const PedigreeNode& n : graph_.nodes()) {
+    for (PedigreeNodeId m : graph_.Neighbors(n.id, Relationship::kMother)) {
+      EXPECT_NE(graph_.node(m).gender, Gender::kMale);
+    }
+    for (PedigreeNodeId f : graph_.Neighbors(n.id, Relationship::kFather)) {
+      EXPECT_NE(graph_.node(f).gender, Gender::kFemale);
+    }
+  }
+}
+
+TEST_P(PipelinePropertyTest, ExtractionIsClosedAndBounded) {
+  int checked = 0;
+  for (const PedigreeNode& n : graph_.nodes()) {
+    if (n.records.size() < 2 || checked >= 10) break;
+    ++checked;
+    const FamilyPedigree p = ExtractPedigree(graph_, n.id, 2);
+    std::set<PedigreeNodeId> members;
+    for (const PedigreeMember& m : p.members) {
+      EXPECT_LE(m.hops, 2);
+      EXPECT_TRUE(members.insert(m.node).second);  // No duplicates.
+    }
+    EXPECT_TRUE(members.count(p.root));
+  }
+}
+
+TEST_P(PipelinePropertyTest, SerializationRoundTripsExactly) {
+  Result<PedigreeGraph> back =
+      DeserializePedigreeGraph(SerializePedigreeGraph(graph_));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), graph_.num_nodes());
+  EXPECT_EQ(back->num_edges(), graph_.num_edges());
+}
+
+TEST_P(PipelinePropertyTest, QueriesNeverCrashAndRankDescending) {
+  KeywordIndex keyword(&graph_);
+  SimilarityIndex similarity(&keyword);
+  QueryProcessor processor(&keyword, &similarity);
+  int issued = 0;
+  for (const Record& r : data_.dataset.records()) {
+    if (issued >= 20) break;
+    if (!r.has_value(Attr::kFirstName) || !r.has_value(Attr::kSurname)) {
+      continue;
+    }
+    Query q;
+    q.first_name = r.value(Attr::kFirstName);
+    q.surname = r.value(Attr::kSurname);
+    const auto results = processor.Search(q);
+    EXPECT_FALSE(results.empty());
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_GE(results[i - 1].score, results[i].score);
+    }
+    for (const RankedResult& res : results) {
+      EXPECT_GE(res.score, 0.0);
+      EXPECT_LE(res.score, 100.0 + 1e-9);
+    }
+    ++issued;
+  }
+  EXPECT_GT(issued, 0);
+}
+
+TEST_P(PipelinePropertyTest, AnonymisationPreservesStructure) {
+  Dataset anon = data_.dataset;
+  AnonConfig cfg;
+  cfg.seed = GetParam();
+  AnonymizeDataset(&anon, cfg);
+  ASSERT_EQ(anon.num_records(), data_.dataset.num_records());
+  for (size_t i = 0; i < anon.num_records(); ++i) {
+    EXPECT_EQ(anon.record(i).role, data_.dataset.record(i).role);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace snaps

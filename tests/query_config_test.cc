@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/er_engine.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/pedigree_graph.h"
+#include "query/query_processor.h"
+
+namespace snaps {
+namespace {
+
+/// A small universe for exercising the ranking configuration.
+class QueryConfigTest : public ::testing::Test {
+ protected:
+  QueryConfigTest() {
+    AddBirth(1870, "flora", "mackinnon", "portree");
+    AddBirth(1870, "flora", "mackinnon", "snizort");  // Same name.
+    AddBirth(1890, "flora", "mackinnon", "portree");  // Later year.
+    result_ = std::make_unique<ErResult>(ErEngine().Resolve(ds_));
+    graph_ = std::make_unique<PedigreeGraph>(
+        PedigreeGraph::Build(ds_, *result_));
+    keyword_ = std::make_unique<KeywordIndex>(graph_.get());
+    similarity_ = std::make_unique<SimilarityIndex>(keyword_.get());
+  }
+
+  void AddBirth(int year, const std::string& first,
+                const std::string& surname, const std::string& parish) {
+    const CertId c = ds_.AddCertificate(CertType::kBirth, year);
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    r.set_value(Attr::kGender, "f");
+    r.set_value(Attr::kParish, parish);
+    ds_.AddRecord(c, Role::kBb, r);
+  }
+
+  std::vector<RankedResult> Search(const QueryConfig& cfg,
+                                   const Query& q) const {
+    QueryProcessor processor(keyword_.get(), similarity_.get(), cfg);
+    return processor.Search(q);
+  }
+
+  Dataset ds_;
+  std::unique_ptr<ErResult> result_;
+  std::unique_ptr<PedigreeGraph> graph_;
+  std::unique_ptr<KeywordIndex> keyword_;
+  std::unique_ptr<SimilarityIndex> similarity_;
+};
+
+TEST_F(QueryConfigTest, ParishWeightBreaksTies) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  q.parish = "snizort";
+  QueryConfig cfg;
+  const auto results = Search(cfg, q);
+  ASSERT_GE(results.size(), 3u);
+  EXPECT_EQ(graph_->node(results[0].node).parishes[0], "snizort");
+}
+
+TEST_F(QueryConfigTest, ZeroParishWeightIgnoresParish) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  q.parish = "snizort";
+  QueryConfig cfg;
+  cfg.parish_weight = 0.0;
+  const auto results = Search(cfg, q);
+  ASSERT_GE(results.size(), 3u);
+  // All three tie at the top score now.
+  EXPECT_DOUBLE_EQ(results[0].score, results[1].score);
+  EXPECT_DOUBLE_EQ(results[1].score, results[2].score);
+}
+
+TEST_F(QueryConfigTest, YearSlackBoundary) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  q.kind = SearchKind::kBirth;
+  q.year_from = 1884;
+  q.year_to = 1885;
+  QueryConfig cfg;
+  cfg.year_slack = 5;
+  // 1890 is exactly 5 beyond the range: still approximate.
+  const auto results = Search(cfg, q);
+  bool found_1890 = false;
+  for (const RankedResult& r : results) {
+    if (graph_->node(r.node).birth_year == 1890) {
+      EXPECT_EQ(r.year_match, MatchType::kApproximate);
+      found_1890 = true;
+    }
+    if (graph_->node(r.node).birth_year == 1870) {
+      // 14 years off: outside slack.
+      EXPECT_EQ(r.year_match, MatchType::kNone);
+    }
+  }
+  EXPECT_TRUE(found_1890);
+
+  cfg.year_slack = 3;  // Now 1890 is outside the slack too.
+  for (const RankedResult& r : Search(cfg, q)) {
+    if (graph_->node(r.node).birth_year == 1890) {
+      EXPECT_EQ(r.year_match, MatchType::kNone);
+    }
+  }
+}
+
+TEST_F(QueryConfigTest, TopMZeroReturnsNothing) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  QueryConfig cfg;
+  cfg.top_m = 0;
+  EXPECT_TRUE(Search(cfg, q).empty());
+}
+
+TEST_F(QueryConfigTest, ScoreIsNormalisedPercentage) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  q.gender = Gender::kFemale;
+  q.parish = "portree";
+  q.year_from = 1869;
+  q.year_to = 1871;
+  q.kind = SearchKind::kBirth;
+  QueryConfig cfg;
+  const auto results = Search(cfg, q);
+  ASSERT_FALSE(results.empty());
+  // The best match hits every provided field exactly: 100%.
+  EXPECT_NEAR(results[0].score, 100.0, 1e-9);
+}
+
+TEST_F(QueryConfigTest, GenderMismatchOnlyCostsItsWeight) {
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  q.gender = Gender::kMale;  // All candidates are female.
+  QueryConfig cfg;
+  cfg.gender_weight = 0.05;
+  const auto results = Search(cfg, q);
+  ASSERT_FALSE(results.empty());
+  // Attainable = 0.35+0.35+0.05 = 0.75, achieved = 0.70.
+  EXPECT_NEAR(results[0].score, 100.0 * 0.70 / 0.75, 1e-6);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/constraints.h"
+#include "data/role.h"
+
+namespace snaps {
+namespace {
+
+std::vector<Role> AllRoles() {
+  std::vector<Role> roles;
+  for (int i = 0; i < kNumRoles; ++i) roles.push_back(static_cast<Role>(i));
+  return roles;
+}
+
+/// Exhaustive properties over the full role-pair matrix: the domain
+/// tables drive the whole pipeline, so they are checked completely.
+class RolePairMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Role a() const { return static_cast<Role>(std::get<0>(GetParam())); }
+  Role b() const { return static_cast<Role>(std::get<1>(GetParam())); }
+};
+
+TEST_P(RolePairMatrixTest, PlausibilityIsSymmetric) {
+  EXPECT_EQ(RolePairPlausible(a(), b()), RolePairPlausible(b(), a()));
+}
+
+TEST_P(RolePairMatrixTest, GenderConflictsAreImplausible) {
+  const Gender ga = RoleImpliedGender(a());
+  const Gender gb = RoleImpliedGender(b());
+  if (ga != Gender::kUnknown && gb != Gender::kUnknown && ga != gb) {
+    EXPECT_FALSE(RolePairPlausible(a(), b()));
+  }
+}
+
+TEST_P(RolePairMatrixTest, SamePrincipalRolePlausibleUnlessUnique) {
+  if (a() != b()) return;
+  const bool unique_per_person = a() == Role::kBb || a() == Role::kDd;
+  EXPECT_EQ(RolePairPlausible(a(), a()), !unique_per_person);
+}
+
+TEST_P(RolePairMatrixTest, TemporalIntervalsWellFormed) {
+  TemporalConstraints tc;
+  int lo, hi;
+  tc.BirthYearInterval(a(), 1880, &lo, &hi);
+  EXPECT_LE(lo, hi);
+  EXPECT_LE(hi, 1880);          // Born before (or at) the event.
+  EXPECT_GE(lo, 1880 - 120);    // Bounded lifespan.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, RolePairMatrixTest,
+    ::testing::Combine(::testing::Range(0, kNumRoles),
+                       ::testing::Range(0, kNumRoles)));
+
+// ------------------------------------------ Relation-table checks.
+
+TEST(RoleRelationTableTest, EveryRelationHasAnInverseEntry) {
+  for (CertType type : {CertType::kBirth, CertType::kDeath,
+                        CertType::kMarriage, CertType::kCensus}) {
+    for (const RoleRelation& rr : CertRoleRelations(type)) {
+      // Some relation (of any kind) must point back.
+      Relationship back;
+      EXPECT_TRUE(LookupRoleRelation(rr.to, rr.from, &back))
+          << RoleName(rr.from) << " -> " << RoleName(rr.to);
+      // Spouse is symmetric; mother/father pair with child.
+      if (rr.rel == Relationship::kSpouse) {
+        EXPECT_EQ(back, Relationship::kSpouse);
+      } else if (rr.rel == Relationship::kMother ||
+                 rr.rel == Relationship::kFather) {
+        EXPECT_EQ(back, Relationship::kChild);
+      }
+    }
+  }
+}
+
+TEST(RoleRelationTableTest, MotherRolesAreFemale) {
+  for (CertType type : {CertType::kBirth, CertType::kDeath,
+                        CertType::kMarriage, CertType::kCensus}) {
+    for (const RoleRelation& rr : CertRoleRelations(type)) {
+      if (rr.rel == Relationship::kMother) {
+        EXPECT_EQ(RoleImpliedGender(rr.to), Gender::kFemale)
+            << RoleName(rr.to);
+      }
+      if (rr.rel == Relationship::kFather) {
+        EXPECT_EQ(RoleImpliedGender(rr.to), Gender::kMale)
+            << RoleName(rr.to);
+      }
+    }
+  }
+}
+
+TEST(RoleRelationTableTest, NoSelfRelations) {
+  for (CertType type : {CertType::kBirth, CertType::kDeath,
+                        CertType::kMarriage, CertType::kCensus}) {
+    for (const RoleRelation& rr : CertRoleRelations(type)) {
+      EXPECT_NE(rr.from, rr.to);
+    }
+  }
+}
+
+TEST(RoleRelationTableTest, EveryRoleAppearsInSomeRelation) {
+  std::set<Role> related;
+  for (CertType type : {CertType::kBirth, CertType::kDeath,
+                        CertType::kMarriage, CertType::kCensus}) {
+    for (const RoleRelation& rr : CertRoleRelations(type)) {
+      related.insert(rr.from);
+      related.insert(rr.to);
+    }
+  }
+  for (Role r : AllRoles()) {
+    EXPECT_TRUE(related.count(r)) << RoleName(r);
+  }
+}
+
+TEST(RoleRelationTableTest, RelationsStayWithinCertType) {
+  for (CertType type : {CertType::kBirth, CertType::kDeath,
+                        CertType::kMarriage, CertType::kCensus}) {
+    for (const RoleRelation& rr : CertRoleRelations(type)) {
+      EXPECT_EQ(RoleCertType(rr.from), type);
+      EXPECT_EQ(RoleCertType(rr.to), type);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snaps

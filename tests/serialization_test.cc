@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "pedigree/serialization.h"
+
+namespace snaps {
+namespace {
+
+PedigreeGraph MakeGraph() {
+  SimulatorConfig cfg;
+  cfg.seed = 55;
+  cfg.num_founder_couples = 20;
+  cfg.immigrants_per_year = 1.0;
+  GeneratedData data = PopulationSimulator(cfg).Generate();
+  const ErResult result = ErEngine().Resolve(data.dataset);
+  return PedigreeGraph::Build(data.dataset, result);
+}
+
+TEST(SerializationTest, RoundTripPreservesStructure) {
+  const PedigreeGraph graph = MakeGraph();
+  const std::string serialized = SerializePedigreeGraph(graph);
+  Result<PedigreeGraph> back = DeserializePedigreeGraph(serialized);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  ASSERT_EQ(back->num_nodes(), graph.num_nodes());
+  EXPECT_EQ(back->num_edges(), graph.num_edges());
+  for (PedigreeNodeId id = 0; id < graph.num_nodes(); ++id) {
+    const PedigreeNode& a = graph.node(id);
+    const PedigreeNode& b = back->node(id);
+    EXPECT_EQ(a.first_names, b.first_names);
+    EXPECT_EQ(a.surnames, b.surnames);
+    EXPECT_EQ(a.parishes, b.parishes);
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.gender, b.gender);
+    EXPECT_EQ(a.birth_year, b.birth_year);
+    EXPECT_EQ(a.death_year, b.death_year);
+    EXPECT_EQ(a.first_event_year, b.first_event_year);
+    EXPECT_EQ(a.true_person, b.true_person);
+  }
+  // Edge sets per node.
+  for (PedigreeNodeId id = 0; id < graph.num_nodes(); ++id) {
+    const auto& ea = graph.Edges(id);
+    const auto& eb = back->Edges(id);
+    ASSERT_EQ(ea.size(), eb.size()) << "node " << id;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].target, eb[i].target);
+      EXPECT_EQ(ea[i].rel, eb[i].rel);
+    }
+  }
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const PedigreeGraph graph = MakeGraph();
+  const std::string path =
+      ::testing::TempDir() + "/snaps_pedigree_graph.csv";
+  ASSERT_TRUE(SavePedigreeGraph(graph, path).ok());
+  Result<PedigreeGraph> back = LoadPedigreeGraph(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), graph.num_nodes());
+  EXPECT_EQ(back->num_edges(), graph.num_edges());
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializePedigreeGraph("not,a,graph\n1,2,3\n").ok());
+  EXPECT_FALSE(DeserializePedigreeGraph("").ok());
+}
+
+TEST(SerializationTest, RejectsDanglingEdges) {
+  PedigreeGraph g;
+  g.AddNode(PedigreeNode{});
+  std::string serialized = SerializePedigreeGraph(g);
+  serialized += "edge,0,99,motherOf,,,,,,,,,\n";
+  EXPECT_FALSE(DeserializePedigreeGraph(serialized).ok());
+}
+
+TEST(SerializationTest, RejectsUnknownRelationship) {
+  PedigreeGraph g;
+  g.AddNode(PedigreeNode{});
+  g.AddNode(PedigreeNode{});
+  std::string serialized = SerializePedigreeGraph(g);
+  serialized += "edge,0,1,cousinOf,,,,,,,,,\n";
+  EXPECT_FALSE(DeserializePedigreeGraph(serialized).ok());
+}
+
+TEST(SerializationTest, EmptyGraphRoundTrips) {
+  PedigreeGraph g;
+  Result<PedigreeGraph> back =
+      DeserializePedigreeGraph(SerializePedigreeGraph(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/similarity.h"
+
+namespace snaps {
+namespace {
+
+/// Fixture with a small dataset whose name frequencies are known.
+class SimilarityModelTest : public ::testing::Test {
+ protected:
+  SimilarityModelTest() : schema_(Schema::Default()) {
+    // 4 records named "mary smith", 1 named "flora gunn".
+    for (int i = 0; i < 4; ++i) AddRecord("mary", "smith");
+    AddRecord("flora", "gunn");
+    model_ = std::make_unique<SimilarityModel>(&ds_, &schema_, 0.6);
+  }
+
+  void AddRecord(const std::string& first, const std::string& surname) {
+    const CertId c = ds_.AddCertificate(CertType::kBirth, 1880);
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kSurname, surname);
+    ds_.AddRecord(c, Role::kBm, r);
+  }
+
+  /// Builds a relational node with the given raw attribute sims.
+  RelNodeId MakeNode(double first_sim, double surname_sim,
+                     double extra_sim = -1.0) {
+    const GroupId g = graph_.NewGroup();
+    const RelNodeId id = graph_.AddRelationalNode(0, 1, g);
+    RelationalNode& n = graph_.mutable_rel_node(id);
+    n.raw_sims[static_cast<size_t>(Attr::kFirstName)] =
+        static_cast<float>(first_sim);
+    n.raw_sims[static_cast<size_t>(Attr::kSurname)] =
+        static_cast<float>(surname_sim);
+    if (extra_sim >= 0) {
+      n.raw_sims[static_cast<size_t>(Attr::kParish)] =
+          static_cast<float>(extra_sim);
+    }
+    return id;
+  }
+
+  Dataset ds_;
+  Schema schema_;
+  DependencyGraph graph_;
+  std::unique_ptr<SimilarityModel> model_;
+};
+
+TEST_F(SimilarityModelTest, PaperExampleEquationOne) {
+  // Section 4.2.3 worked example: first name 1.0 (Must), surname 0.9
+  // (Core), city 0.9 (Extra) with weights 0.5/0.3/0.2 -> s_a = 0.95.
+  const RelNodeId id = MakeNode(1.0, 0.9, 0.9);
+  EXPECT_NEAR(model_->AtomicSimilarity(graph_, graph_.rel_node(id)), 0.95,
+              1e-6);
+}
+
+TEST_F(SimilarityModelTest, MissingCategoriesDropFromAverage) {
+  // Only the Must attribute present: s_a equals its similarity.
+  const RelNodeId id = MakeNode(0.92, -1.0);
+  EXPECT_NEAR(model_->AtomicSimilarity(graph_, graph_.rel_node(id)), 0.92,
+              1e-6);
+}
+
+TEST_F(SimilarityModelTest, MissingMustAttributeZeroesSimilarity) {
+  const RelNodeId id = MakeNode(-1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(model_->AtomicSimilarity(graph_, graph_.rel_node(id)),
+                   0.0);
+}
+
+TEST_F(SimilarityModelTest, DissimilarCoreValuesAreNegativeEvidence) {
+  const RelNodeId same = MakeNode(1.0, 1.0);
+  const RelNodeId diff = MakeNode(1.0, 0.3);
+  EXPECT_GT(model_->AtomicSimilarity(graph_, graph_.rel_node(same)),
+            model_->AtomicSimilarity(graph_, graph_.rel_node(diff)));
+}
+
+TEST_F(SimilarityModelTest, FrequenciesCountNameCombinations) {
+  EXPECT_EQ(model_->Frequency(0), 4);  // mary smith x4.
+  EXPECT_EQ(model_->Frequency(4), 1);  // flora gunn.
+}
+
+TEST_F(SimilarityModelTest, RareNamesGetHigherDisambiguation) {
+  // Records 0,1 are common; record 4 is unique.
+  const double common = model_->DisambiguationSimilarity(0, 1);
+  const double rare = model_->DisambiguationSimilarity(4, 4);
+  EXPECT_GT(rare, common);
+  EXPECT_GE(common, 0.0);
+  EXPECT_LE(rare, 1.0);
+}
+
+TEST_F(SimilarityModelTest, EquationTwoMatchesFormula) {
+  // s_d = log2(|O| / (f_i + f_j)) / log2(|O|) with |O| = 5 records.
+  const double expected = std::log2(5.0 / 8.0) / std::log2(5.0);
+  EXPECT_NEAR(model_->DisambiguationSimilarity(0, 1),
+              std::clamp(expected, 0.0, 1.0), 1e-9);
+}
+
+TEST_F(SimilarityModelTest, EquationThreeGammaMix) {
+  const RelNodeId id = MakeNode(1.0, 1.0);
+  const double sa = model_->AtomicSimilarity(graph_, graph_.rel_node(id));
+  const double sd = model_->DisambiguationSimilarity(0, 1);
+  const double s =
+      model_->NodeSimilarity(graph_, graph_.rel_node(id), /*amb=*/true);
+  EXPECT_NEAR(s, 0.6 * sa + 0.4 * sd, 1e-9);
+  // Without AMB the disambiguation drops out (gamma = 1).
+  EXPECT_NEAR(
+      model_->NodeSimilarity(graph_, graph_.rel_node(id), /*amb=*/false), sa,
+      1e-9);
+}
+
+}  // namespace
+}  // namespace snaps

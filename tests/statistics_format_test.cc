@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "data/statistics.h"
+#include "query/result_format.h"
+
+namespace snaps {
+namespace {
+
+Dataset MakeStatsDataset() {
+  Dataset ds;
+  auto add_death = [&ds](const std::string& first, const std::string& occ) {
+    const CertId c = ds.AddCertificate(CertType::kDeath, 1880);
+    Record r;
+    r.set_value(Attr::kFirstName, first);
+    r.set_value(Attr::kOccupation, occ);
+    ds.AddRecord(c, Role::kDd, r);
+  };
+  add_death("mary", "weaver");
+  add_death("mary", "");
+  add_death("Mary", "");  // Normalises to the same value.
+  add_death("ann", "crofter");
+  add_death("", "crofter");
+  return ds;
+}
+
+TEST(StatisticsTest, ProfileAttributeCounts) {
+  const Dataset ds = MakeStatsDataset();
+  const AttrProfile first = ProfileAttribute(ds, Role::kDd, Attr::kFirstName);
+  EXPECT_EQ(first.missing, 1u);
+  EXPECT_EQ(first.distinct, 2u);  // mary, ann.
+  EXPECT_EQ(first.min_freq, 1u);
+  EXPECT_EQ(first.max_freq, 3u);
+  EXPECT_DOUBLE_EQ(first.avg_freq, 2.0);
+
+  const AttrProfile occ = ProfileAttribute(ds, Role::kDd, Attr::kOccupation);
+  EXPECT_EQ(occ.missing, 2u);
+  EXPECT_EQ(occ.distinct, 2u);
+}
+
+TEST(StatisticsTest, ProfileEmptySubset) {
+  const Dataset ds = MakeStatsDataset();
+  const AttrProfile p = ProfileAttribute(ds, Role::kBb, Attr::kFirstName);
+  EXPECT_EQ(p.missing, 0u);
+  EXPECT_EQ(p.distinct, 0u);
+  EXPECT_EQ(p.max_freq, 0u);
+}
+
+TEST(StatisticsTest, TopValueSharesSorted) {
+  const Dataset ds = MakeStatsDataset();
+  const auto shares = TopValueShares(ds, Role::kDd, Attr::kFirstName, 10);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0], 0.75);  // mary: 3 of 4 non-missing.
+  EXPECT_DOUBLE_EQ(shares[1], 0.25);
+}
+
+TEST(StatisticsTest, RoleCounts) {
+  const Dataset ds = MakeStatsDataset();
+  const auto counts = RoleCounts(ds);
+  EXPECT_EQ(counts[static_cast<size_t>(Role::kDd)], 5u);
+  EXPECT_EQ(counts[static_cast<size_t>(Role::kBb)], 0u);
+}
+
+// ----------------------------------------------------- Formatting.
+
+PedigreeGraph MakeTinyGraph() {
+  PedigreeGraph g;
+  PedigreeNode n;
+  n.first_names = {"flora"};
+  n.surnames = {"mackinnon"};
+  n.parishes = {"portree"};
+  n.gender = Gender::kFemale;
+  n.birth_year = 1862;
+  n.death_year = 1884;
+  g.AddNode(std::move(n));
+  return g;
+}
+
+std::vector<RankedResult> MakeResults() {
+  RankedResult r;
+  r.node = 0;
+  r.score = 93.5;
+  r.first_name_match = MatchType::kExact;
+  r.surname_match = MatchType::kApproximate;
+  return {r};
+}
+
+TEST(ResultFormatTest, TableContainsRow) {
+  const PedigreeGraph g = MakeTinyGraph();
+  const std::string table = FormatResultsTable(g, MakeResults());
+  EXPECT_NE(table.find("flora"), std::string::npos);
+  EXPECT_NE(table.find("mackinnon"), std::string::npos);
+  EXPECT_NE(table.find("93.50"), std::string::npos);
+  EXPECT_NE(table.find("surname=approx"), std::string::npos);
+}
+
+TEST(ResultFormatTest, TableEmptyResults) {
+  const PedigreeGraph g = MakeTinyGraph();
+  EXPECT_NE(FormatResultsTable(g, {}).find("(no results)"),
+            std::string::npos);
+}
+
+TEST(ResultFormatTest, JsonShape) {
+  const PedigreeGraph g = MakeTinyGraph();
+  const std::string json = FormatResultsJson(g, MakeResults());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"rank\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"first_names\":[\"flora\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"birth_year\":1862"), std::string::npos);
+  EXPECT_NE(json.find("\"surname\":\"approx\""), std::string::npos);
+}
+
+TEST(ResultFormatTest, JsonEmptyResultsIsEmptyArray) {
+  const PedigreeGraph g = MakeTinyGraph();
+  EXPECT_EQ(FormatResultsJson(g, {}), "[]");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "strsim/similarity.h"
+#include "util/rng.h"
+
+namespace snaps {
+namespace {
+
+// Table-driven known values for the name comparators, covering the
+// kinds of variation the Scottish certificate data exhibits
+// (transcription slips, phonetic variants, prefix families, hyphens).
+
+struct JwCase {
+  const char* a;
+  const char* b;
+  double expected;
+  double tolerance;
+};
+
+class JaroWinklerKnownValues : public ::testing::TestWithParam<JwCase> {};
+
+TEST_P(JaroWinklerKnownValues, MatchesReference) {
+  const JwCase& c = GetParam();
+  EXPECT_NEAR(JaroWinklerSimilarity(c.a, c.b), c.expected, c.tolerance)
+      << c.a << " vs " << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferencePairs, JaroWinklerKnownValues,
+    ::testing::Values(
+        // Classic reference values from the record-linkage literature.
+        JwCase{"martha", "marhta", 0.9611, 1e-3},
+        JwCase{"dwayne", "duane", 0.8400, 1e-3},
+        JwCase{"dixon", "dicksonx", 0.8133, 1e-3},
+        JwCase{"jones", "johnson", 0.8323, 1e-3},
+        JwCase{"abroms", "abrams", 0.9222, 1e-3},
+        // Identity and disjoint.
+        JwCase{"macdonald", "macdonald", 1.0, 0.0},
+        JwCase{"abc", "xyz", 0.0, 0.0},
+        // Scottish variant families stay above the t_a threshold.
+        JwCase{"catherine", "katherine", 0.9259, 1e-3},
+        JwCase{"mackinnon", "mckinnon", 0.9667, 1e-3}));
+
+TEST(JaroKnownValuesTest, ReferencePairs) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dwayne", "duane"), 0.8222, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("crate", "trace"), 0.7333, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("arnab", "aranb"), 0.9333, 1e-3);
+}
+
+TEST(LevenshteinKnownValuesTest, ReferenceDistances) {
+  EXPECT_EQ(LevenshteinDistance("saturday", "sunday"), 3);
+  EXPECT_EQ(LevenshteinDistance("gumbo", "gambol"), 2);
+  EXPECT_EQ(LevenshteinDistance("book", "back"), 2);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1);
+  EXPECT_EQ(LevenshteinDistance("macdonald", "mcdonald"), 1);
+  EXPECT_EQ(LevenshteinDistance("abcdef", "fedcba"), 6);
+}
+
+TEST(JaccardKnownValuesTest, BigramReference) {
+  // "night" bigrams {ni,ig,gh,ht}; "nacht" {na,ac,ch,ht}: 1 shared of
+  // 7 distinct.
+  EXPECT_NEAR(JaccardBigramSimilarity("night", "nacht"), 1.0 / 7.0, 1e-9);
+  // Single-char strings fall back to the whole string as one gram.
+  EXPECT_DOUBLE_EQ(JaccardBigramSimilarity("a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardBigramSimilarity("a", "b"), 0.0);
+}
+
+TEST(DiceKnownValuesTest, BigramReference) {
+  EXPECT_NEAR(DiceBigramSimilarity("night", "nacht"), 2.0 / 8.0, 1e-9);
+}
+
+TEST(LcsKnownValuesTest, Reference) {
+  EXPECT_EQ(LongestCommonSubstring("genealogy", "genealogical"), 8);
+  EXPECT_EQ(LongestCommonSubstring("aaa", "aa"), 2);
+}
+
+// ------------------------------------------------- Monge-Elkan.
+
+TEST(MongeElkanTest, TokenReorderingForgiven) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("high street", "street high"), 1.0);
+}
+
+TEST(MongeElkanTest, ExtraTokensPenalisedSoftly) {
+  const double sim = MongeElkanSimilarity("23 high street", "high street");
+  EXPECT_GT(sim, 0.7);
+  EXPECT_LT(sim, 1.0);
+  // Still clearly above unrelated addresses.
+  EXPECT_GT(sim, MongeElkanSimilarity("23 high street", "mill lane"));
+}
+
+TEST(MongeElkanTest, SymmetricAndBounded) {
+  const double ab = MongeElkanSimilarity("farm servant", "domestic servant");
+  const double ba = MongeElkanSimilarity("domestic servant", "farm servant");
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+}
+
+TEST(MongeElkanTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("x", ""), 0.0);
+}
+
+// ------------------------------------------------- Edge-case sweeps.
+
+class LongStringTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LongStringTest, ComparatorsHandleLongInputs) {
+  const size_t n = GetParam();
+  const std::string a(n, 'x');
+  std::string b = a;
+  b[n / 2] = 'y';
+  EXPECT_GT(JaroWinklerSimilarity(a, b), 0.9);
+  EXPECT_EQ(LevenshteinDistance(a, b), 1);
+  EXPECT_GT(JaccardBigramSimilarity(a, b), 0.0);
+  EXPECT_GE(LongestCommonSubstring(a, b), static_cast<int>(n / 2 - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LongStringTest,
+                         ::testing::Values(16, 64, 256, 1024));
+
+TEST(EdgeCaseTest, NonAsciiBytesDoNotBreakComparators) {
+  const std::string a = "s\xc3\xb8ren";  // UTF-8 bytes pass through.
+  const std::string b = "soren";
+  EXPECT_GE(JaroWinklerSimilarity(a, b), 0.0);
+  EXPECT_LE(JaroWinklerSimilarity(a, b), 1.0);
+  EXPECT_GE(LevenshteinDistance(a, b), 1);
+}
+
+TEST(EdgeCaseTest, HyphenatedNames) {
+  // Hyphenated compound vs its head: similar but below the atomic
+  // threshold, as the engine expects (caught by PROP-A, not t_a).
+  const double sim =
+      JaroWinklerSimilarity("turnbull-vass", "turnbull");
+  EXPECT_GT(sim, 0.8);
+  EXPECT_LT(sim, 0.95);
+}
+
+TEST(EdgeCaseTest, TriangleLikeBoundForLevenshtein) {
+  // d(a,c) <= d(a,b) + d(b,c) for a few spot checks.
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    auto word = [&rng] {
+      std::string w;
+      const size_t len = 1 + rng.NextUint64(8);
+      for (size_t j = 0; j < len; ++j) {
+        w.push_back(static_cast<char>('a' + rng.NextUint64(4)));
+      }
+      return w;
+    };
+    const std::string a = word(), b = word(), c = word();
+    EXPECT_LE(LevenshteinDistance(a, c),
+              LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+  }
+}
+
+TEST(EdgeCaseTest, NumericSimilaritySaturation) {
+  EXPECT_DOUBLE_EQ(NumericAbsDiffSimilarity(-5, 5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NumericAbsDiffSimilarity(-5, -5, 10), 1.0);
+  EXPECT_NEAR(NumericAbsDiffSimilarity(1e6, 1e6 + 1, 10), 0.9, 1e-9);
+}
+
+TEST(EdgeCaseTest, GeoSimilarityAntipodes) {
+  EXPECT_DOUBLE_EQ(GeoSimilarity(90, 0, -90, 0, 100.0), 0.0);
+  // Pole distance ~ 20015 km.
+  EXPECT_NEAR(HaversineKm(90, 0, -90, 0), 20015.0, 25.0);
+}
+
+}  // namespace
+}  // namespace snaps

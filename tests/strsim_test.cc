@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "strsim/comparator.h"
+#include "strsim/similarity.h"
+#include "util/rng.h"
+
+namespace snaps {
+namespace {
+
+// ------------------------------------------------------------ Jaro.
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+}
+
+TEST(JaroTest, KnownValueMarthaMarhta) {
+  // Classic textbook value: jaro(martha, marhta) = 0.944...
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+}
+
+TEST(JaroTest, KnownValueDixonDicksonx) {
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+}
+
+TEST(JaroTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+}
+
+TEST(JaroWinklerTest, KnownValueMarthaMarhta) {
+  // jw(martha, marhta) = 0.9611...
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  const double jw = JaroWinklerSimilarity("catherine", "katherine");
+  const double jw2 = JaroWinklerSimilarity("catherine", "catherina");
+  EXPECT_GT(jw2, jw);  // Shared prefix should win.
+}
+
+TEST(JaroWinklerTest, NeverBelowJaro) {
+  EXPECT_GE(JaroWinklerSimilarity("smith", "smyth"),
+            JaroSimilarity("smith", "smyth"));
+}
+
+// ----------------------------------------------------- Levenshtein.
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+}
+
+TEST(LevenshteinTest, SimilarityNormalisation) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abcd", "abcd"), 1.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-9);
+}
+
+// --------------------------------------------------- Token/bigram.
+
+TEST(JaccardTest, BigramIdentity) {
+  EXPECT_DOUBLE_EQ(JaccardBigramSimilarity("mary", "mary"), 1.0);
+}
+
+TEST(JaccardTest, BigramDisjoint) {
+  EXPECT_DOUBLE_EQ(JaccardBigramSimilarity("ab", "cd"), 0.0);
+}
+
+TEST(JaccardTest, TokenOverlap) {
+  EXPECT_NEAR(JaccardTokenSimilarity("farm servant", "domestic servant"),
+              1.0 / 3.0, 1e-9);
+}
+
+TEST(JaccardTest, TokenIgnoresOrderAndCase) {
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("John Smith", "smith john"), 1.0);
+}
+
+TEST(DiceTest, RelationToJaccard) {
+  // dice = 2j / (1+j) for any pair; check on an example.
+  const double j = JaccardBigramSimilarity("night", "nacht");
+  const double d = DiceBigramSimilarity("night", "nacht");
+  EXPECT_NEAR(d, 2 * j / (1 + j), 1e-9);
+}
+
+// ------------------------------------------------------------- LCS.
+
+TEST(LcsTest, KnownSubstring) {
+  EXPECT_EQ(LongestCommonSubstring("abcdef", "zabcy"), 3);  // "abc"
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), 0);
+  EXPECT_EQ(LongestCommonSubstring("", "x"), 0);
+}
+
+TEST(LcsTest, SimilarityBounds) {
+  EXPECT_DOUBLE_EQ(LcsSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("a", ""), 0.0);
+}
+
+// --------------------------------------------------------- Numeric.
+
+TEST(NumericTest, AbsDiffSimilarity) {
+  EXPECT_DOUBLE_EQ(NumericAbsDiffSimilarity(1880, 1880, 10), 1.0);
+  EXPECT_DOUBLE_EQ(NumericAbsDiffSimilarity(1880, 1885, 10), 0.5);
+  EXPECT_DOUBLE_EQ(NumericAbsDiffSimilarity(1880, 1990, 10), 0.0);
+}
+
+// ------------------------------------------------------------- Geo.
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // Edinburgh (55.9533, -3.1883) to Glasgow (55.8642, -4.2518): ~67km.
+  const double km = HaversineKm(55.9533, -3.1883, 55.8642, -4.2518);
+  EXPECT_NEAR(km, 67.0, 3.0);
+}
+
+TEST(GeoTest, ZeroDistanceIsFullSimilarity) {
+  EXPECT_DOUBLE_EQ(GeoSimilarity(57.0, -6.0, 57.0, -6.0, 50.0), 1.0);
+}
+
+TEST(GeoTest, FarApartIsZero) {
+  EXPECT_DOUBLE_EQ(GeoSimilarity(0, 0, 50, 50, 50.0), 0.0);
+}
+
+// ------------------------------------------------ Comparator kinds.
+
+TEST(ComparatorTest, ExactMatch) {
+  EXPECT_DOUBLE_EQ(CompareValues(ComparatorKind::kExact, "a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(CompareValues(ComparatorKind::kExact, "a", "b"), 0.0);
+}
+
+TEST(ComparatorTest, NumericYearParses) {
+  ComparatorParams params;
+  params.numeric_max_abs_diff = 10.0;
+  EXPECT_DOUBLE_EQ(
+      CompareValues(ComparatorKind::kNumericYear, "1880", "1885", params),
+      0.5);
+}
+
+TEST(ComparatorTest, NumericFallsBackToExactOnGarbage) {
+  EXPECT_DOUBLE_EQ(CompareValues(ComparatorKind::kNumericYear, "18xx", "18xx"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(CompareValues(ComparatorKind::kNumericYear, "18xx", "1880"),
+                   0.0);
+}
+
+TEST(ComparatorTest, GeoParsesLatLon) {
+  const double sim = CompareValues(ComparatorKind::kGeo, "57.0:-6.0",
+                                   "57.0:-6.0");
+  EXPECT_DOUBLE_EQ(sim, 1.0);
+}
+
+TEST(ComparatorTest, GeoFallsBackOnGarbage) {
+  EXPECT_DOUBLE_EQ(CompareValues(ComparatorKind::kGeo, "north", "north"), 1.0);
+}
+
+TEST(ComparatorTest, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(ComparatorKind::kGeo); ++k) {
+    EXPECT_STRNE(ComparatorKindName(static_cast<ComparatorKind>(k)),
+                 "unknown");
+  }
+}
+
+// --------------------------------- Property sweeps (parameterized).
+
+/// Properties every normalised string similarity must satisfy:
+/// range [0,1], symmetry, and identity similarity 1.
+using SimilarityFn = double (*)(std::string_view, std::string_view);
+
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, SimilarityFn>> {
+ protected:
+  /// Random lowercase word of length 1..12.
+  static std::string RandomWord(Rng& rng) {
+    const size_t len = 1 + rng.NextUint64(12);
+    std::string w;
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(static_cast<char>('a' + rng.NextUint64(26)));
+    }
+    return w;
+  }
+};
+
+TEST_P(SimilarityPropertyTest, RangeSymmetryIdentity) {
+  SimilarityFn fn = std::get<1>(GetParam());
+  Rng rng(0xbeef);
+  for (int i = 0; i < 300; ++i) {
+    const std::string a = RandomWord(rng);
+    const std::string b = RandomWord(rng);
+    const double ab = fn(a, b);
+    const double ba = fn(b, a);
+    EXPECT_GE(ab, 0.0) << a << " vs " << b;
+    EXPECT_LE(ab, 1.0) << a << " vs " << b;
+    EXPECT_NEAR(ab, ba, 1e-12) << a << " vs " << b;
+    EXPECT_DOUBLE_EQ(fn(a, a), 1.0) << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSimilarities, SimilarityPropertyTest,
+    ::testing::Values(
+        std::make_tuple("jaro", &JaroSimilarity),
+        std::make_tuple("jaro_winkler", &JaroWinklerSimilarity),
+        std::make_tuple("levenshtein", &LevenshteinSimilarity),
+        std::make_tuple("jaccard_bigram", &JaccardBigramSimilarity),
+        std::make_tuple("jaccard_token", &JaccardTokenSimilarity),
+        std::make_tuple("dice_bigram", &DiceBigramSimilarity),
+        std::make_tuple("lcs", &LcsSimilarity)),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+/// Single-edit corruption should stay highly similar under the
+/// edit-distance based similarity: property of the noise model the
+/// data generator relies on.
+TEST(LevenshteinPropertyTest, SingleEditBounds) {
+  Rng rng(0xfeed);
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    const size_t len = 4 + rng.NextUint64(8);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.NextUint64(26)));
+    }
+    std::string t = s;
+    t[rng.NextUint64(t.size())] = 'q';
+    EXPECT_LE(LevenshteinDistance(s, t), 1);
+  }
+}
+
+}  // namespace
+}  // namespace snaps

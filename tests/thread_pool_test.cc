@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace snaps {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsImmediately) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  int value = 0;
+  pool.Submit([&value] { value = 42; });
+  EXPECT_EQ(value, 42);  // No Wait needed in inline mode.
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForInline) {
+  ThreadPool pool(0);
+  std::vector<int> out(17, 0);
+  pool.ParallelFor(out.size(), [&out](size_t i) { out[i] = static_cast<int>(i); });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }  // Destructor joins.
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelResultsMatchSerial) {
+  // The similarity-index use case: pure per-index computation merged
+  // by index must be identical for any thread count.
+  auto compute = [](size_t i) { return static_cast<int>(i * i % 97); };
+  std::vector<int> serial(500), parallel(500);
+  ThreadPool inline_pool(1);
+  inline_pool.ParallelFor(serial.size(),
+                          [&](size_t i) { serial[i] = compute(i); });
+  ThreadPool mt_pool(4);
+  mt_pool.ParallelFor(parallel.size(),
+                      [&](size_t i) { parallel[i] = compute(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace snaps {
+namespace {
+
+// ---------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IoError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ----------------------------------------------------- StringUtil.
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MacDonald"), "macdonald");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  EXPECT_EQ(ToLowerAscii("123-A"), "123-a");
+}
+
+TEST(StringUtilTest, TrimAscii) {
+  EXPECT_EQ(TrimAscii("  x  "), "x");
+  EXPECT_EQ(TrimAscii("\t\n a b \r"), "a b");
+  EXPECT_EQ(TrimAscii("   "), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = SplitString("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  const auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ","), "x,y,z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, NormalizeValue) {
+  EXPECT_EQ(NormalizeValue("  Mary   ANN "), "mary ann");
+  EXPECT_EQ(NormalizeValue("O'Brien-Smith"), "o'brien-smith");
+  EXPECT_EQ(NormalizeValue("st. kilda!"), "st kilda");
+  EXPECT_EQ(NormalizeValue(""), "");
+}
+
+TEST(StringUtilTest, QGrams) {
+  const auto grams = QGrams("mary", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "ma");
+  EXPECT_EQ(grams[1], "ar");
+  EXPECT_EQ(grams[2], "ry");
+}
+
+TEST(StringUtilTest, QGramsShortString) {
+  const auto grams = QGrams("a", 2);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "a");
+  EXPECT_TRUE(QGrams("", 2).empty());
+}
+
+TEST(StringUtilTest, DistinctBigramsAreSortedUnique) {
+  const auto grams = DistinctBigrams("aaaa");
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "aa");
+}
+
+TEST(StringUtilTest, ShareBigram) {
+  EXPECT_TRUE(ShareBigram("mary", "maria"));
+  EXPECT_FALSE(ShareBigram("abc", "xyz"));
+  EXPECT_FALSE(ShareBigram("", "abc"));
+}
+
+TEST(StringUtilTest, Tokenize) {
+  const auto tokens = Tokenize("  Farm   Servant ");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "farm");
+  EXPECT_EQ(tokens[1], "servant");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+// ------------------------------------------------------------- CSV.
+
+TEST(CsvTest, ParseSimple) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header.size(), 2u);
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1][1], "4");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto r = ParseCsv("name,note\n\"smith, john\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], "smith, john");
+  EXPECT_EQ(r->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, ParseCrLfAndMissingFinalNewline) {
+  auto r = ParseCsv("a,b\r\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], "1");
+}
+
+TEST(CsvTest, RowWidthMismatchIsError) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto r = ParseCsv("a\n\"oops\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyContentIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, EscapeRoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows.push_back({"a,b", "line\nbreak"});
+  t.rows.push_back({"\"quoted\"", "plain"});
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, t.rows);
+}
+
+TEST(CsvTest, ColumnIndex) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zz"), -1);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"k"};
+  t.rows.push_back({"v"});
+  const std::string path = ::testing::TempDir() + "/snaps_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0][0], "v");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/snaps.csv").ok());
+}
+
+// ------------------------------------------------------------- RNG.
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextUint64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(13), 13u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, NextBoolApproximatesProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(RngTest, WeightedSelection) {
+  Rng rng(19);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    counts[rng.NextWeighted({1.0, 0.0, 3.0})]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ------------------------------------------------------------ Zipf.
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfSampler z(4, 0.0);
+  EXPECT_NEAR(z.Pmf(0), 0.25, 1e-9);
+  EXPECT_NEAR(z.Pmf(3), 0.25, 1e-9);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(50, 1.1);
+  double total = 0;
+  for (size_t k = 0; k < z.size(); ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  ZipfSampler z(100, 1.0);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(50));
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.Pmf(0), 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[5]) / n, z.Pmf(5), 0.02);
+}
+
+// ----------------------------------------------------------- Timer.
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  // Keep the loop from being optimised away.
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  const double before = t.ElapsedMillis();
+  EXPECT_GE(t.ElapsedMillis(), before);  // Monotone.
+}
+
+TEST(LatencyStatsTest, SummaryStatistics) {
+  LatencyStats stats;
+  for (double v : {3.0, 1.0, 2.0, 4.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Median(), 2.5);
+}
+
+TEST(LatencyStatsTest, OddCountMedian) {
+  LatencyStats stats;
+  for (double v : {5.0, 1.0, 3.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Median(), 3.0);
+}
+
+}  // namespace
+}  // namespace snaps
