@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocking_quality.dir/bench_blocking_quality.cc.o"
+  "CMakeFiles/bench_blocking_quality.dir/bench_blocking_quality.cc.o.d"
+  "bench_blocking_quality"
+  "bench_blocking_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocking_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_census_ablation.dir/bench_census_ablation.cc.o"
+  "CMakeFiles/bench_census_ablation.dir/bench_census_ablation.cc.o.d"
+  "bench_census_ablation"
+  "bench_census_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_census_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_name_frequencies.dir/bench_fig2_name_frequencies.cc.o"
+  "CMakeFiles/bench_fig2_name_frequencies.dir/bench_fig2_name_frequencies.cc.o.d"
+  "bench_fig2_name_frequencies"
+  "bench_fig2_name_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_name_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_strsim.dir/bench_micro_strsim.cc.o"
+  "CMakeFiles/bench_micro_strsim.dir/bench_micro_strsim.cc.o.d"
+  "bench_micro_strsim"
+  "bench_micro_strsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_strsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

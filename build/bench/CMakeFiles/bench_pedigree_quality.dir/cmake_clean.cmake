@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pedigree_quality.dir/bench_pedigree_quality.cc.o"
+  "CMakeFiles/bench_pedigree_quality.dir/bench_pedigree_quality.cc.o.d"
+  "bench_pedigree_quality"
+  "bench_pedigree_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pedigree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

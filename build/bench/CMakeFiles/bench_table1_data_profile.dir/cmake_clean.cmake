@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_data_profile.dir/bench_table1_data_profile.cc.o"
+  "CMakeFiles/bench_table1_data_profile.dir/bench_table1_data_profile.cc.o.d"
+  "bench_table1_data_profile"
+  "bench_table1_data_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_data_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

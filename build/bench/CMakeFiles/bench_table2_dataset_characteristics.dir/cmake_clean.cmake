@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dataset_characteristics.dir/bench_table2_dataset_characteristics.cc.o"
+  "CMakeFiles/bench_table2_dataset_characteristics.dir/bench_table2_dataset_characteristics.cc.o.d"
+  "bench_table2_dataset_characteristics"
+  "bench_table2_dataset_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dataset_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

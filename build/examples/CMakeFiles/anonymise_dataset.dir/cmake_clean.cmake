@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymise_dataset.dir/anonymise_dataset.cpp.o"
+  "CMakeFiles/anonymise_dataset.dir/anonymise_dataset.cpp.o.d"
+  "anonymise_dataset"
+  "anonymise_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymise_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_dataset.dir/inspect_dataset.cpp.o"
+  "CMakeFiles/inspect_dataset.dir/inspect_dataset.cpp.o.d"
+  "inspect_dataset"
+  "inspect_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedigree_search.dir/pedigree_search.cpp.o"
+  "CMakeFiles/pedigree_search.dir/pedigree_search.cpp.o.d"
+  "pedigree_search"
+  "pedigree_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedigree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

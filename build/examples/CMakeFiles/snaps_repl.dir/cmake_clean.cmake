@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_repl.dir/snaps_repl.cpp.o"
+  "CMakeFiles/snaps_repl.dir/snaps_repl.cpp.o.d"
+  "snaps_repl"
+  "snaps_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

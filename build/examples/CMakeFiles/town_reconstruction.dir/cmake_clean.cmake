@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/town_reconstruction.dir/town_reconstruction.cpp.o"
+  "CMakeFiles/town_reconstruction.dir/town_reconstruction.cpp.o.d"
+  "town_reconstruction"
+  "town_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/town_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

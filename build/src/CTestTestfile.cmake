@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("strsim")
+subdirs("data")
+subdirs("datagen")
+subdirs("blocking")
+subdirs("geo")
+subdirs("graph")
+subdirs("core")
+subdirs("pedigree")
+subdirs("index")
+subdirs("query")
+subdirs("anon")
+subdirs("baselines")
+subdirs("learn")
+subdirs("eval")

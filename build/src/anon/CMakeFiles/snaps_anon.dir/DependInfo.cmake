@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/anonymizer.cc" "src/anon/CMakeFiles/snaps_anon.dir/anonymizer.cc.o" "gcc" "src/anon/CMakeFiles/snaps_anon.dir/anonymizer.cc.o.d"
+  "/root/repo/src/anon/name_mapper.cc" "src/anon/CMakeFiles/snaps_anon.dir/name_mapper.cc.o" "gcc" "src/anon/CMakeFiles/snaps_anon.dir/name_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snaps_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_anon.dir/anonymizer.cc.o"
+  "CMakeFiles/snaps_anon.dir/anonymizer.cc.o.d"
+  "CMakeFiles/snaps_anon.dir/name_mapper.cc.o"
+  "CMakeFiles/snaps_anon.dir/name_mapper.cc.o.d"
+  "libsnaps_anon.a"
+  "libsnaps_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attr_sim.cc" "src/baselines/CMakeFiles/snaps_baselines.dir/attr_sim.cc.o" "gcc" "src/baselines/CMakeFiles/snaps_baselines.dir/attr_sim.cc.o.d"
+  "/root/repo/src/baselines/dep_graph.cc" "src/baselines/CMakeFiles/snaps_baselines.dir/dep_graph.cc.o" "gcc" "src/baselines/CMakeFiles/snaps_baselines.dir/dep_graph.cc.o.d"
+  "/root/repo/src/baselines/rel_cluster.cc" "src/baselines/CMakeFiles/snaps_baselines.dir/rel_cluster.cc.o" "gcc" "src/baselines/CMakeFiles/snaps_baselines.dir/rel_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snaps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/snaps_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snaps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

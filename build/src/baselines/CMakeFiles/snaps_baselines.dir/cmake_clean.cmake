@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_baselines.dir/attr_sim.cc.o"
+  "CMakeFiles/snaps_baselines.dir/attr_sim.cc.o.d"
+  "CMakeFiles/snaps_baselines.dir/dep_graph.cc.o"
+  "CMakeFiles/snaps_baselines.dir/dep_graph.cc.o.d"
+  "CMakeFiles/snaps_baselines.dir/rel_cluster.cc.o"
+  "CMakeFiles/snaps_baselines.dir/rel_cluster.cc.o.d"
+  "libsnaps_baselines.a"
+  "libsnaps_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

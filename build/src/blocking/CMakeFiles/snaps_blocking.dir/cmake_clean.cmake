@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_blocking.dir/lsh_blocker.cc.o"
+  "CMakeFiles/snaps_blocking.dir/lsh_blocker.cc.o.d"
+  "libsnaps_blocking.a"
+  "libsnaps_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/constraints.cc" "src/core/CMakeFiles/snaps_core.dir/constraints.cc.o" "gcc" "src/core/CMakeFiles/snaps_core.dir/constraints.cc.o.d"
+  "/root/repo/src/core/entity_store.cc" "src/core/CMakeFiles/snaps_core.dir/entity_store.cc.o" "gcc" "src/core/CMakeFiles/snaps_core.dir/entity_store.cc.o.d"
+  "/root/repo/src/core/er_engine.cc" "src/core/CMakeFiles/snaps_core.dir/er_engine.cc.o" "gcc" "src/core/CMakeFiles/snaps_core.dir/er_engine.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/core/CMakeFiles/snaps_core.dir/graph_builder.cc.o" "gcc" "src/core/CMakeFiles/snaps_core.dir/graph_builder.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/snaps_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/snaps_core.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocking/CMakeFiles/snaps_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snaps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

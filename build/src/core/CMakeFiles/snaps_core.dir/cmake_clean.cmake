@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_core.dir/constraints.cc.o"
+  "CMakeFiles/snaps_core.dir/constraints.cc.o.d"
+  "CMakeFiles/snaps_core.dir/entity_store.cc.o"
+  "CMakeFiles/snaps_core.dir/entity_store.cc.o.d"
+  "CMakeFiles/snaps_core.dir/er_engine.cc.o"
+  "CMakeFiles/snaps_core.dir/er_engine.cc.o.d"
+  "CMakeFiles/snaps_core.dir/graph_builder.cc.o"
+  "CMakeFiles/snaps_core.dir/graph_builder.cc.o.d"
+  "CMakeFiles/snaps_core.dir/similarity.cc.o"
+  "CMakeFiles/snaps_core.dir/similarity.cc.o.d"
+  "libsnaps_core.a"
+  "libsnaps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

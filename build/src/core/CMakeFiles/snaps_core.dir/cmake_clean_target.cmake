@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnaps_core.a"
+)

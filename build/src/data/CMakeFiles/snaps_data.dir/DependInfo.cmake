@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/snaps_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/snaps_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/snaps_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/snaps_data.dir/record.cc.o.d"
+  "/root/repo/src/data/role.cc" "src/data/CMakeFiles/snaps_data.dir/role.cc.o" "gcc" "src/data/CMakeFiles/snaps_data.dir/role.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/snaps_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/snaps_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/snaps_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/snaps_data.dir/statistics.cc.o.d"
+  "/root/repo/src/data/validation.cc" "src/data/CMakeFiles/snaps_data.dir/validation.cc.o" "gcc" "src/data/CMakeFiles/snaps_data.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_data.dir/dataset.cc.o"
+  "CMakeFiles/snaps_data.dir/dataset.cc.o.d"
+  "CMakeFiles/snaps_data.dir/record.cc.o"
+  "CMakeFiles/snaps_data.dir/record.cc.o.d"
+  "CMakeFiles/snaps_data.dir/role.cc.o"
+  "CMakeFiles/snaps_data.dir/role.cc.o.d"
+  "CMakeFiles/snaps_data.dir/schema.cc.o"
+  "CMakeFiles/snaps_data.dir/schema.cc.o.d"
+  "CMakeFiles/snaps_data.dir/statistics.cc.o"
+  "CMakeFiles/snaps_data.dir/statistics.cc.o.d"
+  "CMakeFiles/snaps_data.dir/validation.cc.o"
+  "CMakeFiles/snaps_data.dir/validation.cc.o.d"
+  "libsnaps_data.a"
+  "libsnaps_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

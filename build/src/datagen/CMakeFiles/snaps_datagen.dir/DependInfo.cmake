@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corruption.cc" "src/datagen/CMakeFiles/snaps_datagen.dir/corruption.cc.o" "gcc" "src/datagen/CMakeFiles/snaps_datagen.dir/corruption.cc.o.d"
+  "/root/repo/src/datagen/name_pool.cc" "src/datagen/CMakeFiles/snaps_datagen.dir/name_pool.cc.o" "gcc" "src/datagen/CMakeFiles/snaps_datagen.dir/name_pool.cc.o.d"
+  "/root/repo/src/datagen/simulator.cc" "src/datagen/CMakeFiles/snaps_datagen.dir/simulator.cc.o" "gcc" "src/datagen/CMakeFiles/snaps_datagen.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_datagen.dir/corruption.cc.o"
+  "CMakeFiles/snaps_datagen.dir/corruption.cc.o.d"
+  "CMakeFiles/snaps_datagen.dir/name_pool.cc.o"
+  "CMakeFiles/snaps_datagen.dir/name_pool.cc.o.d"
+  "CMakeFiles/snaps_datagen.dir/simulator.cc.o"
+  "CMakeFiles/snaps_datagen.dir/simulator.cc.o.d"
+  "libsnaps_datagen.a"
+  "libsnaps_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_eval.dir/cluster_metrics.cc.o"
+  "CMakeFiles/snaps_eval.dir/cluster_metrics.cc.o.d"
+  "CMakeFiles/snaps_eval.dir/metrics.cc.o"
+  "CMakeFiles/snaps_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/snaps_eval.dir/pedigree_metrics.cc.o"
+  "CMakeFiles/snaps_eval.dir/pedigree_metrics.cc.o.d"
+  "libsnaps_eval.a"
+  "libsnaps_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

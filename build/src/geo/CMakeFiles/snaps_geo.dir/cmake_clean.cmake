@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_geo.dir/gazetteer.cc.o"
+  "CMakeFiles/snaps_geo.dir/gazetteer.cc.o.d"
+  "libsnaps_geo.a"
+  "libsnaps_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

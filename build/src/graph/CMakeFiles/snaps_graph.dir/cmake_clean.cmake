@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_graph.dir/algorithms.cc.o"
+  "CMakeFiles/snaps_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/snaps_graph.dir/dependency_graph.cc.o"
+  "CMakeFiles/snaps_graph.dir/dependency_graph.cc.o.d"
+  "libsnaps_graph.a"
+  "libsnaps_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_index.dir/keyword_index.cc.o"
+  "CMakeFiles/snaps_index.dir/keyword_index.cc.o.d"
+  "CMakeFiles/snaps_index.dir/similarity_index.cc.o"
+  "CMakeFiles/snaps_index.dir/similarity_index.cc.o.d"
+  "libsnaps_index.a"
+  "libsnaps_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

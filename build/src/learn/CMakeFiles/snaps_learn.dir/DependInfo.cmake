@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/features.cc" "src/learn/CMakeFiles/snaps_learn.dir/features.cc.o" "gcc" "src/learn/CMakeFiles/snaps_learn.dir/features.cc.o.d"
+  "/root/repo/src/learn/fellegi_sunter.cc" "src/learn/CMakeFiles/snaps_learn.dir/fellegi_sunter.cc.o" "gcc" "src/learn/CMakeFiles/snaps_learn.dir/fellegi_sunter.cc.o.d"
+  "/root/repo/src/learn/linear_models.cc" "src/learn/CMakeFiles/snaps_learn.dir/linear_models.cc.o" "gcc" "src/learn/CMakeFiles/snaps_learn.dir/linear_models.cc.o.d"
+  "/root/repo/src/learn/magellan.cc" "src/learn/CMakeFiles/snaps_learn.dir/magellan.cc.o" "gcc" "src/learn/CMakeFiles/snaps_learn.dir/magellan.cc.o.d"
+  "/root/repo/src/learn/naive_bayes.cc" "src/learn/CMakeFiles/snaps_learn.dir/naive_bayes.cc.o" "gcc" "src/learn/CMakeFiles/snaps_learn.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/learn/tree_models.cc" "src/learn/CMakeFiles/snaps_learn.dir/tree_models.cc.o" "gcc" "src/learn/CMakeFiles/snaps_learn.dir/tree_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocking/CMakeFiles/snaps_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/snaps_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/snaps_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snaps_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/snaps_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedigree/CMakeFiles/snaps_pedigree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snaps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snaps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/snaps_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

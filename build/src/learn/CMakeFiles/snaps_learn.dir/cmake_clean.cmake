@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_learn.dir/features.cc.o"
+  "CMakeFiles/snaps_learn.dir/features.cc.o.d"
+  "CMakeFiles/snaps_learn.dir/fellegi_sunter.cc.o"
+  "CMakeFiles/snaps_learn.dir/fellegi_sunter.cc.o.d"
+  "CMakeFiles/snaps_learn.dir/linear_models.cc.o"
+  "CMakeFiles/snaps_learn.dir/linear_models.cc.o.d"
+  "CMakeFiles/snaps_learn.dir/magellan.cc.o"
+  "CMakeFiles/snaps_learn.dir/magellan.cc.o.d"
+  "CMakeFiles/snaps_learn.dir/naive_bayes.cc.o"
+  "CMakeFiles/snaps_learn.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/snaps_learn.dir/tree_models.cc.o"
+  "CMakeFiles/snaps_learn.dir/tree_models.cc.o.d"
+  "libsnaps_learn.a"
+  "libsnaps_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

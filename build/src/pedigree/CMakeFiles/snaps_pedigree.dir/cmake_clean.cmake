@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_pedigree.dir/extraction.cc.o"
+  "CMakeFiles/snaps_pedigree.dir/extraction.cc.o.d"
+  "CMakeFiles/snaps_pedigree.dir/pedigree_graph.cc.o"
+  "CMakeFiles/snaps_pedigree.dir/pedigree_graph.cc.o.d"
+  "CMakeFiles/snaps_pedigree.dir/serialization.cc.o"
+  "CMakeFiles/snaps_pedigree.dir/serialization.cc.o.d"
+  "libsnaps_pedigree.a"
+  "libsnaps_pedigree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_pedigree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

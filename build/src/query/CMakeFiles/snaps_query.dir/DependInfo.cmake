@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/query_processor.cc" "src/query/CMakeFiles/snaps_query.dir/query_processor.cc.o" "gcc" "src/query/CMakeFiles/snaps_query.dir/query_processor.cc.o.d"
+  "/root/repo/src/query/result_format.cc" "src/query/CMakeFiles/snaps_query.dir/result_format.cc.o" "gcc" "src/query/CMakeFiles/snaps_query.dir/result_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/snaps_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/snaps_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedigree/CMakeFiles/snaps_pedigree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snaps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/snaps_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snaps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

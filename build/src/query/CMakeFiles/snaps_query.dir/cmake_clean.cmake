@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_query.dir/query_processor.cc.o"
+  "CMakeFiles/snaps_query.dir/query_processor.cc.o.d"
+  "CMakeFiles/snaps_query.dir/result_format.cc.o"
+  "CMakeFiles/snaps_query.dir/result_format.cc.o.d"
+  "libsnaps_query.a"
+  "libsnaps_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

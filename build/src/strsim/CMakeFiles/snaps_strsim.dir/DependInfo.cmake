@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strsim/comparator.cc" "src/strsim/CMakeFiles/snaps_strsim.dir/comparator.cc.o" "gcc" "src/strsim/CMakeFiles/snaps_strsim.dir/comparator.cc.o.d"
+  "/root/repo/src/strsim/phonetic.cc" "src/strsim/CMakeFiles/snaps_strsim.dir/phonetic.cc.o" "gcc" "src/strsim/CMakeFiles/snaps_strsim.dir/phonetic.cc.o.d"
+  "/root/repo/src/strsim/similarity.cc" "src/strsim/CMakeFiles/snaps_strsim.dir/similarity.cc.o" "gcc" "src/strsim/CMakeFiles/snaps_strsim.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

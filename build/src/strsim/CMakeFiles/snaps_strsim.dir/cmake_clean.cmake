@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_strsim.dir/comparator.cc.o"
+  "CMakeFiles/snaps_strsim.dir/comparator.cc.o.d"
+  "CMakeFiles/snaps_strsim.dir/phonetic.cc.o"
+  "CMakeFiles/snaps_strsim.dir/phonetic.cc.o.d"
+  "CMakeFiles/snaps_strsim.dir/similarity.cc.o"
+  "CMakeFiles/snaps_strsim.dir/similarity.cc.o.d"
+  "libsnaps_strsim.a"
+  "libsnaps_strsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_strsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

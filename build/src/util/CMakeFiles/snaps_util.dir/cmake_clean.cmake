@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaps_util.dir/csv.cc.o"
+  "CMakeFiles/snaps_util.dir/csv.cc.o.d"
+  "CMakeFiles/snaps_util.dir/rng.cc.o"
+  "CMakeFiles/snaps_util.dir/rng.cc.o.d"
+  "CMakeFiles/snaps_util.dir/status.cc.o"
+  "CMakeFiles/snaps_util.dir/status.cc.o.d"
+  "CMakeFiles/snaps_util.dir/string_util.cc.o"
+  "CMakeFiles/snaps_util.dir/string_util.cc.o.d"
+  "CMakeFiles/snaps_util.dir/thread_pool.cc.o"
+  "CMakeFiles/snaps_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/snaps_util.dir/timer.cc.o"
+  "CMakeFiles/snaps_util.dir/timer.cc.o.d"
+  "libsnaps_util.a"
+  "libsnaps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_metrics_validation_test.dir/cluster_metrics_validation_test.cc.o"
+  "CMakeFiles/cluster_metrics_validation_test.dir/cluster_metrics_validation_test.cc.o.d"
+  "cluster_metrics_validation_test"
+  "cluster_metrics_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_metrics_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

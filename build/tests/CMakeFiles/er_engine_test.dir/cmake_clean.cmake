@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_engine_test.dir/er_engine_test.cc.o"
+  "CMakeFiles/er_engine_test.dir/er_engine_test.cc.o.d"
+  "er_engine_test"
+  "er_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

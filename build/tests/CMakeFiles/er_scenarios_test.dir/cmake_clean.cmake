@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_scenarios_test.dir/er_scenarios_test.cc.o"
+  "CMakeFiles/er_scenarios_test.dir/er_scenarios_test.cc.o.d"
+  "er_scenarios_test"
+  "er_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_depth_test.dir/extraction_depth_test.cc.o"
+  "CMakeFiles/extraction_depth_test.dir/extraction_depth_test.cc.o.d"
+  "extraction_depth_test"
+  "extraction_depth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

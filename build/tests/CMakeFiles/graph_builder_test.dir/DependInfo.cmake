@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_builder_test.cc" "tests/CMakeFiles/graph_builder_test.dir/graph_builder_test.cc.o" "gcc" "tests/CMakeFiles/graph_builder_test.dir/graph_builder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anon/CMakeFiles/snaps_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/snaps_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snaps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snaps_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/snaps_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/snaps_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/snaps_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedigree/CMakeFiles/snaps_pedigree.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/snaps_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/snaps_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snaps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/snaps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/strsim/CMakeFiles/snaps_strsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snaps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/snaps_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_edge_test.dir/misc_edge_test.cc.o"
+  "CMakeFiles/misc_edge_test.dir/misc_edge_test.cc.o.d"
+  "misc_edge_test"
+  "misc_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

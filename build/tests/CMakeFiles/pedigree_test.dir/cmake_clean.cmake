@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedigree_test.dir/pedigree_test.cc.o"
+  "CMakeFiles/pedigree_test.dir/pedigree_test.cc.o.d"
+  "pedigree_test"
+  "pedigree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedigree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

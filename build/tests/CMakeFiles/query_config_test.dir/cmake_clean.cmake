@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_config_test.dir/query_config_test.cc.o"
+  "CMakeFiles/query_config_test.dir/query_config_test.cc.o.d"
+  "query_config_test"
+  "query_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

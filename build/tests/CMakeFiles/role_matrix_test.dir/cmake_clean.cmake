@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/role_matrix_test.dir/role_matrix_test.cc.o"
+  "CMakeFiles/role_matrix_test.dir/role_matrix_test.cc.o.d"
+  "role_matrix_test"
+  "role_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/role_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

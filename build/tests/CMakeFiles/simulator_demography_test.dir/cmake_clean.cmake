@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_demography_test.dir/simulator_demography_test.cc.o"
+  "CMakeFiles/simulator_demography_test.dir/simulator_demography_test.cc.o.d"
+  "simulator_demography_test"
+  "simulator_demography_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_demography_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

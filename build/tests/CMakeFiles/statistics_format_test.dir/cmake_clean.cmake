@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistics_format_test.dir/statistics_format_test.cc.o"
+  "CMakeFiles/statistics_format_test.dir/statistics_format_test.cc.o.d"
+  "statistics_format_test"
+  "statistics_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistics_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strsim_known_values_test.dir/strsim_known_values_test.cc.o"
+  "CMakeFiles/strsim_known_values_test.dir/strsim_known_values_test.cc.o.d"
+  "strsim_known_values_test"
+  "strsim_known_values_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strsim_known_values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
