@@ -3,37 +3,65 @@
 // pedigree graph; the online phase loads it, rebuilds the in-memory
 // indices and serves queries without re-running ER.
 //
-//   ./offline_online [graph.csv]
+// The offline phase runs under the checkpointing PipelineRunner: phase
+// snapshots land in <graph.csv>.ckpt/, and `--resume` continues a
+// previously killed run from the last completed phase instead of
+// starting over (see docs/ROBUSTNESS.md).
+//
+//   ./offline_online [graph.csv] [--resume]
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
-#include "core/er_engine.h"
 #include "datagen/simulator.h"
-#include "index/keyword_index.h"
-#include "index/similarity_index.h"
 #include "pedigree/serialization.h"
+#include "pipeline/pipeline_runner.h"
 #include "query/query_processor.h"
 #include "query/result_format.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace snaps;
-  const std::string path =
-      argc > 1 ? argv[1] : "/tmp/snaps_pedigree_graph.csv";
+  std::string path = "/tmp/snaps_pedigree_graph.csv";
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      path = argv[i];
+    }
+  }
 
-  // ---- Offline phase: generate, resolve, persist. ----
+  // ---- Offline phase: generate, resolve (checkpointed), persist. ----
   {
-    std::printf("[offline] generating + resolving a synthetic town...\n");
+    std::printf("[offline] generating + resolving a synthetic town%s...\n",
+                resume ? " (resuming)" : "");
     SimulatorConfig cfg;
     cfg.seed = 1855;
     cfg.num_founder_couples = 50;
     GeneratedData data = PopulationSimulator(cfg).Generate();
+
+    PipelineConfig pcfg;
+    pcfg.checkpoint_dir = path + ".ckpt";
+    pcfg.resume = resume;
+    pcfg.keep_checkpoints = true;  // So a later --resume can pick up.
+    pcfg.progress = [](const std::string& m) {
+      std::printf("[offline]   %s\n", m.c_str());
+    };
+    std::filesystem::create_directories(pcfg.checkpoint_dir);
+
     Timer t;
-    const ErResult result = ErEngine().Resolve(data.dataset);
-    const PedigreeGraph graph = PedigreeGraph::Build(data.dataset, result);
+    PipelineRunner runner(pcfg);
+    Result<PipelineOutput> out = runner.Run(data.dataset);
+    if (!out.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
     std::printf("[offline] ER + graph build: %.1fs (%zu entities)\n",
-                t.ElapsedSeconds(), graph.num_nodes());
-    const Status s = SavePedigreeGraph(graph, path);
+                t.ElapsedSeconds(), out->pedigree->num_nodes());
+    const Status s = SavePedigreeGraph(*out->pedigree, path);
     if (!s.ok()) {
       std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
       return 1;
@@ -57,15 +85,18 @@ int main(int argc, char** argv) {
                 t.ElapsedSeconds(), graph->num_nodes());
 
     // Serve a wildcard query as a JSON payload (what a web front end
-    // like the paper's would consume).
+    // like the paper's would consume). Interactive serving gets a
+    // wall-clock deadline; a truncated outcome is flagged, not silent.
     Query q;
     q.first_name = "j*";
     q.surname = "mac*";
     Timer qt;
-    const auto results = processor.Search(q);
-    std::printf("[online]  query \"j* mac*\": %zu results in %.4fs\n",
-                results.size(), qt.ElapsedSeconds());
-    std::printf("%s\n", FormatResultsJson(*graph, results).c_str());
+    const SearchOutcome outcome =
+        processor.Search(q, Deadline::AfterMillis(2000));
+    std::printf("[online]  query \"j* mac*\": %zu results in %.4fs%s\n",
+                outcome.results.size(), qt.ElapsedSeconds(),
+                outcome.truncated ? " (truncated at deadline)" : "");
+    std::printf("%s\n", FormatResultsJson(*graph, outcome.results).c_str());
   }
   return 0;
 }

@@ -158,6 +158,41 @@ size_t EntityStore::NumMergedEntities() const {
   return n;
 }
 
+std::vector<EntityStore::RawCluster> EntityStore::ExportClusters() const {
+  std::vector<RawCluster> out;
+  out.reserve(clusters_.size());
+  for (const EntityCluster& c : clusters_) {
+    out.push_back(RawCluster{c.records, c.links, c.version, c.alive});
+  }
+  return out;
+}
+
+std::unique_ptr<EntityStore> EntityStore::Restore(
+    const Dataset* dataset, LinkConstraints constraints,
+    std::vector<EntityId> entity_of, std::vector<RawCluster> clusters) {
+  auto store = std::make_unique<EntityStore>(dataset, std::move(constraints));
+  store->entity_of_ = std::move(entity_of);
+  store->clusters_.assign(clusters.size(), EntityCluster());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    EntityCluster& c = store->clusters_[i];
+    c.records = std::move(clusters[i].records);
+    c.links = std::move(clusters[i].links);
+    c.alive = clusters[i].alive;
+    // Refold profile and value lists in record order (identical to the
+    // incremental maintenance), then pin the snapshot's version stamp
+    // so PROP-A cache invalidation behaves exactly as before the
+    // checkpoint.
+    c.profile = ClusterProfile::Empty();
+    for (RecordId r : c.records) {
+      const Record& rec = dataset->record(r);
+      store->constraints_.AddRecord(&c.profile, rec);
+      AddValues(&c, rec);
+    }
+    c.version = clusters[i].version;
+  }
+  return store;
+}
+
 void EntityStore::RebuildProfile(EntityCluster* cluster) const {
   cluster->profile = ClusterProfile::Empty();
   for (auto& list : cluster->values) list.clear();

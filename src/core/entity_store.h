@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,28 @@ class EntityStore {
   const Dataset& dataset() const { return *dataset_; }
 
   const LinkConstraints& constraints() const { return constraints_; }
+
+  /// Checkpoint support (PipelineRunner): the portable part of one
+  /// cluster's state. Profiles and value lists are not exported; they
+  /// refold deterministically from `records` in order, because Link
+  /// appends records and folds profiles/values in exactly that order.
+  struct RawCluster {
+    std::vector<RecordId> records;
+    std::vector<RelNodeId> links;
+    uint32_t version = 0;
+    bool alive = false;
+  };
+
+  std::vector<RawCluster> ExportClusters() const;
+  const std::vector<EntityId>& raw_entity_of() const { return entity_of_; }
+
+  /// Rebuilds a store from exported state. `entity_of` and `clusters`
+  /// must come from ExportClusters/raw_entity_of of a store over the
+  /// same dataset; profiles and values are refolded, versions restored
+  /// verbatim.
+  static std::unique_ptr<EntityStore> Restore(
+      const Dataset* dataset, LinkConstraints constraints,
+      std::vector<EntityId> entity_of, std::vector<RawCluster> clusters);
 
  private:
   /// Recomputes a cluster's profile from scratch.

@@ -7,6 +7,7 @@
 #include "blocking/lsh_blocker.h"
 #include "core/constraints.h"
 #include "data/schema.h"
+#include "util/deadline.h"
 
 namespace snaps {
 
@@ -42,6 +43,17 @@ struct ErConfig {
   /// (Table 6); callers use this for logging / progress bars.
   std::function<void(const std::string&)> progress;
 
+  /// Robustness bounds. A run whose wall-clock deadline expires or
+  /// whose merge budget runs out stops issuing new merge work,
+  /// finishes the unit in flight and returns the partial — but still
+  /// internally consistent — clustering, flagged ErStats::truncated.
+  /// Defaults are unbounded.
+  Deadline deadline;
+  /// Maximum merge-queue group visits across all passes (0 =
+  /// unlimited). One visit is the unit of work of the priority-queue
+  /// loop of Section 4.2.6.
+  uint64_t max_merge_operations = 0;
+
   // Ablation toggles (Table 3). PROP covers both PROP-A (value
   // propagation) and PROP-C (constraint propagation), as in the
   // paper: disabling it stops both the positive evidence (propagated
@@ -62,6 +74,13 @@ struct ErStats {
   size_t num_groups = 0;
   size_t num_merged_nodes = 0;
   size_t num_entities = 0;  // Clusters with >= 2 records.
+  /// True when the deadline / merge budget stopped the run before all
+  /// merge work was processed (results are partial but consistent).
+  bool truncated = false;
+  /// Ingestion quarantine counts, copied from LoadReport when the run
+  /// was fed through the lenient loading path (see data/dataset.h).
+  size_t rows_quarantined = 0;
+  size_t certs_quarantined = 0;
   double atomic_gen_seconds = 0.0;
   double rel_gen_seconds = 0.0;
   double bootstrap_seconds = 0.0;

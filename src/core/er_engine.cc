@@ -32,21 +32,11 @@ std::vector<std::pair<RecordId, RecordId>> ErResult::MatchedPairs() const {
 
 namespace {
 
-/// Internal mutable state of one Resolve run.
-struct RunState {
-  const Dataset* dataset;
-  const ErConfig* config;
-  DependencyGraph graph;
-  std::unique_ptr<EntityStore> entities;
-  std::unique_ptr<SimilarityModel> simmodel;
-  ErStats stats;
-};
-
 /// PROP-A (Section 4.2.1): rewires the node's atomic edges using the
 /// propagated QID values of the entities the two records belong to.
 /// For each attribute, the best-matching value pair between the two
 /// entities' value sets replaces a worse current atomic node.
-void PropagateAttributeValues(RunState& st, RelNodeId id) {
+void PropagateAttributeValues(ErRunState& st, RelNodeId id) {
   RelationalNode& node = st.graph.mutable_rel_node(id);
   const Schema& schema = st.config->schema;
   const EntityCluster& ca =
@@ -105,7 +95,7 @@ void PropagateAttributeValues(RunState& st, RelNodeId id) {
 /// Recomputes and caches the similarity of one node (with PROP-A and
 /// AMB applied according to the configuration). Skips the work when
 /// neither record's cluster has changed since the last refresh.
-double RefreshNodeSimilarity(RunState& st, RelNodeId id) {
+double RefreshNodeSimilarity(ErRunState& st, RelNodeId id) {
   RelationalNode& node = st.graph.mutable_rel_node(id);
   const EntityId ea = st.entities->entity_of(node.rec_a);
   const EntityId eb = st.entities->entity_of(node.rec_b);
@@ -130,7 +120,7 @@ double RefreshNodeSimilarity(RunState& st, RelNodeId id) {
 /// Merges every surviving node of a group (marks nodes merged and
 /// links the records in the entity store). Nodes whose link has become
 /// constraint-invalid in the meantime are skipped.
-void MergeGroupNodes(RunState& st, const std::vector<RelNodeId>& nodes) {
+void MergeGroupNodes(ErRunState& st, const std::vector<RelNodeId>& nodes) {
   for (RelNodeId id : nodes) {
     RelationalNode& node = st.graph.mutable_rel_node(id);
     if (node.merged) continue;
@@ -146,9 +136,16 @@ void MergeGroupNodes(RunState& st, const std::vector<RelNodeId>& nodes) {
 /// Bootstrapping (Section 4.2.6): merge groups of at least two nodes
 /// whose average atomic similarity reaches t_b. Constraints are
 /// checked per node; the group must be conflict-free to bootstrap.
-void Bootstrap(RunState& st) {
+void Bootstrap(ErRunState& st) {
   Timer timer;
   for (GroupId g = 0; g < st.graph.num_groups(); ++g) {
+    // Cooperative cancellation: an expired deadline stops issuing new
+    // bootstrap work (checked every 256 groups to keep clock reads off
+    // the hot path).
+    if ((g & 0xffu) == 0 && st.budget.exhausted()) {
+      st.stats.truncated = true;
+      break;
+    }
     const std::vector<RelNodeId>& members = st.graph.GroupMembers(g);
     if (members.size() < 2) continue;
     double total = 0.0;
@@ -185,7 +182,7 @@ void Bootstrap(RunState& st) {
 /// (larger first, then higher average similarity) is processed; for
 /// each group the REL loop drops constraint violators and the lowest-
 /// similarity node until the group average reaches t_m, then merges.
-void MergePass(RunState& st) {
+void MergePass(ErRunState& st) {
   struct QueueEntry {
     size_t size;
     double avg_sim;
@@ -212,6 +209,13 @@ void MergePass(RunState& st) {
   }
 
   while (!queue.empty()) {
+    // One budget unit per group visit; exhaustion (operation cap or
+    // deadline) stops the queue between units of work, leaving the
+    // clustering consistent but partial.
+    if (!st.budget.Consume()) {
+      st.stats.truncated = true;
+      break;
+    }
     const GroupId g = queue.top().group;
     queue.pop();
 
@@ -277,7 +281,7 @@ void MergePass(RunState& st) {
 /// clusters at their bridges.
 /// Refines one cluster; returns true when links were dropped (the
 /// cluster was split or pruned).
-bool RefineOneCluster(RunState& st, EntityId e) {
+bool RefineOneCluster(ErRunState& st, EntityId e) {
   const EntityCluster& cluster = st.entities->cluster(e);
   if (!cluster.alive || cluster.records.size() < 3) return false;
 
@@ -324,7 +328,7 @@ bool RefineOneCluster(RunState& st, EntityId e) {
 /// REF (Section 4.2.5): repeatedly prune sparse clusters (density
 /// below t_d) and split oversized clusters at their bridges, until a
 /// bounded fixpoint.
-void RefineClusters(RunState& st) {
+void RefineClusters(ErRunState& st) {
   Timer timer;
   constexpr int kMaxRounds = 4;
   for (int round = 0; round < kMaxRounds; ++round) {
@@ -341,59 +345,88 @@ void RefineClusters(RunState& st) {
 
 ErEngine::ErEngine(ErConfig config) : config_(std::move(config)) {}
 
-ErResult ErEngine::Resolve(const Dataset& dataset) const {
-  Timer total_timer;
-  auto report = [this](const std::string& phase) {
-    if (config_.progress) config_.progress(phase);
-  };
-  RunState st;
-  st.dataset = &dataset;
-  st.config = &config_;
-  st.entities = std::make_unique<EntityStore>(
+void ErEngine::ReportPhase(const std::string& phase) const {
+  if (config_.progress) config_.progress(phase);
+}
+
+void ErEngine::AttachState(const Dataset& dataset, ErRunState* st) const {
+  st->dataset = &dataset;
+  st->config = &config_;
+  st->simmodel = std::make_unique<SimilarityModel>(&dataset, &config_.schema,
+                                                   config_.gamma);
+  st->budget = Budget(config_.max_merge_operations, config_.deadline);
+}
+
+void ErEngine::InitState(const Dataset& dataset, ErRunState* st) const {
+  AttachState(dataset, st);
+  st->entities = std::make_unique<EntityStore>(
       &dataset, LinkConstraints(config_.temporal));
-  st.simmodel =
-      std::make_unique<SimilarityModel>(&dataset, &config_.schema,
-                                        config_.gamma);
+  st->stats = ErStats();
+}
 
-  report("graph construction");
-  BuildDependencyGraphForDataset(dataset, config_, &st.graph, &st.stats);
-
+void ErEngine::BuildGraphPhase(ErRunState* st) const {
+  ReportPhase("graph construction");
+  BuildDependencyGraphForDataset(*st->dataset, config_, &st->graph,
+                                 &st->stats);
   // Initial similarities for queue ordering.
-  for (RelNodeId id = 0; id < st.graph.num_rel_nodes(); ++id) {
-    RelationalNode& node = st.graph.mutable_rel_node(id);
+  for (RelNodeId id = 0; id < st->graph.num_rel_nodes(); ++id) {
+    RelationalNode& node = st->graph.mutable_rel_node(id);
     node.similarity =
-        st.simmodel->NodeSimilarity(st.graph, node, config_.enable_amb);
+        st->simmodel->NodeSimilarity(st->graph, node, config_.enable_amb);
   }
+}
 
-  report("bootstrap");
-  Bootstrap(st);
+void ErEngine::BootstrapPhase(ErRunState* st) const {
+  ReportPhase("bootstrap");
+  Bootstrap(*st);
   if (config_.enable_ref) {
-    report("refine");
-    RefineClusters(st);
+    ReportPhase("refine");
+    RefineClusters(*st);
   }
+}
 
-  const double refine_before_merge = st.stats.refine_seconds;
+void ErEngine::MergePassPhase(ErRunState* st, int pass) const {
+  ReportPhase("merge pass " + std::to_string(pass + 1));
   Timer merge_timer;
-  for (int pass = 0; pass < config_.merge_passes; ++pass) {
-    report("merge pass " + std::to_string(pass + 1));
-    MergePass(st);
-    if (config_.enable_ref) {
-      report("refine");
-      RefineClusters(st);
-    }
+  MergePass(*st);
+  st->stats.merge_seconds += merge_timer.ElapsedSeconds();
+  // The refinement trailing the last pass belongs to FinalRefinePhase,
+  // so the pipeline gets a standalone refine checkpoint; the sequence
+  // of operations is identical either way.
+  if (config_.enable_ref && pass + 1 < config_.merge_passes) {
+    ReportPhase("refine");
+    RefineClusters(*st);
   }
-  st.stats.merge_seconds = merge_timer.ElapsedSeconds() -
-                           (st.stats.refine_seconds - refine_before_merge);
-  if (st.stats.merge_seconds < 0.0) st.stats.merge_seconds = 0.0;
+}
 
+void ErEngine::FinalRefinePhase(ErRunState* st) const {
+  if (config_.enable_ref && config_.merge_passes > 0) {
+    ReportPhase("refine");
+    RefineClusters(*st);
+  }
+}
+
+ErResult ErEngine::FinishState(ErRunState&& st) const {
   st.stats.num_entities = st.entities->NumMergedEntities();
-  st.stats.total_seconds = total_timer.ElapsedSeconds();
-
   ErResult result;
   result.graph = std::move(st.graph);
   result.entities = std::move(st.entities);
   result.stats = st.stats;
   return result;
+}
+
+ErResult ErEngine::Resolve(const Dataset& dataset) const {
+  Timer total_timer;
+  ErRunState st;
+  InitState(dataset, &st);
+  BuildGraphPhase(&st);
+  BootstrapPhase(&st);
+  for (int pass = 0; pass < config_.merge_passes; ++pass) {
+    MergePassPhase(&st, pass);
+  }
+  FinalRefinePhase(&st);
+  st.stats.total_seconds = total_timer.ElapsedSeconds();
+  return FinishState(std::move(st));
 }
 
 }  // namespace snaps

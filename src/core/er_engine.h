@@ -25,6 +25,22 @@ struct ErResult {
   std::vector<std::pair<RecordId, RecordId>> MatchedPairs() const;
 };
 
+/// Mutable state of one Resolve run, exposed so the checkpointing
+/// snaps::PipelineRunner can drive (and persist between) phases
+/// individually. `dataset` and `config` are borrowed; everything else
+/// is owned. Plain Resolve() callers never see this type.
+struct ErRunState {
+  const Dataset* dataset = nullptr;
+  const ErConfig* config = nullptr;
+  DependencyGraph graph;
+  std::unique_ptr<EntityStore> entities;
+  std::unique_ptr<SimilarityModel> simmodel;
+  ErStats stats;
+  /// Work/deadline budget of this run (not persisted across resume: a
+  /// resumed process gets a fresh budget for its remaining phases).
+  Budget budget;
+};
+
 /// The SNAPS unsupervised graph-based entity resolution engine
 /// (Section 4): dependency-graph generation (blocking, atomic and
 /// relational nodes, relationship edges), bootstrapping, priority-
@@ -38,9 +54,35 @@ class ErEngine {
   /// outlive the returned result.
   ErResult Resolve(const Dataset& dataset) const;
 
+  /// Phase-level API (used by PipelineRunner to checkpoint between
+  /// phases). Calling, in order, InitState, BuildGraphPhase,
+  /// BootstrapPhase, MergePassPhase for pass = 0..merge_passes-1,
+  /// FinalRefinePhase and FinishState is exactly equivalent to
+  /// Resolve().
+  void InitState(const Dataset& dataset, ErRunState* st) const;
+  /// Dependency-graph construction plus initial node similarities.
+  void BuildGraphPhase(ErRunState* st) const;
+  /// Bootstrapping, plus the post-bootstrap refinement when REF is on.
+  void BootstrapPhase(ErRunState* st) const;
+  /// One priority-queue merging pass; passes before the last also run
+  /// their trailing refinement (matching Resolve's interleaving).
+  void MergePassPhase(ErRunState* st, int pass) const;
+  /// The refinement following the last merge pass (no-op when REF is
+  /// off or there are no merge passes).
+  void FinalRefinePhase(ErRunState* st) const;
+  /// Finalises statistics and moves the result out of the state.
+  ErResult FinishState(ErRunState&& st) const;
+
+  /// Rebuilds the borrowed/derived members of a state restored from a
+  /// snapshot (entities' dataset pointer, the similarity model, the
+  /// budget); graph, clusters and stats come from the snapshot itself.
+  void AttachState(const Dataset& dataset, ErRunState* st) const;
+
   const ErConfig& config() const { return config_; }
 
  private:
+  void ReportPhase(const std::string& phase) const;
+
   ErConfig config_;
 };
 

@@ -5,6 +5,7 @@
 
 #include <unordered_map>
 
+#include "data/validation.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -97,11 +98,13 @@ std::string Dataset::ToCsv() const {
   return WriteCsv(table);
 }
 
-Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
-  Result<CsvTable> parsed = ParseCsv(csv_content);
-  if (!parsed.ok()) return parsed.status();
-  const CsvTable& table = *parsed;
+namespace {
 
+/// Decodes a parsed CSV table into a Dataset. In strict mode the first
+/// bad row fails the whole decode; in lenient mode bad rows are
+/// quarantined into `report` and decoding continues.
+Result<Dataset> DecodeDatasetTable(const CsvTable& table, bool lenient,
+                                   LoadReport* report) {
   const int cert_id_col = table.ColumnIndex("cert_id");
   const int cert_type_col = table.ColumnIndex("cert_type");
   const int cert_year_col = table.ColumnIndex("cert_year");
@@ -116,6 +119,17 @@ Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
     attr_cols[i] = table.ColumnIndex(AttrName(static_cast<Attr>(i)));
   }
 
+  constexpr size_t kMaxMessages = 20;
+  auto quarantine_row = [&](size_t row_idx, std::string why) -> Status {
+    if (!lenient) return Status::ParseError(std::move(why));
+    report->rows_quarantined++;
+    if (report->messages.size() < kMaxMessages) {
+      report->messages.push_back(
+          StrFormat("row %zu: %s", row_idx + 2, why.c_str()));
+    }
+    return Status::Ok();
+  };
+
   Dataset ds;
   // Create certificates in order of first appearance, remapping the
   // file's cert ids to dense ids.
@@ -123,6 +137,13 @@ Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
 
   for (size_t row_idx = 0; row_idx < table.rows.size(); ++row_idx) {
     const auto& row = table.rows[row_idx];
+    bool role_ok = false;
+    const Role role = RoleFromName(row[role_col], &role_ok);
+    if (!role_ok) {
+      Status s = quarantine_row(row_idx, "unknown role: " + row[role_col]);
+      if (!s.ok()) return s;
+      continue;
+    }
     const long file_cert_id = std::atol(row[cert_id_col].c_str());
     auto it = cert_remap.find(file_cert_id);
     CertId cert = it == cert_remap.end() ? kInvalidRecordId : it->second;
@@ -138,14 +159,23 @@ Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
       } else if (tname == "census") {
         type = CertType::kCensus;
       } else {
-        return Status::ParseError("unknown cert_type: " + tname);
+        Status s = quarantine_row(row_idx, "unknown cert_type: " + tname);
+        if (!s.ok()) return s;
+        continue;
       }
       cert = ds.AddCertificate(type, std::atoi(row[cert_year_col].c_str()));
       cert_remap.emplace(file_cert_id, cert);
     }
-    bool role_ok = false;
-    const Role role = RoleFromName(row[role_col], &role_ok);
-    if (!role_ok) return Status::ParseError("unknown role: " + row[role_col]);
+    // A role that cannot appear on this certificate type would trip
+    // the AddRecord invariant; quarantine instead.
+    if (RoleCertType(role) != ds.certificate(cert).type) {
+      Status s = quarantine_row(
+          row_idx, StrFormat("role %s not valid on a %s certificate",
+                             row[role_col].c_str(),
+                             CertTypeName(ds.certificate(cert).type)));
+      if (!s.ok()) return s;
+      continue;
+    }
 
     Record rec;
     for (int i = 0; i < kNumAttrs; ++i) {
@@ -157,6 +187,74 @@ Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
     ds.AddRecord(cert, role, std::move(rec));
   }
   return ds;
+}
+
+/// Copies `ds` minus the given certificates (and their records).
+Dataset DropCertificates(const Dataset& ds,
+                         const std::vector<bool>& drop_cert) {
+  Dataset out;
+  for (CertId c = 0; c < ds.num_certificates(); ++c) {
+    if (drop_cert[c]) continue;
+    const Certificate& cert = ds.certificate(c);
+    const CertId nc = out.AddCertificate(cert.type, cert.year);
+    for (RecordId r : ds.CertRecords(c)) {
+      Record rec = ds.record(r);  // Copy; id/cert rewritten by AddRecord.
+      out.AddRecord(nc, rec.role, std::move(rec));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> Dataset::FromCsv(const std::string& csv_content) {
+  Result<CsvTable> parsed = ParseCsv(csv_content);
+  if (!parsed.ok()) return parsed.status();
+  return DecodeDatasetTable(*parsed, /*lenient=*/false, nullptr);
+}
+
+Result<LoadReport> DatasetFromCsvLenient(const std::string& csv_content) {
+  Result<CsvParseReport> parsed = ParseCsvLenient(csv_content);
+  if (!parsed.ok()) return parsed.status();
+
+  LoadReport report;
+  report.rows_total = parsed->table.rows.size() + parsed->rows_quarantined;
+  report.rows_quarantined = parsed->rows_quarantined;
+  report.messages = std::move(parsed->messages);
+
+  Result<Dataset> decoded =
+      DecodeDatasetTable(parsed->table, /*lenient=*/true, &report);
+  if (!decoded.ok()) return decoded.status();
+  report.dataset = std::move(*decoded);
+
+  // Certificates that fail structural validation with error severity
+  // would break ER pipeline assumptions; drop them, keep the rest.
+  const ValidationReport validation = ValidateDataset(report.dataset);
+  if (!validation.ok) {
+    std::vector<bool> drop(report.dataset.num_certificates(), false);
+    constexpr size_t kMaxMessages = 20;
+    for (const ValidationIssue& issue : validation.issues) {
+      if (issue.severity != IssueSeverity::kError) continue;
+      if (!drop[issue.cert]) {
+        drop[issue.cert] = true;
+        report.certs_quarantined++;
+      }
+      if (report.messages.size() < kMaxMessages) {
+        report.messages.push_back(
+            StrFormat("cert %u: %s", issue.cert, issue.message.c_str()));
+      }
+    }
+    if (report.certs_quarantined > 0) {
+      report.dataset = DropCertificates(report.dataset, drop);
+    }
+  }
+  return report;
+}
+
+Result<LoadReport> LoadDatasetLenient(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return DatasetFromCsvLenient(*content);
 }
 
 Status Dataset::SaveCsv(const std::string& path) const {

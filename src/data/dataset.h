@@ -62,6 +62,35 @@ class Dataset {
   std::vector<std::vector<RecordId>> cert_records_;
 };
 
+/// Outcome of lenient (quarantine-based) dataset ingestion: everything
+/// salvageable is loaded, everything unprocessable is counted and
+/// described instead of aborting the load. Real vital-records extracts
+/// are dirty; a single malformed row must not cost an hours-long
+/// offline run.
+struct LoadReport {
+  Dataset dataset;
+  /// Data rows seen in the file (valid + quarantined; excludes the
+  /// rows of quarantined certificates, which parsed fine).
+  size_t rows_total = 0;
+  /// Rows dropped at parse level (bad field count, truncated quoting)
+  /// or row level (unknown cert_type / role).
+  size_t rows_quarantined = 0;
+  /// Certificates dropped because ValidateDataset reported an
+  /// error-severity issue for them (their records are dropped too).
+  size_t certs_quarantined = 0;
+  /// One diagnostic per quarantined row/certificate, capped at 20;
+  /// the counts above stay exact.
+  std::vector<std::string> messages;
+};
+
+/// Parses dataset CSV leniently: unparseable rows and certificates
+/// failing validation with errors are quarantined, the rest is loaded.
+/// Only an unusable header (or unreadable file) is a hard error.
+Result<LoadReport> DatasetFromCsvLenient(const std::string& csv_content);
+
+/// Reads a file and ingests it leniently.
+Result<LoadReport> LoadDatasetLenient(const std::string& path);
+
 /// Role-pair classes evaluated in the paper (Table 2): links between
 /// birth parents across birth certificates (Bp-Bp), and between birth
 /// parents and death parents (Bp-Dp). Used to slice linkage-quality

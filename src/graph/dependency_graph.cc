@@ -4,11 +4,12 @@
 
 namespace snaps {
 
-AtomicNodeId DependencyGraph::InternAtomicNode(Attr attr, const std::string& a,
-                                               const std::string& b,
-                                               double similarity) {
-  const std::string& lo = a <= b ? a : b;
-  const std::string& hi = a <= b ? b : a;
+namespace {
+
+/// Dedup-index key of an atomic node; values must already be
+/// order-normalised (lo <= hi).
+std::string AtomicKey(Attr attr, const std::string& lo,
+                      const std::string& hi) {
   std::string key;
   key.reserve(lo.size() + hi.size() + 4);
   key.push_back(static_cast<char>('0' + static_cast<int>(attr)));
@@ -16,6 +17,17 @@ AtomicNodeId DependencyGraph::InternAtomicNode(Attr attr, const std::string& a,
   key += lo;
   key.push_back('\x1f');
   key += hi;
+  return key;
+}
+
+}  // namespace
+
+AtomicNodeId DependencyGraph::InternAtomicNode(Attr attr, const std::string& a,
+                                               const std::string& b,
+                                               double similarity) {
+  const std::string& lo = a <= b ? a : b;
+  const std::string& hi = a <= b ? b : a;
+  std::string key = AtomicKey(attr, lo, hi);
   auto [it, inserted] =
       atomic_index_.emplace(std::move(key),
                             static_cast<AtomicNodeId>(atomic_nodes_.size()));
@@ -47,6 +59,27 @@ void DependencyGraph::AddRelEdge(RelNodeId from, RelNodeId to,
 GroupId DependencyGraph::NewGroup() {
   group_members_.emplace_back();
   return static_cast<GroupId>(num_groups_++);
+}
+
+DependencyGraph DependencyGraph::Restore(
+    std::vector<AtomicNode> atomic_nodes,
+    std::vector<RelationalNode> rel_nodes, size_t num_groups) {
+  DependencyGraph g;
+  g.atomic_nodes_ = std::move(atomic_nodes);
+  g.rel_nodes_ = std::move(rel_nodes);
+  g.num_groups_ = num_groups;
+  g.atomic_index_.reserve(g.atomic_nodes_.size());
+  for (size_t i = 0; i < g.atomic_nodes_.size(); ++i) {
+    const AtomicNode& n = g.atomic_nodes_[i];
+    g.atomic_index_.emplace(AtomicKey(n.attr, n.value_a, n.value_b),
+                            static_cast<AtomicNodeId>(i));
+  }
+  g.group_members_.resize(num_groups);
+  for (size_t i = 0; i < g.rel_nodes_.size(); ++i) {
+    g.group_members_[g.rel_nodes_[i].group].push_back(
+        static_cast<RelNodeId>(i));
+  }
+  return g;
 }
 
 }  // namespace snaps

@@ -122,6 +122,18 @@ class DependencyGraph {
   /// Allocates a fresh group id.
   GroupId NewGroup();
 
+  const std::vector<AtomicNode>& atomic_nodes() const {
+    return atomic_nodes_;
+  }
+
+  /// Checkpoint support (PipelineRunner): rebuilds a graph from its
+  /// raw node vectors. Group membership lists and the atomic-node
+  /// dedup index are reconstructed (members were appended in node-id
+  /// order, so the rebuild is exact).
+  static DependencyGraph Restore(std::vector<AtomicNode> atomic_nodes,
+                                 std::vector<RelationalNode> rel_nodes,
+                                 size_t num_groups);
+
  private:
   std::vector<AtomicNode> atomic_nodes_;
   std::vector<RelationalNode> rel_nodes_;

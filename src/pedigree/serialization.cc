@@ -3,11 +3,15 @@
 #include <cstdlib>
 
 #include "util/csv.h"
+#include "util/fault_injection.h"
+#include "util/snapshot.h"
 #include "util/string_util.h"
 
 namespace snaps {
 
 namespace {
+
+constexpr std::string_view kPedigreeKind = "pedigree";
 
 std::string JoinMulti(const std::vector<std::string>& values) {
   return JoinStrings(values, ";");
@@ -124,13 +128,21 @@ Result<PedigreeGraph> DeserializePedigreeGraph(const std::string& content) {
 
 Status SavePedigreeGraph(const PedigreeGraph& graph,
                          const std::string& path) {
-  return WriteStringToFile(path, SerializePedigreeGraph(graph));
+  if (SNAPS_FAULT_POINT("pedigree.save")) {
+    return FaultInjection::InjectedError("pedigree.save");
+  }
+  return SaveSnapshotFile(path, kPedigreeKind, kPedigreeFormatVersion,
+                          SerializePedigreeGraph(graph));
 }
 
 Result<PedigreeGraph> LoadPedigreeGraph(const std::string& path) {
-  Result<std::string> content = ReadFileToString(path);
-  if (!content.ok()) return content.status();
-  return DeserializePedigreeGraph(*content);
+  if (SNAPS_FAULT_POINT("pedigree.load")) {
+    return FaultInjection::InjectedError("pedigree.load");
+  }
+  Result<std::string> payload =
+      LoadSnapshotFile(path, kPedigreeKind, kPedigreeFormatVersion);
+  if (!payload.ok()) return payload.status();
+  return DeserializePedigreeGraph(*payload);
 }
 
 }  // namespace snaps

@@ -13,17 +13,28 @@ namespace snaps {
 /// build, query serving) can load its result — the deployment split of
 /// the paper's Figure 1.
 ///
-/// The format is CSV with a leading `kind` column: one `node` row per
-/// entity (multi-valued name fields joined with ';', record ids with
-/// ';') followed by one `edge` row per relationship edge.
+/// The payload format is CSV with a leading `kind` column: one `node`
+/// row per entity (multi-valued name fields joined with ';', record
+/// ids with ';') followed by one `edge` row per relationship edge.
+///
+/// On disk the CSV payload is wrapped in the snaps snapshot container
+/// (util/snapshot.h): a header line with magic number, kind
+/// "pedigree", format version and payload checksum. Load rejects
+/// truncated, corrupted, version-mismatched or foreign files with
+/// ParseError instead of deserialising garbage.
 
-/// Serialises a pedigree graph to its CSV text form.
+/// On-disk format version; bump when the CSV payload layout changes.
+inline constexpr int kPedigreeFormatVersion = 1;
+
+/// Serialises a pedigree graph to its CSV text form (payload only,
+/// without the file container header).
 std::string SerializePedigreeGraph(const PedigreeGraph& graph);
 
 /// Parses a pedigree graph back from its CSV text form.
 Result<PedigreeGraph> DeserializePedigreeGraph(const std::string& content);
 
-/// Saves to / loads from a file.
+/// Saves to / loads from a file, with the container header applied /
+/// verified.
 Status SavePedigreeGraph(const PedigreeGraph& graph, const std::string& path);
 Result<PedigreeGraph> LoadPedigreeGraph(const std::string& path);
 

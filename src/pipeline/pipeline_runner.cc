@@ -1,0 +1,193 @@
+#include "pipeline/pipeline_runner.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "pedigree/serialization.h"
+#include "pipeline/state_serialization.h"
+#include "util/fault_injection.h"
+#include "util/snapshot.h"
+#include "util/timer.h"
+
+namespace snaps {
+
+namespace {
+
+constexpr std::string_view kErStateKind = "er_state";
+constexpr std::string_view kPedigreeCkptKind = "pedigree_ckpt";
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// The pedigree checkpoint is only reusable against the same input and
+// settings; a fingerprint line ahead of the CSV payload pins both.
+std::string FingerprintLine(uint64_t dataset_fp, uint64_t config_fp) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx %016llx\n",
+                static_cast<unsigned long long>(dataset_fp),
+                static_cast<unsigned long long>(config_fp));
+  return buf;
+}
+
+}  // namespace
+
+PipelineRunner::PipelineRunner(PipelineConfig config)
+    : config_(std::move(config)), engine_(config_.er) {}
+
+std::vector<std::string> PipelineRunner::ErPhaseNames() const {
+  std::vector<std::string> names = {"graph", "bootstrap"};
+  for (int p = 0; p < config_.er.merge_passes; ++p) {
+    names.push_back("merge" + std::to_string(p + 1));
+  }
+  names.push_back("refine");
+  return names;
+}
+
+std::string PipelineRunner::SnapshotPath(const std::string& phase) const {
+  return config_.checkpoint_dir + "/phase_" + phase + ".snap";
+}
+
+void PipelineRunner::Log(const std::string& message,
+                         std::vector<std::string>* phase_log) {
+  phase_log->push_back(message);
+  if (config_.progress) config_.progress(message);
+}
+
+Result<PipelineOutput> PipelineRunner::Run(const Dataset& dataset) {
+  PipelineOutput out;
+  const std::vector<std::string> phases = ErPhaseNames();
+  const bool ckpt = !config_.checkpoint_dir.empty();
+
+  // Find the latest ER phase whose snapshot validates (newest first;
+  // anything rejected — corrupt, truncated, wrong version, wrong
+  // dataset/config — falls back to the next older candidate).
+  ErRunState st;
+  size_t start = 0;
+  if (ckpt && config_.resume) {
+    for (size_t i = phases.size(); i-- > 0;) {
+      const std::string path = SnapshotPath(phases[i]);
+      if (!FileExists(path)) continue;
+      Result<std::string> payload =
+          LoadSnapshotFile(path, kErStateKind, kErStateFormatVersion);
+      const Status s =
+          payload.ok()
+              ? DeserializeErRunState(*payload, engine_, dataset, &st)
+              : payload.status();
+      if (s.ok()) {
+        start = i + 1;
+        Log(phases[i] + ": resumed from checkpoint", &out.phase_log);
+        break;
+      }
+      Log(phases[i] + ": snapshot rejected (" + s.ToString() +
+              "), trying an earlier phase",
+          &out.phase_log);
+    }
+  }
+  if (start == 0) engine_.InitState(dataset, &st);
+
+  for (size_t i = start; i < phases.size(); ++i) {
+    const std::string& phase = phases[i];
+    Timer timer;
+    if (i == 0) {
+      engine_.BuildGraphPhase(&st);
+    } else if (i == 1) {
+      engine_.BootstrapPhase(&st);
+    } else if (i + 1 < phases.size()) {
+      engine_.MergePassPhase(&st, static_cast<int>(i) - 2);
+    } else {
+      engine_.FinalRefinePhase(&st);
+    }
+    st.stats.total_seconds += timer.ElapsedSeconds();
+    Log(phase + ": computed", &out.phase_log);
+    if (ckpt) {
+      const Status s =
+          SaveSnapshotFile(SnapshotPath(phase), kErStateKind,
+                           kErStateFormatVersion, SerializeErRunState(st));
+      if (!s.ok()) {
+        Log(phase + ": checkpoint save failed (" + s.ToString() +
+                "), continuing without it",
+            &out.phase_log);
+      }
+    }
+    // Simulated kill between phases (after the checkpoint landed).
+    if (SNAPS_FAULT_POINT("pipeline.after." + phase)) {
+      return FaultInjection::InjectedError("pipeline.after." + phase);
+    }
+  }
+
+  out.er = engine_.FinishState(std::move(st));
+
+  // ---- Pedigree phase. ----
+  const std::string pedigree_path = ckpt ? SnapshotPath("pedigree") : "";
+  const std::string fp_line = FingerprintLine(FingerprintDataset(dataset),
+                                              FingerprintConfig(config_.er));
+  if (ckpt && config_.resume && FileExists(pedigree_path)) {
+    Result<std::string> payload = LoadSnapshotFile(
+        pedigree_path, kPedigreeCkptKind, kPedigreeFormatVersion);
+    if (payload.ok() &&
+        payload->compare(0, fp_line.size(), fp_line) == 0) {
+      Result<PedigreeGraph> graph =
+          DeserializePedigreeGraph(payload->substr(fp_line.size()));
+      if (graph.ok()) {
+        out.pedigree =
+            std::make_unique<PedigreeGraph>(std::move(graph.value()));
+        Log("pedigree: resumed from checkpoint", &out.phase_log);
+      }
+    }
+    if (!out.pedigree) {
+      Log("pedigree: snapshot rejected, recomputing", &out.phase_log);
+    }
+  }
+  if (!out.pedigree) {
+    out.pedigree =
+        std::make_unique<PedigreeGraph>(PedigreeGraph::Build(dataset, out.er));
+    Log("pedigree: computed", &out.phase_log);
+    if (ckpt) {
+      const Status s = SaveSnapshotFile(
+          pedigree_path, kPedigreeCkptKind, kPedigreeFormatVersion,
+          fp_line + SerializePedigreeGraph(*out.pedigree));
+      if (!s.ok()) {
+        Log("pedigree: checkpoint save failed (" + s.ToString() +
+                "), continuing without it",
+            &out.phase_log);
+      }
+    }
+  }
+  if (SNAPS_FAULT_POINT("pipeline.after.pedigree")) {
+    return FaultInjection::InjectedError("pipeline.after.pedigree");
+  }
+
+  // ---- Index phase: cheap to rebuild, so in-memory only (see
+  // docs/ROBUSTNESS.md); the phase boundary still exists for tests. ----
+  out.keyword_index = std::make_unique<KeywordIndex>(out.pedigree.get());
+  out.similarity_index =
+      std::make_unique<SimilarityIndex>(out.keyword_index.get());
+  Log("index: computed (in-memory, not checkpointed)", &out.phase_log);
+  if (SNAPS_FAULT_POINT("pipeline.after.index")) {
+    return FaultInjection::InjectedError("pipeline.after.index");
+  }
+
+  if (ckpt && !config_.keep_checkpoints) {
+    for (const std::string& phase : phases) {
+      std::remove(SnapshotPath(phase).c_str());
+    }
+    std::remove(pedigree_path.c_str());
+  }
+  return out;
+}
+
+Result<PipelineOutput> PipelineRunner::RunCsvFile(const std::string& path,
+                                                  LoadReport* report) {
+  Result<LoadReport> loaded = LoadDatasetLenient(path);
+  if (!loaded.ok()) return loaded.status();
+  *report = std::move(loaded.value());
+  Result<PipelineOutput> out = Run(report->dataset);
+  if (!out.ok()) return out;
+  out->er.stats.rows_quarantined = report->rows_quarantined;
+  out->er.stats.certs_quarantined = report->certs_quarantined;
+  return out;
+}
+
+}  // namespace snaps

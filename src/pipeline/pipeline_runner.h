@@ -1,0 +1,98 @@
+#ifndef SNAPS_PIPELINE_PIPELINE_RUNNER_H_
+#define SNAPS_PIPELINE_PIPELINE_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/er_engine.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/pedigree_graph.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// Configuration of a checkpointed offline run.
+struct PipelineConfig {
+  ErConfig er;
+
+  /// Directory for phase snapshots. Empty disables checkpointing (the
+  /// run is then equivalent to ErEngine::Resolve + PedigreeGraph::Build
+  /// + index construction). The directory must already exist.
+  std::string checkpoint_dir;
+
+  /// Resume from the latest valid snapshot in checkpoint_dir instead
+  /// of starting over. Invalid (corrupt, truncated, version- or
+  /// dataset-mismatched) snapshots are skipped: the runner falls back
+  /// to the newest older snapshot that validates, or to a fresh run.
+  bool resume = true;
+
+  /// Keep the snapshots after a successful run (default: they are
+  /// removed, since the persisted pedigree is the durable artifact).
+  bool keep_checkpoints = false;
+
+  /// Optional phase-level progress/log callback ("graph: computed",
+  /// "bootstrap: resumed from checkpoint", ...).
+  std::function<void(const std::string&)> progress;
+};
+
+/// Everything the offline pipeline produces: the ER result, the
+/// pedigree graph, and the online-serving indices built over it. The
+/// graph and indices are heap-allocated so the internal pointers
+/// (indices reference the graph) stay valid across moves.
+struct PipelineOutput {
+  ErResult er;
+  std::unique_ptr<PedigreeGraph> pedigree;
+  std::unique_ptr<KeywordIndex> keyword_index;
+  std::unique_ptr<SimilarityIndex> similarity_index;
+  /// One entry per phase, in execution order, describing whether it
+  /// was computed, resumed from a checkpoint, or had checkpoint
+  /// trouble (always recoverable; trouble means recomputation).
+  std::vector<std::string> phase_log;
+};
+
+/// Fault-tolerant driver of the offline pipeline (the left half of the
+/// paper's Figure 1). Decomposes the run into checkpointable phases
+///
+///   graph -> bootstrap -> merge1..mergeN -> refine -> pedigree -> index
+///
+/// and persists a versioned, checksummed snapshot after each phase, so
+/// a killed multi-hour run (Table 5 scale) resumes from the last
+/// completed phase instead of starting over — with results
+/// bit-identical to an uninterrupted run. See docs/ROBUSTNESS.md.
+class PipelineRunner {
+ public:
+  explicit PipelineRunner(PipelineConfig config);
+
+  /// Runs (or resumes) the full offline pipeline over `dataset`, which
+  /// must outlive the returned output.
+  Result<PipelineOutput> Run(const Dataset& dataset);
+
+  /// Lenient ingestion + Run: loads `path` through the quarantine
+  /// path, stores the report (and its dataset — which must outlive the
+  /// output) in `*report`, and surfaces the quarantine counts in the
+  /// result's ErStats.
+  Result<PipelineOutput> RunCsvFile(const std::string& path,
+                                    LoadReport* report);
+
+  /// Names of the ER phases for this configuration, in order (the
+  /// pedigree and index phases follow them).
+  std::vector<std::string> ErPhaseNames() const;
+
+  /// Snapshot file path used for a phase (exposed for tests/tools).
+  std::string SnapshotPath(const std::string& phase) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  void Log(const std::string& message, std::vector<std::string>* phase_log);
+
+  PipelineConfig config_;
+  ErEngine engine_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_PIPELINE_PIPELINE_RUNNER_H_

@@ -1,0 +1,361 @@
+#include "pipeline/state_serialization.h"
+
+#include <cstring>
+
+#include "util/snapshot.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+/// Minimal native-endian binary writer/reader over std::string. Reads
+/// are bounds-checked; a short or overlong payload flips `ok()` and
+/// every later read returns zeros, so the caller checks once at the
+/// end instead of after every field.
+class BinWriter {
+ public:
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    out_.append(s);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() { return ReadPod<uint8_t>(); }
+  uint32_t U32() { return ReadPod<uint32_t>(); }
+  uint64_t U64() { return ReadPod<uint64_t>(); }
+  int32_t I32() { return ReadPod<int32_t>(); }
+  float F32() { return ReadPod<float>(); }
+  double F64() { return ReadPod<double>(); }
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Sanity bound for element counts of upcoming arrays: each element
+  /// occupies at least one byte, so a count beyond the remaining bytes
+  /// marks the payload corrupt without attempting the allocation.
+  uint64_t Count() {
+    const uint64_t n = U64();
+    if (n > data_.size() - pos_) ok_ = false;
+    return ok_ ? n : 0;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  template <typename T>
+  T ReadPod() {
+    T v{};
+    if (!ok_ || sizeof(T) > data_.size() - pos_) {
+      ok_ = false;
+      return v;
+    }
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void HashU64(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xffu;
+    *h *= 0x100000001b3ull;
+  }
+}
+
+void HashStr(uint64_t* h, std::string_view s) {
+  HashU64(h, s.size());
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= 0x100000001b3ull;
+  }
+}
+
+void HashF64(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(h, bits);
+}
+
+}  // namespace
+
+uint64_t FingerprintDataset(const Dataset& dataset) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  HashU64(&h, dataset.num_certificates());
+  HashU64(&h, dataset.num_records());
+  for (const Certificate& c : dataset.certificates()) {
+    HashU64(&h, static_cast<uint64_t>(c.type));
+    HashU64(&h, static_cast<uint64_t>(static_cast<int64_t>(c.year)));
+  }
+  for (const Record& r : dataset.records()) {
+    HashU64(&h, r.cert_id);
+    HashU64(&h, static_cast<uint64_t>(r.role));
+    HashU64(&h, r.true_person);
+    for (const std::string& v : r.values) HashStr(&h, v);
+  }
+  return h;
+}
+
+uint64_t FingerprintConfig(const ErConfig& config) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  HashF64(&h, config.atomic_threshold);
+  HashF64(&h, config.bootstrap_threshold);
+  HashF64(&h, config.bootstrap_ambiguity_min);
+  HashF64(&h, config.merge_threshold);
+  HashF64(&h, config.solo_merge_threshold);
+  HashF64(&h, config.gamma);
+  HashU64(&h, static_cast<uint64_t>(static_cast<int64_t>(
+                  config.refine_max_cluster)));
+  HashF64(&h, config.refine_density);
+  HashU64(&h,
+          static_cast<uint64_t>(static_cast<int64_t>(config.merge_passes)));
+  uint64_t toggles = 0;
+  toggles = (toggles << 1) | (config.enable_prop_a ? 1 : 0);
+  toggles = (toggles << 1) | (config.enable_prop_c ? 1 : 0);
+  toggles = (toggles << 1) | (config.enable_amb ? 1 : 0);
+  toggles = (toggles << 1) | (config.enable_rel ? 1 : 0);
+  toggles = (toggles << 1) | (config.enable_ref ? 1 : 0);
+  HashU64(&h, toggles);
+  return h;
+}
+
+std::string SerializeErRunState(const ErRunState& st) {
+  BinWriter w;
+  w.U64(FingerprintDataset(*st.dataset));
+  w.U64(FingerprintConfig(*st.config));
+
+  // Stats.
+  const ErStats& s = st.stats;
+  w.U64(s.num_atomic_nodes);
+  w.U64(s.num_rel_nodes);
+  w.U64(s.num_rel_edges);
+  w.U64(s.num_groups);
+  w.U64(s.num_merged_nodes);
+  w.U64(s.num_entities);
+  w.U8(s.truncated ? 1 : 0);
+  w.U64(s.rows_quarantined);
+  w.U64(s.certs_quarantined);
+  w.F64(s.atomic_gen_seconds);
+  w.F64(s.rel_gen_seconds);
+  w.F64(s.bootstrap_seconds);
+  w.F64(s.merge_seconds);
+  w.F64(s.refine_seconds);
+  w.F64(s.total_seconds);
+
+  // Dependency graph.
+  const DependencyGraph& g = st.graph;
+  w.U64(g.num_atomic_nodes());
+  for (const AtomicNode& n : g.atomic_nodes()) {
+    w.U8(static_cast<uint8_t>(n.attr));
+    w.Str(n.value_a);
+    w.Str(n.value_b);
+    w.F64(n.similarity);
+  }
+  w.U64(g.num_rel_nodes());
+  for (const RelationalNode& n : g.rel_nodes()) {
+    w.U32(n.rec_a);
+    w.U32(n.rec_b);
+    w.U32(n.group);
+    for (int i = 0; i < kNumAttrs; ++i) w.U32(n.atomic[i]);
+    for (int i = 0; i < kNumAttrs; ++i) w.F32(n.raw_sims[i]);
+    for (int i = 0; i < kNumAttrs; ++i) w.F32(n.base_sims[i]);
+    w.U64(n.neighbors.size());
+    for (const RelEdge& e : n.neighbors) {
+      w.U32(e.target);
+      w.U8(static_cast<uint8_t>(e.rel));
+    }
+    w.F64(n.similarity);
+    w.U8(n.merged ? 1 : 0);
+    w.U8(n.pruned ? 1 : 0);
+    w.U32(n.last_entity_a);
+    w.U32(n.last_entity_b);
+    w.U32(n.last_version_a);
+    w.U32(n.last_version_b);
+  }
+  w.U64(g.num_groups());
+
+  // Entity store.
+  const EntityStore& es = *st.entities;
+  const std::vector<EntityId>& entity_of = es.raw_entity_of();
+  w.U64(entity_of.size());
+  for (EntityId e : entity_of) w.U32(e);
+  const std::vector<EntityStore::RawCluster> clusters = es.ExportClusters();
+  w.U64(clusters.size());
+  for (const EntityStore::RawCluster& c : clusters) {
+    w.U64(c.records.size());
+    for (RecordId r : c.records) w.U32(r);
+    w.U64(c.links.size());
+    for (RelNodeId l : c.links) w.U32(l);
+    w.U32(c.version);
+    w.U8(c.alive ? 1 : 0);
+  }
+  return w.Take();
+}
+
+Status DeserializeErRunState(const std::string& payload,
+                             const ErEngine& engine, const Dataset& dataset,
+                             ErRunState* st) {
+  BinReader r(payload);
+
+  const uint64_t dataset_fp = r.U64();
+  const uint64_t config_fp = r.U64();
+  if (!r.ok()) return Status::ParseError("state snapshot too short");
+  if (dataset_fp != FingerprintDataset(dataset)) {
+    return Status::ParseError(
+        "state snapshot was taken over a different dataset");
+  }
+  if (config_fp != FingerprintConfig(engine.config())) {
+    return Status::ParseError(
+        "state snapshot was taken with a different engine config");
+  }
+
+  ErStats stats;
+  stats.num_atomic_nodes = r.U64();
+  stats.num_rel_nodes = r.U64();
+  stats.num_rel_edges = r.U64();
+  stats.num_groups = r.U64();
+  stats.num_merged_nodes = r.U64();
+  stats.num_entities = r.U64();
+  stats.truncated = r.U8() != 0;
+  stats.rows_quarantined = r.U64();
+  stats.certs_quarantined = r.U64();
+  stats.atomic_gen_seconds = r.F64();
+  stats.rel_gen_seconds = r.F64();
+  stats.bootstrap_seconds = r.F64();
+  stats.merge_seconds = r.F64();
+  stats.refine_seconds = r.F64();
+  stats.total_seconds = r.F64();
+
+  std::vector<AtomicNode> atomic_nodes(r.Count());
+  for (AtomicNode& n : atomic_nodes) {
+    n.attr = static_cast<Attr>(r.U8());
+    n.value_a = r.Str();
+    n.value_b = r.Str();
+    n.similarity = r.F64();
+    if (!r.ok()) return Status::ParseError("corrupt atomic-node section");
+    if (static_cast<int>(n.attr) >= kNumAttrs) {
+      return Status::ParseError("corrupt atomic-node attribute");
+    }
+  }
+  std::vector<RelationalNode> rel_nodes(r.Count());
+  const uint32_t num_rel_nodes = static_cast<uint32_t>(rel_nodes.size());
+  for (RelationalNode& n : rel_nodes) {
+    n.rec_a = r.U32();
+    n.rec_b = r.U32();
+    n.group = r.U32();
+    for (int i = 0; i < kNumAttrs; ++i) n.atomic[i] = r.U32();
+    for (int i = 0; i < kNumAttrs; ++i) n.raw_sims[i] = r.F32();
+    for (int i = 0; i < kNumAttrs; ++i) n.base_sims[i] = r.F32();
+    n.neighbors.resize(r.Count());
+    for (RelEdge& e : n.neighbors) {
+      e.target = r.U32();
+      e.rel = static_cast<Relationship>(r.U8());
+      if (static_cast<int>(e.rel) >= kNumRelationships) {
+        return Status::ParseError("corrupt relationship edge");
+      }
+    }
+    n.similarity = r.F64();
+    n.merged = r.U8() != 0;
+    n.pruned = r.U8() != 0;
+    n.last_entity_a = r.U32();
+    n.last_entity_b = r.U32();
+    n.last_version_a = r.U32();
+    n.last_version_b = r.U32();
+    if (!r.ok()) return Status::ParseError("corrupt relational-node section");
+    if (n.rec_a >= dataset.num_records() || n.rec_b >= dataset.num_records()) {
+      return Status::ParseError("relational node references unknown record");
+    }
+    for (int i = 0; i < kNumAttrs; ++i) {
+      if (n.atomic[i] != kInvalidAtomicNode &&
+          n.atomic[i] >= atomic_nodes.size()) {
+        return Status::ParseError("relational node references unknown "
+                                  "atomic node");
+      }
+    }
+    for (const RelEdge& e : n.neighbors) {
+      if (e.target >= num_rel_nodes) {
+        return Status::ParseError("relationship edge references unknown node");
+      }
+    }
+  }
+  const uint64_t num_groups = r.U64();
+  for (const RelationalNode& n : rel_nodes) {
+    if (n.group >= num_groups) {
+      return Status::ParseError("relational node references unknown group");
+    }
+  }
+
+  std::vector<EntityId> entity_of(r.Count());
+  for (EntityId& e : entity_of) e = r.U32();
+  if (entity_of.size() != dataset.num_records()) {
+    return Status::ParseError("entity map does not match the dataset");
+  }
+  std::vector<EntityStore::RawCluster> clusters(r.Count());
+  for (EntityStore::RawCluster& c : clusters) {
+    c.records.resize(r.Count());
+    for (RecordId& rec : c.records) rec = r.U32();
+    c.links.resize(r.Count());
+    for (RelNodeId& l : c.links) l = r.U32();
+    c.version = r.U32();
+    c.alive = r.U8() != 0;
+    if (!r.ok()) return Status::ParseError("corrupt cluster section");
+    for (RecordId rec : c.records) {
+      if (rec >= dataset.num_records()) {
+        return Status::ParseError("cluster references unknown record");
+      }
+    }
+    for (RelNodeId l : c.links) {
+      if (l >= num_rel_nodes) {
+        return Status::ParseError("cluster references unknown link");
+      }
+    }
+  }
+  for (EntityId e : entity_of) {
+    if (e >= clusters.size()) {
+      return Status::ParseError("entity map references unknown cluster");
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::ParseError("corrupt or truncated state snapshot");
+  }
+
+  engine.AttachState(dataset, st);
+  st->stats = stats;
+  st->graph = DependencyGraph::Restore(std::move(atomic_nodes),
+                                       std::move(rel_nodes), num_groups);
+  st->entities = EntityStore::Restore(
+      &dataset, LinkConstraints(engine.config().temporal),
+      std::move(entity_of), std::move(clusters));
+  return Status::Ok();
+}
+
+}  // namespace snaps

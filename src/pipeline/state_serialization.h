@@ -1,0 +1,51 @@
+#ifndef SNAPS_PIPELINE_STATE_SERIALIZATION_H_
+#define SNAPS_PIPELINE_STATE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/er_engine.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// Binary serialization of an ErRunState for phase snapshots.
+///
+/// The payload captures everything a later process needs to continue
+/// the run bit-identically: the dependency graph (including PROP-A's
+/// atomic-node rewires and every node's cached similarity and cache
+/// stamps), the entity clusters (records, links, version stamps) and
+/// the run statistics. Borrowed/derived members (dataset pointer,
+/// similarity model, budget) are reattached on load.
+///
+/// A fingerprint of the dataset and of the result-affecting config
+/// parameters is embedded, so a snapshot is rejected with ParseError
+/// when replayed against different input data or settings. The
+/// encoding is native-endian — snapshots are a crash-recovery
+/// mechanism for one host, not an interchange format.
+
+/// On-disk version of the state payload; bump on layout changes.
+inline constexpr int kErStateFormatVersion = 1;
+
+/// FNV-1a fingerprint of the dataset contents (certificates, roles,
+/// attribute values, truth column).
+uint64_t FingerprintDataset(const Dataset& dataset);
+
+/// FNV-1a fingerprint of the config parameters that affect results
+/// (thresholds, gamma, passes, ablation toggles — not progress
+/// callbacks, deadlines or budgets).
+uint64_t FingerprintConfig(const ErConfig& config);
+
+/// Serialises graph + entities + stats (dataset/config fingerprints
+/// included).
+std::string SerializeErRunState(const ErRunState& st);
+
+/// Restores a state previously serialised against the same dataset and
+/// engine config. On success `st` is fully attached and ready for the
+/// next phase.
+Status DeserializeErRunState(const std::string& payload,
+                             const ErEngine& engine, const Dataset& dataset,
+                             ErRunState* st);
+
+}  // namespace snaps
+
+#endif  // SNAPS_PIPELINE_STATE_SERIALIZATION_H_

@@ -46,7 +46,22 @@ QueryProcessor::QueryProcessor(const KeywordIndex* keyword_index,
       config_(config) {}
 
 std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
-  std::vector<RankedResult> results;
+  return Search(query, Deadline::Infinite()).results;
+}
+
+SearchOutcome QueryProcessor::Search(const Query& query,
+                                     const Deadline& deadline) const {
+  SearchOutcome outcome;
+  std::vector<RankedResult>& results = outcome.results;
+  // Deadline check, amortised: the clock is read once per 64 units of
+  // work (one candidate credited or scored), and a unit in flight is
+  // always finished — cooperative cancellation, not preemption.
+  size_t work_units = 0;
+  auto out_of_time = [&]() {
+    if ((++work_units & 63u) != 0 && !outcome.truncated) return false;
+    if (!outcome.truncated && deadline.expired()) outcome.truncated = true;
+    return outcome.truncated;
+  };
   // Wildcards are detected on the raw input (normalisation strips the
   // '*'): a trailing star requests a prefix search on that field.
   auto parse_field = [](const std::string& raw, bool* wildcard) {
@@ -61,7 +76,7 @@ std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
       parse_field(query.surname, &surname_wildcard);
   if ((qfirst.empty() && !first_wildcard) ||
       (qsurname.empty() && !surname_wildcard)) {
-    return results;
+    return outcome;
   }
 
   const PedigreeGraph& graph = keyword_index_->graph();
@@ -91,6 +106,7 @@ std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
       // Values are sorted: scan the contiguous prefix range.
       auto it = std::lower_bound(values.begin(), values.end(), qvalue);
       for (; it != values.end() && it->rfind(qvalue, 0) == 0; ++it) {
+        if (out_of_time()) return;
         const std::vector<PedigreeNodeId>* ids =
             keyword_index_->Lookup(field, *it);
         if (ids == nullptr) continue;
@@ -100,6 +116,7 @@ std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
     }
     for (const SimilarValue& sv :
          similarity_index_->Similar(field, qvalue)) {
+      if (out_of_time()) return;
       const std::vector<PedigreeNodeId>* ids =
           keyword_index_->Lookup(field, sv.value);
       if (ids == nullptr) continue;
@@ -123,6 +140,7 @@ std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
   }
 
   for (const auto& [id, acc] : accumulator) {
+    if (out_of_time()) break;
     const PedigreeNode& node = graph.node(id);
 
     // Record-kind filter: a birth search needs a birth record, etc.
@@ -217,7 +235,7 @@ std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
               return a.node < b.node;  // Deterministic ordering.
             });
   if (results.size() > config_.top_m) results.resize(config_.top_m);
-  return results;
+  return outcome;
 }
 
 }  // namespace snaps

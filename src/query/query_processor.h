@@ -8,6 +8,7 @@
 #include "index/keyword_index.h"
 #include "index/similarity_index.h"
 #include "query/query.h"
+#include "util/deadline.h"
 
 namespace snaps {
 
@@ -40,6 +41,16 @@ struct RankedResult {
   std::string matched_parish;
 };
 
+/// Result of a deadline-bounded search: the ranked results plus a flag
+/// telling the caller (and the user interface) whether candidate
+/// gathering stopped early. A truncated outcome is still a valid
+/// ranked list over the candidates considered so far — best-effort,
+/// never garbage.
+struct SearchOutcome {
+  std::vector<RankedResult> results;
+  bool truncated = false;
+};
+
 /// The online query processing and ranking step (Section 7): retrieve
 /// candidate entities through the keyword and similarity indices by
 /// exact and approximate name matching into an accumulator, refine
@@ -57,6 +68,14 @@ class QueryProcessor {
   /// Runs a query; returns at most `top_m` results, best first.
   /// Queries without a first name and surname return no results.
   std::vector<RankedResult> Search(const Query& query) const;
+
+  /// Deadline-bounded search for interactive serving: candidate
+  /// retrieval and scoring check the wall-clock deadline between units
+  /// of work and stop early once it expires. The partial candidate set
+  /// is still refined, scored and ranked, and the outcome is flagged
+  /// `truncated` so the caller can tell a complete answer from a
+  /// best-effort one.
+  SearchOutcome Search(const Query& query, const Deadline& deadline) const;
 
  private:
   const KeywordIndex* keyword_index_;

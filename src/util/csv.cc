@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace snaps {
@@ -13,13 +14,26 @@ int CsvTable::ColumnIndex(std::string_view column) const {
   return -1;
 }
 
-Result<CsvTable> ParseCsv(std::string_view content) {
-  CsvTable table;
+namespace {
+
+/// Shared parser core. Strict mode fails the whole parse on the first
+/// malformed row; lenient mode quarantines malformed rows (and a final
+/// row cut off inside quotes) and keeps going.
+Result<CsvParseReport> ParseCsvImpl(std::string_view content, bool lenient) {
+  CsvParseReport report;
+  CsvTable& table = report.table;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool row_has_data = false;
 
+  auto quarantine = [&](std::string message) {
+    report.rows_quarantined++;
+    constexpr size_t kMaxMessages = 20;
+    if (report.messages.size() < kMaxMessages) {
+      report.messages.push_back(std::move(message));
+    }
+  };
   auto end_field = [&]() {
     row.push_back(std::move(field));
     field.clear();
@@ -28,12 +42,14 @@ Result<CsvTable> ParseCsv(std::string_view content) {
     end_field();
     if (table.header.empty()) {
       table.header = std::move(row);
+    } else if (row.size() != table.header.size()) {
+      std::string message = StrFormat(
+          "row %zu has %zu fields, header has %zu",
+          table.rows.size() + report.rows_quarantined + 2, row.size(),
+          table.header.size());
+      if (!lenient) return Status::ParseError(std::move(message));
+      quarantine(std::move(message));
     } else {
-      if (row.size() != table.header.size()) {
-        return Status::ParseError(StrFormat(
-            "row %zu has %zu fields, header has %zu",
-            table.rows.size() + 2, row.size(), table.header.size()));
-      }
       table.rows.push_back(std::move(row));
     }
     row.clear();
@@ -66,7 +82,9 @@ Result<CsvTable> ParseCsv(std::string_view content) {
         row_has_data = true;
         break;
       case '\r':
-        break;  // Swallow; the following \n ends the row.
+        // \r\n or classic-Mac bare \r, both end the row.
+        if (i + 1 < content.size() && content[i + 1] == '\n') ++i;
+        [[fallthrough]];
       case '\n': {
         if (!row_has_data && field.empty() && row.empty()) break;  // blank line
         Status s = end_row();
@@ -78,13 +96,29 @@ Result<CsvTable> ParseCsv(std::string_view content) {
         row_has_data = true;
     }
   }
-  if (in_quotes) return Status::ParseError("unterminated quoted field");
-  if (row_has_data || !field.empty() || !row.empty()) {
+  if (in_quotes) {
+    if (!lenient || table.header.empty()) {
+      return Status::ParseError("unterminated quoted field");
+    }
+    quarantine("final row cut off inside a quoted field");
+  } else if (row_has_data || !field.empty() || !row.empty()) {
     Status s = end_row();
     if (!s.ok()) return s;
   }
   if (table.header.empty()) return Status::ParseError("empty CSV content");
-  return table;
+  return report;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view content) {
+  Result<CsvParseReport> report = ParseCsvImpl(content, /*lenient=*/false);
+  if (!report.ok()) return report.status();
+  return std::move(report->table);
+}
+
+Result<CsvParseReport> ParseCsvLenient(std::string_view content) {
+  return ParseCsvImpl(content, /*lenient=*/true);
 }
 
 Result<CsvTable> ReadCsvFile(const std::string& path) {
@@ -125,6 +159,9 @@ Status WriteCsvFile(const std::string& path, const CsvTable& table) {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  if (SNAPS_FAULT_POINT("csv.read_file")) {
+    return FaultInjection::InjectedError("csv.read_file");
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   std::string content;
@@ -140,6 +177,9 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view content) {
+  if (SNAPS_FAULT_POINT("csv.write_file")) {
+    return FaultInjection::InjectedError("csv.write_file");
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   const size_t written = std::fwrite(content.data(), 1, content.size(), f);

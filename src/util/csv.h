@@ -20,9 +20,26 @@ struct CsvTable {
 };
 
 /// Parses RFC-4180-style CSV content: comma separated, double-quote
-/// quoting with "" escapes, \n or \r\n row breaks. The first row is the
-/// header. Rows whose width differs from the header are a parse error.
+/// quoting with "" escapes, \n, \r\n or bare-\r row breaks. The first
+/// row is the header. Rows whose width differs from the header are a
+/// parse error.
 Result<CsvTable> ParseCsv(std::string_view content);
+
+/// Outcome of a lenient parse: the salvageable table plus a quarantine
+/// report for the rows that could not be recovered.
+struct CsvParseReport {
+  CsvTable table;
+  size_t rows_quarantined = 0;
+  /// One message per quarantined row, capped at 20 (real registry
+  /// extracts can be dirty in bulk; the counts stay exact).
+  std::vector<std::string> messages;
+};
+
+/// Parses like ParseCsv but quarantines malformed rows (wrong field
+/// count, or a final row cut off inside a quoted field) instead of
+/// failing the whole file. Only unrecoverable inputs — an empty file
+/// or a malformed header row — are errors.
+Result<CsvParseReport> ParseCsvLenient(std::string_view content);
 
 /// Reads and parses a CSV file from disk.
 Result<CsvTable> ReadCsvFile(const std::string& path);

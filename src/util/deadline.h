@@ -1,0 +1,91 @@
+#ifndef SNAPS_UTIL_DEADLINE_H_
+#define SNAPS_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace snaps {
+
+/// A wall-clock deadline for cooperative cancellation. Cheap to copy
+/// and to test; a default-constructed deadline never expires, so code
+/// paths can check it unconditionally. Long-running loops (the ER
+/// merge queue, the query accumulator) poll `expired()` between
+/// units of work and wind down gracefully when it fires — partial
+/// results are returned and flagged, never a hang or a crash.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now. Non-positive values are already
+  /// expired (useful in tests).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline AfterMillis(int64_t ms) {
+    return After(static_cast<double>(ms) / 1000.0);
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= expiry_; }
+
+  /// Seconds until expiry; negative once expired, huge when infinite.
+  double RemainingSeconds() const {
+    if (infinite_) return 1e18;
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point expiry_{};
+};
+
+/// An operation budget with an optional deadline: the offline ER
+/// engine consumes one unit per merge-queue group visit, so a run can
+/// be bounded both by wall clock and by work done. A default budget is
+/// unlimited. Not thread-safe (one budget per run).
+class Budget {
+ public:
+  /// Unlimited operations, no deadline.
+  Budget() = default;
+
+  Budget(uint64_t max_operations, Deadline deadline)
+      : max_operations_(max_operations), deadline_(deadline) {}
+
+  static Budget Unlimited() { return Budget(); }
+
+  /// Consumes `n` units. Returns false once the budget is exhausted
+  /// (operation cap reached or deadline expired); callers stop issuing
+  /// new work but may finish the unit in flight.
+  bool Consume(uint64_t n = 1) {
+    used_ += n;
+    return !exhausted();
+  }
+
+  bool exhausted() const {
+    if (max_operations_ != 0 && used_ >= max_operations_) return true;
+    return deadline_.expired();
+  }
+
+  uint64_t used() const { return used_; }
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  uint64_t max_operations_ = 0;  // 0 = unlimited.
+  uint64_t used_ = 0;
+  Deadline deadline_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_DEADLINE_H_

@@ -1,0 +1,107 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace snaps {
+
+namespace {
+
+struct PointState {
+  int countdown = 0;     // >0: fail when it reaches 0.
+  bool always = false;   // Fail on every hit.
+  bool armed = false;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, PointState> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // Leaked: outlives all threads.
+  return *r;
+}
+
+/// Nonzero once any point has ever been armed; lets the unarmed fast
+/// path skip the mutex entirely (ShouldFail sits in CSV I/O loops).
+std::atomic<int> g_any_armed{0};
+
+}  // namespace
+
+void FaultInjection::ArmFailOnce(const std::string& point, int countdown) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  PointState& st = r.points[point];
+  st.countdown = countdown < 1 ? 1 : countdown;
+  st.always = false;
+  st.armed = true;
+  g_any_armed.store(1, std::memory_order_relaxed);
+}
+
+void FaultInjection::ArmFailAlways(const std::string& point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  PointState& st = r.points[point];
+  st.always = true;
+  st.armed = true;
+  g_any_armed.store(1, std::memory_order_relaxed);
+}
+
+void FaultInjection::Clear(const std::string& point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.points.find(point);
+  if (it != r.points.end()) {
+    it->second.armed = false;
+    it->second.always = false;
+    it->second.countdown = 0;
+  }
+}
+
+void FaultInjection::Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.points.clear();
+  g_any_armed.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjection::ShouldFail(const std::string& point) {
+  if (g_any_armed.load(std::memory_order_relaxed) == 0) return false;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  PointState& st = r.points[point];
+  st.hits++;
+  if (!st.armed) return false;
+  if (st.always) return true;
+  if (--st.countdown > 0) return false;
+  st.armed = false;
+  return true;
+}
+
+uint64_t FaultInjection::HitCount(const std::string& point) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FaultInjection::SeenPoints() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> out;
+  for (const auto& [name, st] : r.points) {
+    if (st.hits > 0) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status FaultInjection::InjectedError(const std::string& point) {
+  return Status::Internal("injected fault at " + point);
+}
+
+}  // namespace snaps

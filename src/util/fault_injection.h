@@ -1,0 +1,65 @@
+#ifndef SNAPS_UTIL_FAULT_INJECTION_H_
+#define SNAPS_UTIL_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snaps {
+
+/// Deterministic fault-injection registry for robustness tests.
+///
+/// Production code marks the places where I/O or phase transitions can
+/// fail with SNAPS_FAULT_POINT("module.operation"); tests arm a point
+/// to fire on its nth upcoming hit and assert the controlled failure
+/// path (error status, quarantine, resume) instead of a crash. Points
+/// are disarmed by default and the unarmed check is a single branch on
+/// a global counter, so the hooks stay compiled into release builds.
+///
+/// Naming convention (see docs/ROBUSTNESS.md): `<module>.<operation>`,
+/// lower_snake_case, e.g. "csv.read_file", "pedigree.save",
+/// "pipeline.save.bootstrap". Dynamic suffixes (a phase name) are
+/// appended with '.'.
+///
+/// The registry is process-global and guarded by a mutex; tests that
+/// arm faults must not run concurrently with each other.
+class FaultInjection {
+ public:
+  /// Arms `point` to fail once, on its `countdown`-th upcoming hit
+  /// (1 = the very next hit). Re-arming replaces the previous setting.
+  static void ArmFailOnce(const std::string& point, int countdown = 1);
+
+  /// Arms `point` to fail on every hit until cleared.
+  static void ArmFailAlways(const std::string& point);
+
+  static void Clear(const std::string& point);
+
+  /// Disarms everything and resets hit counts.
+  static void Reset();
+
+  /// True when the named point should fail now. Decrements an armed
+  /// countdown; counts the hit either way.
+  static bool ShouldFail(const std::string& point);
+
+  /// Times `point` has been evaluated since the last Reset. To keep
+  /// the disarmed fast path branch-cheap, hits are only counted after
+  /// some point has been armed since the last Reset.
+  static uint64_t HitCount(const std::string& point);
+
+  /// Points evaluated at least once since the last Reset (sorted).
+  static std::vector<std::string> SeenPoints();
+
+  /// Convenience: Status::Internal tagged with the point name, the
+  /// uniform error injected points return.
+  static Status InjectedError(const std::string& point);
+};
+
+/// True when the named fault point should fire; use as
+///   if (SNAPS_FAULT_POINT("csv.read_file")) return ...;
+/// The fast path (nothing armed, ever) is one relaxed atomic load.
+#define SNAPS_FAULT_POINT(point) ::snaps::FaultInjection::ShouldFail(point)
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,123 @@
+#include "util/snapshot.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace snaps {
+
+namespace {
+
+constexpr std::string_view kMagic = "SNAPSFILE";
+
+}  // namespace
+
+uint64_t Fnv1aHash(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string WrapSnapshotPayload(std::string_view kind, int version,
+                                std::string_view payload) {
+  std::string out = StrFormat("%.*s %.*s v%d %zu %016llx\n",
+                              static_cast<int>(kMagic.size()), kMagic.data(),
+                              static_cast<int>(kind.size()), kind.data(),
+                              version, payload.size(),
+                              static_cast<unsigned long long>(
+                                  Fnv1aHash(payload)));
+  out.append(payload);
+  return out;
+}
+
+Result<std::string> UnwrapSnapshotPayload(std::string_view content,
+                                          std::string_view kind,
+                                          int version) {
+  const size_t eol = content.find('\n');
+  if (eol == std::string_view::npos) {
+    return Status::ParseError("snapshot header missing");
+  }
+  const std::string_view header = content.substr(0, eol);
+  const std::string_view payload = content.substr(eol + 1);
+
+  // Header fields: magic kind vN size checksum.
+  std::string magic, got_kind, got_version;
+  unsigned long long size = 0, checksum = 0;
+  {
+    char magic_buf[16] = {0}, kind_buf[64] = {0}, version_buf[16] = {0};
+    char checksum_buf[32] = {0};
+    const std::string header_str(header);
+    if (std::sscanf(header_str.c_str(), "%15s %63s %15s %llu %31s", magic_buf,
+                    kind_buf, version_buf, &size, checksum_buf) != 5) {
+      return Status::ParseError("malformed snapshot header");
+    }
+    magic = magic_buf;
+    got_kind = kind_buf;
+    got_version = version_buf;
+    checksum = std::strtoull(checksum_buf, nullptr, 16);
+  }
+  if (magic != kMagic) {
+    return Status::ParseError("not a snaps snapshot file (bad magic)");
+  }
+  if (got_kind != kind) {
+    return Status::ParseError(StrFormat("snapshot kind mismatch: file has "
+                                        "'%s', expected '%.*s'",
+                                        got_kind.c_str(),
+                                        static_cast<int>(kind.size()),
+                                        kind.data()));
+  }
+  const std::string want_version = StrFormat("v%d", version);
+  if (got_version != want_version) {
+    return Status::ParseError(
+        StrFormat("snapshot version mismatch: file has %s, expected %s",
+                  got_version.c_str(), want_version.c_str()));
+  }
+  if (payload.size() != size) {
+    return Status::ParseError(
+        StrFormat("snapshot truncated: header says %llu payload bytes, "
+                  "file has %zu",
+                  size, payload.size()));
+  }
+  if (Fnv1aHash(payload) != checksum) {
+    return Status::ParseError("snapshot checksum mismatch (corrupted file)");
+  }
+  return std::string(payload);
+}
+
+Status SaveSnapshotFile(const std::string& path, std::string_view kind,
+                        int version, std::string_view payload) {
+  if (SNAPS_FAULT_POINT("snapshot.save")) {
+    return FaultInjection::InjectedError("snapshot.save");
+  }
+  const std::string tmp = path + ".tmp";
+  Status s = WriteStringToFile(tmp, WrapSnapshotPayload(kind, version,
+                                                        payload));
+  if (!s.ok()) return s;
+  if (SNAPS_FAULT_POINT("snapshot.rename")) {
+    // Simulated crash between write and rename: the temp file stays
+    // behind, the destination is untouched.
+    return FaultInjection::InjectedError("snapshot.rename");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> LoadSnapshotFile(const std::string& path,
+                                     std::string_view kind, int version) {
+  if (SNAPS_FAULT_POINT("snapshot.load")) {
+    return FaultInjection::InjectedError("snapshot.load");
+  }
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return UnwrapSnapshotPayload(*content, kind, version);
+}
+
+}  // namespace snaps

@@ -1,0 +1,51 @@
+#ifndef SNAPS_UTIL_SNAPSHOT_H_
+#define SNAPS_UTIL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace snaps {
+
+/// Self-describing container for every file the library persists
+/// (pedigree graphs, pipeline phase snapshots). A one-line ASCII
+/// header carries a magic number, the payload kind, a format version,
+/// the payload size and an FNV-1a checksum:
+///
+///   SNAPSFILE <kind> v<version> <size> <checksum-hex>\n<payload bytes>
+///
+/// Loading verifies all five fields, so a truncated, corrupted or
+/// foreign file is rejected with ParseError instead of being parsed
+/// into garbage — and callers (the pipeline resume path) can fall back
+/// to recomputing. A version bump invalidates old files explicitly.
+
+/// 64-bit FNV-1a hash, used as the payload checksum.
+uint64_t Fnv1aHash(std::string_view data);
+
+/// Wraps `payload` in the container header.
+std::string WrapSnapshotPayload(std::string_view kind, int version,
+                                std::string_view payload);
+
+/// Verifies the header (magic, kind, version, size, checksum) and
+/// returns the payload. Any mismatch is a ParseError naming the field
+/// that failed.
+Result<std::string> UnwrapSnapshotPayload(std::string_view content,
+                                          std::string_view kind, int version);
+
+/// Writes a wrapped payload to `path` atomically: the content goes to
+/// `path + ".tmp"` first and is renamed over `path` only after a
+/// complete write, so a crash mid-write never leaves a half-written
+/// file where a valid snapshot used to be.
+Status SaveSnapshotFile(const std::string& path, std::string_view kind,
+                        int version, std::string_view payload);
+
+/// Reads `path` and unwraps it. IoError when unreadable, ParseError
+/// when invalid.
+Result<std::string> LoadSnapshotFile(const std::string& path,
+                                     std::string_view kind, int version);
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_SNAPSHOT_H_

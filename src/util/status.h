@@ -2,6 +2,8 @@
 #define SNAPS_UTIL_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -68,7 +70,9 @@ class Status {
 };
 
 /// Value-or-error holder, analogous to absl::StatusOr. Access to
-/// `value()` on an error result is a programming error (asserts).
+/// `value()` on an error result is a programming error and aborts with
+/// the status message in every build type — an `assert` alone would
+/// make the same bug silent undefined behaviour under NDEBUG.
 template <typename T>
 class Result {
  public:
@@ -83,15 +87,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(value_);
   }
 
@@ -101,6 +105,13 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (ok()) return;
+    std::fprintf(stderr, "Result::value() called on error result: %s\n",
+                 status_.ToString().c_str());
+    std::abort();
+  }
+
   Status status_;
   T value_{};
 };

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 
 namespace snaps {
 
@@ -21,9 +22,26 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::RunTask(std::function<void()>& task) {
+  // A worker thread must never let an exception escape (std::terminate)
+  // and must always reach the in_flight_ decrement, or Wait() and the
+  // destructor's drain deadlock. Failures are recorded, not rethrown.
+  try {
+    task();
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++num_failed_tasks_;
+    if (first_error_.empty()) first_error_ = e.what();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++num_failed_tasks_;
+    if (first_error_.empty()) first_error_ = "unknown exception";
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
-    task();  // Inline mode.
+    RunTask(task);  // Inline mode.
     return;
   }
   {
@@ -40,6 +58,16 @@ void ThreadPool::Wait() {
   work_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+size_t ThreadPool::num_failed_tasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return num_failed_tasks_;
+}
+
+std::string ThreadPool::FirstError() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -54,7 +82,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    RunTask(task);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) work_done_.notify_all();
@@ -63,8 +91,15 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  // Each index runs through RunTask, so one throwing fn(i) is recorded
+  // like a failing task instead of skipping the rest of its chunk (or,
+  // inline, escaping ParallelFor altogether).
+  auto guarded = [this, &fn](size_t i) {
+    std::function<void()> call = [&fn, i] { fn(i); };
+    RunTask(call);
+  };
   if (threads_.empty()) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) guarded(i);
     return;
   }
   // Chunked dynamic scheduling through a shared counter.
@@ -72,12 +107,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   auto next = std::make_shared<std::atomic<size_t>>(0);
   const size_t num_tasks = threads_.size();
   for (size_t t = 0; t < num_tasks; ++t) {
-    Submit([n, chunk, next, &fn] {
+    Submit([n, chunk, next, &guarded] {
       while (true) {
         const size_t begin = next->fetch_add(chunk);
         if (begin >= n) return;
         const size_t end = std::min(n, begin + chunk);
-        for (size_t i = begin; i < end; ++i) fn(i);
+        for (size_t i = begin; i < end; ++i) guarded(i);
       }
     });
   }

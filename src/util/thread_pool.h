@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,29 +28,44 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Inline pools execute immediately.
+  /// Enqueues a task. Inline pools execute immediately. A task that
+  /// throws does not tear down the pool or deadlock Wait(): the
+  /// exception is swallowed, the failure counted and its message (the
+  /// first one) retained for FirstError().
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
 
+  /// Tasks that exited via an exception since construction.
+  size_t num_failed_tasks() const;
+
+  /// what() of the first failed task, or "" when none failed.
+  std::string FirstError() const;
+
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs `fn(i)` for i in [0, n), spread over the pool (or inline),
   /// and waits for completion. `fn` must be safe to call concurrently
-  /// for distinct indices.
+  /// for distinct indices. A throwing `fn(i)` is recorded like a
+  /// failing Submit task; the other indices still run.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
 
+  /// Runs one task, absorbing any exception into the failure record.
+  void RunTask(std::function<void()>& task);
+
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable work_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  size_t num_failed_tasks_ = 0;
+  std::string first_error_;
 };
 
 }  // namespace snaps

@@ -80,5 +80,87 @@ TEST(CsvParseEdgeTest, HeaderOnly) {
   EXPECT_TRUE(r->rows.empty());
 }
 
+TEST(CsvParseEdgeTest, UnterminatedQuotedFieldAtEof) {
+  // Strict parsing refuses the file; lenient parsing salvages the
+  // complete rows and quarantines the torn final one.
+  const std::string content = "a,b\n1,2\n3,\"cut off";
+  auto strict = ParseCsv(content);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kParseError);
+
+  auto lenient = ParseCsvLenient(content);
+  ASSERT_TRUE(lenient.ok());
+  ASSERT_EQ(lenient->table.rows.size(), 1u);
+  EXPECT_EQ(lenient->table.rows[0][0], "1");
+  EXPECT_EQ(lenient->rows_quarantined, 1u);
+  ASSERT_FALSE(lenient->messages.empty());
+}
+
+TEST(CsvParseEdgeTest, BareCarriageReturnRowBreaks) {
+  // Classic-Mac line endings: \r alone separates rows, and mixed
+  // endings in one file parse consistently.
+  auto r = ParseCsv("a,b\r1,2\r3,4\r\n5,6\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"3", "4"}));
+  EXPECT_EQ(r->rows[2], (std::vector<std::string>{"5", "6"}));
+
+  // A quoted \r is field content, not a row break.
+  auto quoted = ParseCsv("a\n\"x\ry\"\n");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(quoted->rows[0][0], "x\ry");
+}
+
+TEST(CsvParseEdgeTest, NulBytesAreOrdinaryFieldContent) {
+  std::string content = "a,b\n";
+  content += 'x';
+  content += '\0';
+  content += 'y';
+  content += ",2\n";
+  auto r = ParseCsv(content);
+  ASSERT_TRUE(r.ok());
+  std::string expected = "x";
+  expected += '\0';
+  expected += "y";
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], expected);
+
+  // And they round-trip through the writer.
+  CsvTable table;
+  table.header = {"a"};
+  table.rows.push_back({expected});
+  auto back = ParseCsv(WriteCsv(table));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0][0], expected);
+}
+
+TEST(CsvParseEdgeTest, HugeSingleFieldSurvives) {
+  // > 1 MiB in one quoted field: no truncation, no quadratic blowup.
+  std::string big(1 << 21, 'x');
+  big[12345] = ',';
+  big[54321] = '\n';
+  big[77777] = '"';
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows.push_back({big, "small"});
+  const std::string serialized = WriteCsv(table);
+  auto r = ParseCsv(serialized);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], big);
+  EXPECT_EQ(r->rows[0][1], "small");
+}
+
+TEST(CsvParseEdgeTest, LenientQuarantinesWrongWidthRowsOnly) {
+  auto r = ParseCsvLenient("a,b\n1,2\nonly_one\n3,4,5\n6,7\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.rows.size(), 2u);
+  EXPECT_EQ(r->table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(r->table.rows[1], (std::vector<std::string>{"6", "7"}));
+  EXPECT_EQ(r->rows_quarantined, 2u);
+  EXPECT_EQ(r->messages.size(), 2u);
+}
+
 }  // namespace
 }  // namespace snaps

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -74,6 +76,48 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.Wait();
   }  // Destructor joins.
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotDeadlockOrTearDownThePool) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 5 == 0) throw std::runtime_error("task " + std::to_string(i));
+    });
+  }
+  pool.Wait();  // Must return despite the 10 throwing tasks.
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_EQ(pool.num_failed_tasks(), 10u);
+  EXPECT_NE(pool.FirstError().find("task "), std::string::npos);
+
+  // The pool keeps working after failures.
+  std::atomic<int> after{0};
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ThreadPoolTest, ThrowingTasksInlineMode) {
+  ThreadPool pool(0);
+  pool.Submit([] { throw 42; });  // Non-std::exception payload.
+  pool.Wait();
+  EXPECT_EQ(pool.num_failed_tasks(), 1u);
+  EXPECT_EQ(pool.FirstError(), "unknown exception");
+}
+
+TEST(ThreadPoolTest, ThrowingParallelForCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) {
+    hits[i].fetch_add(1);
+    if (i % 7 == 0) throw std::runtime_error("boom");
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+  EXPECT_GT(pool.num_failed_tasks(), 0u);
 }
 
 TEST(ThreadPoolTest, ParallelResultsMatchSerial) {
