@@ -81,7 +81,7 @@ void BM_FullQuery(benchmark::State& state) {
   q.first_name = "john";
   q.surname = "macdonald";
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.processor->Search(q));
+    benchmark::DoNotOptimize(f.processor->Search(q).results);
   }
 }
 BENCHMARK(BM_FullQuery);

@@ -56,7 +56,7 @@ int main() {
     q.gender = r.gender();
 
     Timer t;
-    const auto results = processor.Search(q);
+    const auto results = processor.Search(q).results;
     query_stats.Add(t.ElapsedSeconds());
     if (!results.empty()) {
       Timer e;

@@ -1,7 +1,9 @@
 // Offline/online deployment split (the two halves of the paper's
 // Figure 1): the offline phase resolves entities once and persists the
-// pedigree graph; the online phase loads it, rebuilds the in-memory
-// indices and serves queries without re-running ER.
+// pedigree graph; the online phase stands up a SnapsService whose
+// loader reads the snapshot back and rebuilds the in-memory indices,
+// serving queries without re-running ER — and re-invoking the same
+// loader on Reload() to pick up a re-published snapshot.
 //
 // The offline phase runs under the checkpointing PipelineRunner: phase
 // snapshots land in <graph.csv>.ckpt/, and `--resume` continues a
@@ -17,8 +19,8 @@
 #include "datagen/simulator.h"
 #include "pedigree/serialization.h"
 #include "pipeline/pipeline_runner.h"
-#include "query/query_processor.h"
 #include "query/result_format.h"
+#include "serve/snaps_service.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -69,34 +71,44 @@ int main(int argc, char** argv) {
     std::printf("[offline] pedigree graph saved to %s\n", path.c_str());
   }
 
-  // ---- Online phase: load, index, serve. ----
+  // ---- Online phase: load snapshot into a service, serve. ----
   {
     Timer t;
-    Result<PedigreeGraph> graph = LoadPedigreeGraph(path);
-    if (!graph.ok()) {
-      std::fprintf(stderr, "load failed: %s\n",
-                   graph.status().ToString().c_str());
+    Result<std::unique_ptr<SnapsService>> service = SnapsService::Create(
+        ServiceConfig(),
+        [path]() { return SearchArtifacts::LoadFromFile(path); });
+    if (!service.ok()) {
+      std::fprintf(stderr, "service start failed: %s\n",
+                   service.status().ToString().c_str());
       return 1;
     }
-    KeywordIndex keyword(&graph.value());
-    SimilarityIndex similarity(&keyword);
-    QueryProcessor processor(&keyword, &similarity);
-    std::printf("[online]  load + index build: %.2fs (%zu entities)\n",
-                t.ElapsedSeconds(), graph->num_nodes());
+    std::printf("[online]  load + index build: %.2fs (%zu entities, "
+                "generation %llu)\n",
+                t.ElapsedSeconds(),
+                (*service)->snapshot()->graph().num_nodes(),
+                static_cast<unsigned long long>((*service)->generation()));
 
     // Serve a wildcard query as a JSON payload (what a web front end
     // like the paper's would consume). Interactive serving gets a
     // wall-clock deadline; a truncated outcome is flagged, not silent.
-    Query q;
-    q.first_name = "j*";
-    q.surname = "mac*";
-    Timer qt;
-    const SearchOutcome outcome =
-        processor.Search(q, Deadline::AfterMillis(2000));
+    SearchRequest request;
+    request.query.first_name = "j*";
+    request.query.surname = "mac*";
+    request.deadline = Deadline::AfterMillis(2000);
+    const SearchResponse response = (*service)->Search(request);
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
     std::printf("[online]  query \"j* mac*\": %zu results in %.4fs%s\n",
-                outcome.results.size(), qt.ElapsedSeconds(),
-                outcome.truncated ? " (truncated at deadline)" : "");
-    std::printf("%s\n", FormatResultsJson(*graph, outcome.results).c_str());
+                response.results.size(), response.latency_ms / 1000.0,
+                response.truncated ? " (truncated at deadline)" : "");
+    std::printf("%s\n",
+                FormatResultsJson((*service)->snapshot()->graph(),
+                                  response.results)
+                    .c_str());
+    std::printf("%s", (*service)->MetricsText().c_str());
   }
   return 0;
 }

@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
   QueryProcessor processor(&keyword, &similarity);
 
   // ---- Query, ranked results (the paper's Figure 6). ----
-  const auto results = processor.Search(query);
+  const auto results = processor.Search(query).results;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nQuery: %s %s (death records)\n", query.first_name.c_str(),
               query.surname.c_str());
-  const auto results = processor.Search(query);
+  const auto results = processor.Search(query).results;
   std::printf("  rank  score  name\n");
   for (size_t i = 0; i < results.size(); ++i) {
     std::printf("  %4zu  %5.1f  %s\n", i + 1, results[i].score,

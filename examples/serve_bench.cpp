@@ -1,0 +1,269 @@
+// Closed-loop load driver for SnapsService: T client threads issue a
+// mixed search / lookup / pedigree workload back-to-back against one
+// shared service instance, for T in {1, 4, 8}. Per-request latencies
+// are collected client-side (exact percentiles, not histogram
+// buckets) and the summary lands in BENCH_serve.json. The 4-thread
+// run additionally hot-swaps the artifact generation mid-load to
+// demonstrate that Reload() never blocks readers.
+//
+// Throughput scaling across thread counts reflects the machine: the
+// service adds no serialisation on the read path, so on an N-core
+// host QPS grows until the cores are saturated. The JSON records
+// `hardware_threads` so a 1-core CI box reporting flat scaling is
+// distinguishable from a service-side bottleneck.
+//
+//   ./serve_bench [--requests <per-thread>] [--couples <n>] [--out <path>]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/simulator.h"
+#include "serve/snaps_service.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace snaps;
+
+struct RunResult {
+  int threads = 0;
+  uint64_t requests = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  uint64_t errors = 0;
+  uint64_t truncated = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1) + 0.5));
+  return sorted_ms[rank];
+}
+
+/// One client thread's closed loop: `requests` back-to-back requests
+/// drawn deterministically from the indexed name universe.
+void ClientLoop(SnapsService* service, const std::vector<std::string>* firsts,
+                const std::vector<std::string>* surnames, uint64_t seed,
+                uint64_t requests, std::vector<double>* latencies_ms,
+                uint64_t* errors, uint64_t* truncated) {
+  Rng rng(seed);
+  latencies_ms->reserve(requests);
+  for (uint64_t i = 0; i < requests; ++i) {
+    const double roll = rng.NextDouble();
+    Timer t;
+    Status status;
+    if (roll < 0.80 || firsts->empty() || surnames->empty()) {
+      SearchRequest req;
+      req.query.first_name = (*firsts)[rng.NextUint64(firsts->size())];
+      req.query.surname = (*surnames)[rng.NextUint64(surnames->size())];
+      if (rng.NextBool(0.3) && req.query.surname.size() > 3) {
+        req.query.surname.erase(req.query.surname.size() / 2, 1);  // Typo.
+      } else if (rng.NextBool(0.1) && req.query.surname.size() > 2) {
+        req.query.surname = req.query.surname.substr(0, 3) + "*";  // Prefix.
+      }
+      req.deadline = Deadline::AfterMillis(500);
+      const SearchResponse resp = service->Search(req);
+      status = resp.status;
+      *truncated += resp.truncated ? 1 : 0;
+    } else if (roll < 0.90) {
+      LookupRequest req;
+      req.node = static_cast<PedigreeNodeId>(
+          rng.NextUint64(service->snapshot()->graph().num_nodes()));
+      status = service->Lookup(req).status;
+    } else {
+      PedigreeRequest req;
+      req.node = static_cast<PedigreeNodeId>(
+          rng.NextUint64(service->snapshot()->graph().num_nodes()));
+      req.generations = 2;
+      status = service->ExtractPedigree(req).status;
+    }
+    latencies_ms->push_back(t.ElapsedMillis());
+    if (!status.ok()) ++*errors;
+  }
+}
+
+RunResult RunClosedLoop(SnapsService* service,
+                        const std::vector<std::string>& firsts,
+                        const std::vector<std::string>& surnames, int threads,
+                        uint64_t requests_per_thread, bool reload_midway,
+                        const PedigreeGraph& reload_graph,
+                        const ArtifactOptions& reload_options) {
+  std::vector<std::vector<double>> latencies(threads);
+  std::vector<uint64_t> errors(threads, 0), truncated(threads, 0);
+  std::vector<std::thread> clients;
+  Timer wall;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back(ClientLoop, service, &firsts, &surnames,
+                         /*seed=*/1855 + 7919 * (t + 1), requests_per_thread,
+                         &latencies[t], &errors[t], &truncated[t]);
+  }
+  if (reload_midway) {
+    // Publish a fresh artifact generation while the clients hammer the
+    // old one; the swap is one atomic store, readers drain unblocked.
+    Result<std::unique_ptr<SearchArtifacts>> fresh =
+        SearchArtifacts::Build(reload_graph, reload_options);
+    if (fresh.ok()) {
+      const Status s = service->Reload(std::move(fresh).value());
+      if (!s.ok()) {
+        std::fprintf(stderr, "mid-run reload failed: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  }
+  for (std::thread& c : clients) c.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  RunResult run;
+  run.threads = threads;
+  run.seconds = seconds;
+  std::vector<double> all_ms;
+  for (int t = 0; t < threads; ++t) {
+    run.requests += latencies[t].size();
+    run.errors += errors[t];
+    run.truncated += truncated[t];
+    all_ms.insert(all_ms.end(), latencies[t].begin(), latencies[t].end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  run.qps = seconds > 0.0 ? run.requests / seconds : 0.0;
+  double sum = 0.0;
+  for (double ms : all_ms) sum += ms;
+  run.mean_ms = all_ms.empty() ? 0.0 : sum / all_ms.size();
+  run.p50_ms = PercentileMs(all_ms, 0.50);
+  run.p95_ms = PercentileMs(all_ms, 0.95);
+  run.p99_ms = PercentileMs(all_ms, 0.99);
+  run.max_ms = all_ms.empty() ? 0.0 : all_ms.back();
+  return run;
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t requests = 1000;
+  size_t couples = 40;
+  std::string out_path = "BENCH_serve.json";
+  if (const char* v = FlagValue(argc, argv, "--requests")) {
+    requests = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--couples")) {
+    couples = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--out")) out_path = v;
+
+  // ---- Offline: synthetic town -> ER -> pedigree graph. ----
+  std::printf("[bench] generating + resolving a synthetic town...\n");
+  SimulatorConfig scfg;
+  scfg.seed = 1855;
+  scfg.num_founder_couples = couples;
+  GeneratedData data = PopulationSimulator(scfg).Generate();
+  const ErResult er = ErEngine().Resolve(data.dataset);
+  const PedigreeGraph graph = PedigreeGraph::Build(data.dataset, er);
+
+  // ---- Serving artifacts + service. ----
+  ArtifactOptions options;
+  Result<std::unique_ptr<SearchArtifacts>> artifacts =
+      SearchArtifacts::Build(graph, options);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "artifact build failed: %s\n",
+                 artifacts.status().ToString().c_str());
+    return 1;
+  }
+  // Workload vocabulary: the indexed name values of generation 1.
+  const std::vector<std::string> firsts =
+      artifacts.value()->keyword_index().Values(QueryField::kFirstName);
+  const std::vector<std::string> surnames =
+      artifacts.value()->keyword_index().Values(QueryField::kSurname);
+
+  ServiceConfig svc;
+  svc.max_inflight = 64;
+  Result<std::unique_ptr<SnapsService>> service =
+      SnapsService::Create(svc, std::move(artifacts).value());
+  if (!service.ok()) {
+    std::fprintf(stderr, "service create failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[bench] serving %zu entities, %zu relationships\n",
+              graph.num_nodes(), graph.num_edges());
+
+  // ---- Closed-loop runs at 1, 4 and 8 client threads. ----
+  std::vector<RunResult> runs;
+  for (const int threads : {1, 4, 8}) {
+    const RunResult run = RunClosedLoop(
+        service->get(), firsts, surnames, threads, requests,
+        /*reload_midway=*/threads == 4, graph, options);
+    std::printf(
+        "[bench] %d thread(s): %llu requests in %.2fs -> %.0f QPS "
+        "(p50 %.3fms p95 %.3fms p99 %.3fms, %llu errors)\n",
+        run.threads, static_cast<unsigned long long>(run.requests),
+        run.seconds, run.qps, run.p50_ms, run.p95_ms, run.p99_ms,
+        static_cast<unsigned long long>(run.errors));
+    runs.push_back(run);
+  }
+  const double scaling =
+      runs.front().qps > 0.0 ? runs.back().qps / runs.front().qps : 0.0;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware < 8) {
+    std::printf(
+        "[bench] note: only %u hardware thread(s); thread scaling is "
+        "hardware-bound here, not service-bound\n",
+        hardware);
+  }
+  std::printf("[bench] 8-thread QPS / 1-thread QPS = %.2fx\n%s", scaling,
+              service.value()->MetricsText().c_str());
+
+  // ---- BENCH_serve.json. ----
+  std::string json = "{\n  \"bench\": \"serve\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"hardware_threads\": %u,\n  \"entities\": %zu,\n"
+                "  \"requests_per_thread\": %llu,\n  \"runs\": [\n",
+                hardware, graph.num_nodes(),
+                static_cast<unsigned long long>(requests));
+  json += buf;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"threads\": %d, \"requests\": %llu, \"seconds\": %.4f, "
+        "\"qps\": %.1f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+        "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f, "
+        "\"errors\": %llu, \"truncated\": %llu}%s\n",
+        r.threads, static_cast<unsigned long long>(r.requests), r.seconds,
+        r.qps, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms,
+        static_cast<unsigned long long>(r.errors),
+        static_cast<unsigned long long>(r.truncated),
+        i + 1 < runs.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"scaling_8x_over_1x\": %.3f\n}\n", scaling);
+  json += buf;
+  const Status s = WriteStringToFile(out_path, json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("[bench] wrote %s\n", out_path.c_str());
+  return 0;
+}

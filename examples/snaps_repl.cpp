@@ -1,7 +1,9 @@
 // Interactive SNAPS shell: the closest CLI equivalent of the paper's
 // web interface workflow (Figures 5-8) — enter query fields, get a
 // ranked result table, "explore" a result into a family tree, export
-// it. Reads commands from stdin:
+// it. Serves through SnapsService, so `reload` hot-swaps the artifact
+// generation (re-resolving the dataset) and `metrics` dumps the
+// request counters. Reads commands from stdin:
 //
 //   search <first> <surname> [birth|death]   ranked results
 //   gender f|m                                set/clear refinements
@@ -10,6 +12,8 @@
 //   near <place> <km>                         geographic limit
 //   explore <rank> [generations]              family tree of a result
 //   gedcom <rank> <path>                      export a pedigree
+//   metrics                                   service counters
+//   reload                                    rebuild + swap artifacts
 //   json                                      toggle JSON output
 //   help / quit
 //
@@ -24,12 +28,10 @@
 #include "core/er_engine.h"
 #include "datagen/simulator.h"
 #include "geo/gazetteer.h"
-#include "index/keyword_index.h"
-#include "index/similarity_index.h"
 #include "pedigree/extraction.h"
 #include "pedigree/pedigree_graph.h"
-#include "query/query_processor.h"
 #include "query/result_format.h"
+#include "serve/snaps_service.h"
 #include "util/csv.h"
 
 namespace {
@@ -40,7 +42,8 @@ void PrintHelp() {
       "  search <first> <surname> [birth|death]\n"
       "  gender <f|m|any>      years <from> <to>      parish <name>\n"
       "  near <place> <km>     explore <rank> [g]     gedcom <rank> <path>\n"
-      "  json                  help                   quit\n");
+      "  metrics               reload                 json\n"
+      "  help                  quit\n");
 }
 
 }  // namespace
@@ -66,19 +69,34 @@ int main(int argc, char** argv) {
         PopulationSimulator(SimulatorConfig::IosLike()).Generate().dataset;
   }
 
+  // The loader runs the whole offline side — ER, graph build, index
+  // build — so `reload` demonstrates a full generation swap while the
+  // shell keeps serving.
   std::printf("Resolving %zu records...\n", dataset.num_records());
-  const ErResult result = ErEngine().Resolve(dataset);
-  const PedigreeGraph graph = PedigreeGraph::Build(dataset, result);
-  const Gazetteer gazetteer = Gazetteer::FromDataset(dataset);
-  KeywordIndex keyword(&graph);
-  SimilarityIndex similarity(&keyword);
-  QueryProcessor processor(&keyword, &similarity);
-  processor.set_gazetteer(&gazetteer);
+  SnapsService::ArtifactLoader loader =
+      [&dataset]() -> Result<std::unique_ptr<SearchArtifacts>> {
+    const ErResult result = ErEngine().Resolve(dataset);
+    PedigreeGraph graph = PedigreeGraph::Build(dataset, result);
+    ArtifactOptions options;
+    options.gazetteer = Gazetteer::FromDataset(dataset);
+    return SearchArtifacts::Build(std::move(graph), options);
+  };
+  Result<std::unique_ptr<SnapsService>> created =
+      SnapsService::Create(ServiceConfig(), loader);
+  if (!created.ok()) {
+    std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  SnapsService& service = **created;
   std::printf("Ready: %zu entities, %zu relationships. Type 'help'.\n",
-              graph.num_nodes(), graph.num_edges());
+              service.snapshot()->graph().num_nodes(),
+              service.snapshot()->graph().num_edges());
 
   Query query;
   std::vector<RankedResult> last_results;
+  // The generation the last results came from: explore/gedcom resolve
+  // node ids against this bundle, staying consistent across reloads.
+  SnapsService::ArtifactsPtr last_snapshot = service.snapshot();
   bool json = false;
   std::string line;
 
@@ -94,6 +112,14 @@ int main(int argc, char** argv) {
     } else if (cmd == "json") {
       json = !json;
       std::printf("json output %s\n", json ? "on" : "off");
+    } else if (cmd == "metrics") {
+      std::printf("%s", service.MetricsText().c_str());
+    } else if (cmd == "reload") {
+      const Status s = service.Reload();
+      std::printf("%s\n", s.ok() ? ("now serving generation " +
+                                    std::to_string(service.generation()))
+                                       .c_str()
+                                 : s.ToString().c_str());
     } else if (cmd == "gender") {
       std::string g;
       in >> g;
@@ -123,7 +149,16 @@ int main(int argc, char** argv) {
         std::printf("usage: search <first> <surname> [birth|death]\n");
         continue;
       }
-      last_results = processor.Search(query);
+      SearchRequest request;
+      request.query = query;
+      SearchResponse response = service.Search(request);
+      if (!response.status.ok()) {
+        std::printf("%s\n", response.status.ToString().c_str());
+        continue;
+      }
+      last_results = std::move(response.results);
+      last_snapshot = service.snapshot();
+      const PedigreeGraph& graph = last_snapshot->graph();
       std::printf("%s", json
                             ? (FormatResultsJson(graph, last_results) + "\n")
                                   .c_str()
@@ -136,6 +171,7 @@ int main(int argc, char** argv) {
         continue;
       }
       const PedigreeNodeId node = last_results[rank - 1].node;
+      const PedigreeGraph& graph = last_snapshot->graph();
       if (cmd == "explore") {
         int generations = 2;
         in >> generations;

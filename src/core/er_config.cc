@@ -1,0 +1,46 @@
+#include "core/er_config.h"
+
+#include <cmath>
+#include <string>
+
+namespace snaps {
+
+namespace {
+
+/// A similarity threshold or weight that must lie in [0,1].
+Status CheckUnit(const char* name, double value) {
+  if (!std::isfinite(value) || value < 0.0 || value > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be finite and in [0,1]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<void> ErConfig::Validate() const {
+  const struct {
+    const char* name;
+    double value;
+  } units[] = {
+      {"atomic_threshold", atomic_threshold},
+      {"bootstrap_threshold", bootstrap_threshold},
+      {"bootstrap_ambiguity_min", bootstrap_ambiguity_min},
+      {"merge_threshold", merge_threshold},
+      {"solo_merge_threshold", solo_merge_threshold},
+      {"gamma", gamma},
+      {"refine_density", refine_density},
+  };
+  for (const auto& u : units) {
+    if (Status s = CheckUnit(u.name, u.value); !s.ok()) return s;
+  }
+  if (refine_max_cluster <= 0) {
+    return Status::InvalidArgument("refine_max_cluster must be > 0");
+  }
+  if (merge_passes < 0) {
+    return Status::InvalidArgument("merge_passes must be >= 0");
+  }
+  return Result<void>::Ok();
+}
+
+}  // namespace snaps

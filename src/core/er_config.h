@@ -8,6 +8,7 @@
 #include "core/constraints.h"
 #include "data/schema.h"
 #include "util/deadline.h"
+#include "util/status.h"
 
 namespace snaps {
 
@@ -64,6 +65,13 @@ struct ErConfig {
   bool enable_amb = true;
   bool enable_rel = true;
   bool enable_ref = true;
+
+  /// Checks the configuration is runnable: every threshold finite and
+  /// inside its domain ([0,1] for similarities and gamma, > 0 for the
+  /// cluster-size cap, >= 0 for pass counts). Called by
+  /// ErEngine::Create and PipelineRunner before any work starts, so a
+  /// bad parameter fails fast instead of skewing a multi-hour run.
+  Result<void> Validate() const;
 };
 
 /// Timing and size statistics of one ER run (Tables 5 and 6).

@@ -345,6 +345,11 @@ void RefineClusters(ErRunState& st) {
 
 ErEngine::ErEngine(ErConfig config) : config_(std::move(config)) {}
 
+Result<ErEngine> ErEngine::Create(ErConfig config) {
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  return ErEngine(std::move(config));
+}
+
 void ErEngine::ReportPhase(const std::string& phase) const {
   if (config_.progress) config_.progress(phase);
 }

@@ -48,7 +48,14 @@ struct ErRunState {
 /// dynamic cluster refinement (REF).
 class ErEngine {
  public:
+  /// Unchecked construction over a known-good config; prefer Create()
+  /// for configs assembled from user input or files.
   explicit ErEngine(ErConfig config = ErConfig());
+
+  /// Validating factory: rejects any config failing
+  /// ErConfig::Validate(), so an engine that exists always has a
+  /// runnable parameterisation.
+  static Result<ErEngine> Create(ErConfig config);
 
   /// Runs the full offline ER pipeline on `dataset`. The dataset must
   /// outlive the returned result.

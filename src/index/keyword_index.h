@@ -23,6 +23,12 @@ const char* QueryFieldName(QueryField f);
 /// The keyword index K (Section 6): maps QID values (first names,
 /// surnames, parish/location names) to the pedigree-graph entities
 /// carrying them, plus direct gender and year lookups.
+///
+/// Thread safety: immutable after construction. Every const method
+/// may be called concurrently from any number of threads with no
+/// external synchronisation (the index holds no lazy state and never
+/// mutates on a read path); SnapsService relies on this to share one
+/// instance across all request threads.
 class KeywordIndex {
  public:
   /// Builds the index over all nodes of a pedigree graph.

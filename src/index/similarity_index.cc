@@ -70,15 +70,15 @@ std::vector<SimilarValue> SimilarityIndex::Compute(
   return out;
 }
 
-const std::vector<SimilarValue>& SimilarityIndex::Similar(
-    QueryField field, const std::string& value) const {
+SimilarMatches SimilarityIndex::Similar(QueryField field,
+                                        const std::string& value) const {
   const size_t f = static_cast<size_t>(field);
   const auto it = entries_[f].find(value);
-  if (it != entries_[f].end()) return it->second;
-  // Unseen query value: compute via the postings and cache for future
-  // queries of the same value (Section 7).
-  auto [ins, unused] = entries_[f].emplace(value, Compute(field, value));
-  return ins->second;
+  if (it != entries_[f].end()) return SimilarMatches(&it->second);
+  // Unseen query value: resolve through the bigram postings into an
+  // owning result. Deliberately no insertion into entries_ — the read
+  // path must stay mutation-free so concurrent readers need no locks.
+  return SimilarMatches(Compute(field, value));
 }
 
 }  // namespace snaps

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "index/keyword_index.h"
@@ -15,13 +16,49 @@ struct SimilarValue {
   double similarity;
 };
 
+/// Result of a similarity lookup: a borrowed view of a precomputed
+/// (immutable) similar-value list, or an owning list computed on the
+/// fly for a query value that is not in the index. Iterable and
+/// indexable like a vector of SimilarValue. Move/copy are disabled so
+/// the owning case cannot dangle; return-by-value relies on the
+/// guaranteed copy elision of prvalue returns.
+class SimilarMatches {
+ public:
+  explicit SimilarMatches(const std::vector<SimilarValue>* borrowed)
+      : borrowed_(borrowed) {}
+  explicit SimilarMatches(std::vector<SimilarValue> owned)
+      : owned_(std::move(owned)), borrowed_(&owned_) {}
+
+  SimilarMatches(const SimilarMatches&) = delete;
+  SimilarMatches& operator=(const SimilarMatches&) = delete;
+
+  const SimilarValue* begin() const { return borrowed_->data(); }
+  const SimilarValue* end() const {
+    return borrowed_->data() + borrowed_->size();
+  }
+  size_t size() const { return borrowed_->size(); }
+  bool empty() const { return borrowed_->empty(); }
+  const SimilarValue& operator[](size_t i) const { return (*borrowed_)[i]; }
+
+ private:
+  std::vector<SimilarValue> owned_;
+  const std::vector<SimilarValue>* borrowed_;
+};
+
 /// The similarity-aware index S of Christen, Gayler and Hawking
 /// (2009), as used in Section 6: for every string value of a keyword-
 /// index field, all other values of that field sharing at least one
 /// bigram with Jaro-Winkler similarity >= s_t (default 0.5) are
 /// precomputed in the offline phase. Queries for unseen values fall
-/// back to a bigram-postings scan and are cached, speeding up future
-/// queries of the same value (Section 7).
+/// back to a bigram-postings scan computed on the fly.
+///
+/// Thread safety: the index is strictly immutable after construction.
+/// Every const method — including Similar(), whose unseen-value
+/// fallback computes into the returned object rather than into any
+/// shared cache — may be called concurrently from any number of
+/// threads with no external synchronisation. This guarantee is load-
+/// bearing for SnapsService, which serves one shared index instance
+/// to all request threads.
 class SimilarityIndex {
  public:
   /// Precomputes the index over the values of `keyword_index`.
@@ -33,12 +70,11 @@ class SimilarityIndex {
                   size_t num_threads = 1);
 
   /// Similar values (including exact, similarity 1.0) for `value` in
-  /// `field`. For values not in the index the result is computed via
-  /// the bigram postings and cached (hence non-const access pattern is
-  /// internal; the method stays logically const through mutable
-  /// caching).
-  const std::vector<SimilarValue>& Similar(QueryField field,
-                                           const std::string& value) const;
+  /// `field`, best first. Values known to the index return a borrowed
+  /// view of the precomputed list (no copy); unseen values are
+  /// resolved through the bigram postings into an owning result.
+  /// Never mutates the index — safe to call concurrently.
+  SimilarMatches Similar(QueryField field, const std::string& value) const;
 
   double threshold() const { return s_t_; }
 
@@ -57,7 +93,7 @@ class SimilarityIndex {
 
   const KeywordIndex* keyword_index_;
   double s_t_;
-  mutable std::array<FieldMap, kNumQueryFields> entries_;
+  std::array<FieldMap, kNumQueryFields> entries_;
   /// bigram -> value ids (indices into KeywordIndex::Values(field)).
   std::array<std::unordered_map<std::string, std::vector<uint32_t>>,
              kNumQueryFields>

@@ -56,6 +56,9 @@ void PipelineRunner::Log(const std::string& message,
 }
 
 Result<PipelineOutput> PipelineRunner::Run(const Dataset& dataset) {
+  // Fail fast on a bad parameterisation: a multi-hour offline run must
+  // not discover a nonsensical threshold three phases in.
+  if (Result<void> v = config_.er.Validate(); !v.ok()) return v.status();
   PipelineOutput out;
   const std::vector<std::string> phases = ErPhaseNames();
   const bool ckpt = !config_.checkpoint_dir.empty();

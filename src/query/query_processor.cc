@@ -1,12 +1,45 @@
 #include "query/query_processor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "strsim/similarity.h"
 #include "util/string_util.h"
 
 namespace snaps {
+
+Result<void> QueryConfig::Validate() const {
+  const struct {
+    const char* name;
+    double value;
+  } weights[] = {
+      {"first_name_weight", first_name_weight},
+      {"surname_weight", surname_weight},
+      {"year_weight", year_weight},
+      {"gender_weight", gender_weight},
+      {"parish_weight", parish_weight},
+  };
+  double sum = 0.0;
+  for (const auto& w : weights) {
+    if (!std::isfinite(w.value) || w.value < 0.0) {
+      return Status::InvalidArgument(std::string(w.name) +
+                                     " must be finite and >= 0");
+    }
+    sum += w.value;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "attribute weights must sum to 1 (got " + std::to_string(sum) + ")");
+  }
+  if (top_m == 0) {
+    return Status::InvalidArgument("top_m must be > 0");
+  }
+  if (year_slack < 0) {
+    return Status::InvalidArgument("year_slack must be >= 0");
+  }
+  return Result<void>::Ok();
+}
 
 const char* MatchTypeName(MatchType t) {
   switch (t) {
@@ -45,8 +78,14 @@ QueryProcessor::QueryProcessor(const KeywordIndex* keyword_index,
       similarity_index_(similarity_index),
       config_(config) {}
 
-std::vector<RankedResult> QueryProcessor::Search(const Query& query) const {
-  return Search(query, Deadline::Infinite()).results;
+Result<QueryProcessor> QueryProcessor::Create(
+    const KeywordIndex* keyword_index, const SimilarityIndex* similarity_index,
+    QueryConfig config) {
+  if (keyword_index == nullptr || similarity_index == nullptr) {
+    return Status::InvalidArgument("QueryProcessor requires both indices");
+  }
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  return QueryProcessor(keyword_index, similarity_index, config);
 }
 
 SearchOutcome QueryProcessor::Search(const Query& query,

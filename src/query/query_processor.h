@@ -9,6 +9,7 @@
 #include "index/similarity_index.h"
 #include "query/query.h"
 #include "util/deadline.h"
+#include "util/status.h"
 
 namespace snaps {
 
@@ -23,6 +24,14 @@ struct QueryConfig {
   size_t top_m = 10;           // Ranked results returned.
   int year_slack = 5;          // Years outside the range still scored
                                // as approximate matches.
+
+  /// Checks the configuration is servable: every weight finite and
+  /// non-negative, the weights summing to ~1 (the score normalisation
+  /// assumes a unit budget), `top_m > 0` and `year_slack >= 0`.
+  /// Called by the fallible factories (QueryProcessor::Create,
+  /// SnapsService::Create); the raw constructor stays unchecked for
+  /// hot-path construction over known-good configs.
+  Result<void> Validate() const;
 };
 
 /// One ranked query result: the entity, its normalised match score
@@ -41,11 +50,11 @@ struct RankedResult {
   std::string matched_parish;
 };
 
-/// Result of a deadline-bounded search: the ranked results plus a flag
-/// telling the caller (and the user interface) whether candidate
-/// gathering stopped early. A truncated outcome is still a valid
-/// ranked list over the candidates considered so far — best-effort,
-/// never garbage.
+/// Result of a search: the ranked results plus a flag telling the
+/// caller (and the user interface) whether candidate gathering
+/// stopped early at the deadline. A truncated outcome is still a
+/// valid ranked list over the candidates considered so far —
+/// best-effort, never garbage.
 struct SearchOutcome {
   std::vector<RankedResult> results;
   bool truncated = false;
@@ -55,11 +64,24 @@ struct SearchOutcome {
 /// candidate entities through the keyword and similarity indices by
 /// exact and approximate name matching into an accumulator, refine
 /// with gender / year / parish evidence, score, normalise and rank.
+///
+/// Thread safety: Search is const and touches only the immutable
+/// indices, so one processor may serve any number of threads
+/// concurrently (set_gazetteer must not race with Search).
 class QueryProcessor {
  public:
+  /// Unchecked construction over a known-good config; prefer Create()
+  /// for configs from user input or files.
   QueryProcessor(const KeywordIndex* keyword_index,
                  const SimilarityIndex* similarity_index,
                  QueryConfig config = QueryConfig());
+
+  /// Validating factory: rejects null indices and any config that
+  /// fails QueryConfig::Validate(), so a processor that exists is
+  /// always fully servable — no half-initialized objects.
+  static Result<QueryProcessor> Create(const KeywordIndex* keyword_index,
+                                       const SimilarityIndex* similarity_index,
+                                       QueryConfig config = QueryConfig());
 
   /// Attaches a gazetteer enabling the geographic region limit
   /// (Query::near_place); the gazetteer must outlive the processor.
@@ -67,15 +89,17 @@ class QueryProcessor {
 
   /// Runs a query; returns at most `top_m` results, best first.
   /// Queries without a first name and surname return no results.
-  std::vector<RankedResult> Search(const Query& query) const;
+  ///
+  /// With a finite deadline, candidate retrieval and scoring check the
+  /// wall clock between units of work and stop early once it expires.
+  /// The partial candidate set is still refined, scored and ranked,
+  /// and the outcome is flagged `truncated` so the caller can tell a
+  /// complete answer from a best-effort one. The default deadline is
+  /// unbounded: the outcome is complete and never truncated.
+  SearchOutcome Search(const Query& query,
+                       const Deadline& deadline = Deadline::Unbounded()) const;
 
-  /// Deadline-bounded search for interactive serving: candidate
-  /// retrieval and scoring check the wall-clock deadline between units
-  /// of work and stop early once it expires. The partial candidate set
-  /// is still refined, scored and ranked, and the outcome is flagged
-  /// `truncated` so the caller can tell a complete answer from a
-  /// best-effort one.
-  SearchOutcome Search(const Query& query, const Deadline& deadline) const;
+  const QueryConfig& config() const { return config_; }
 
  private:
   const KeywordIndex* keyword_index_;

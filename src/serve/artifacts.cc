@@ -1,0 +1,88 @@
+#include "serve/artifacts.h"
+
+#include <utility>
+
+#include "pedigree/serialization.h"
+#include "util/timer.h"
+
+namespace snaps {
+
+namespace {
+
+/// Fills the structural stats from a finished bundle.
+SearchArtifacts::Stats StatsOf(const PedigreeGraph& graph,
+                               const KeywordIndex& keyword,
+                               double build_seconds) {
+  SearchArtifacts::Stats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  for (int f = 0; f < kNumQueryFields; ++f) {
+    stats.keyword_entries[f] =
+        keyword.NumEntries(static_cast<QueryField>(f));
+  }
+  stats.build_seconds = build_seconds;
+  return stats;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::Build(
+    PedigreeGraph graph, ArtifactOptions options) {
+  if (Result<void> v = options.query.Validate(); !v.ok()) return v.status();
+  if (options.similarity_threshold <= 0.0 ||
+      options.similarity_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "similarity_threshold must be in (0,1]");
+  }
+  Timer timer;
+  // The bundle is heap-allocated before the indices are built so every
+  // internal pointer (indices -> graph, processor -> indices and
+  // gazetteer) refers to its final, stable address.
+  std::unique_ptr<SearchArtifacts> art(new SearchArtifacts());
+  art->graph_ = std::make_unique<PedigreeGraph>(std::move(graph));
+  art->gazetteer_ = std::move(options.gazetteer);
+  art->keyword_ = std::make_unique<KeywordIndex>(art->graph_.get());
+  art->similarity_ = std::make_unique<SimilarityIndex>(
+      art->keyword_.get(), options.similarity_threshold,
+      options.index_threads);
+  Result<QueryProcessor> processor = QueryProcessor::Create(
+      art->keyword_.get(), art->similarity_.get(), options.query);
+  if (!processor.ok()) return processor.status();
+  art->processor_ =
+      std::make_unique<QueryProcessor>(std::move(processor).value());
+  art->processor_->set_gazetteer(&art->gazetteer_);
+  art->stats_ = StatsOf(*art->graph_, *art->keyword_, timer.ElapsedSeconds());
+  return art;
+}
+
+Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::LoadFromFile(
+    const std::string& path, ArtifactOptions options) {
+  Result<PedigreeGraph> graph = LoadPedigreeGraph(path);
+  if (!graph.ok()) return graph.status();
+  return Build(std::move(graph).value(), std::move(options));
+}
+
+Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::FromPipeline(
+    PipelineOutput&& output, QueryConfig query, Gazetteer gazetteer) {
+  if (output.pedigree == nullptr || output.keyword_index == nullptr ||
+      output.similarity_index == nullptr) {
+    return Status::InvalidArgument(
+        "pipeline output is missing the pedigree graph or an index");
+  }
+  std::unique_ptr<SearchArtifacts> art(new SearchArtifacts());
+  art->graph_ = std::move(output.pedigree);
+  art->gazetteer_ = std::move(gazetteer);
+  art->keyword_ = std::move(output.keyword_index);
+  art->similarity_ = std::move(output.similarity_index);
+  Result<QueryProcessor> processor =
+      QueryProcessor::Create(art->keyword_.get(), art->similarity_.get(),
+                             query);
+  if (!processor.ok()) return processor.status();
+  art->processor_ =
+      std::make_unique<QueryProcessor>(std::move(processor).value());
+  art->processor_->set_gazetteer(&art->gazetteer_);
+  art->stats_ = StatsOf(*art->graph_, *art->keyword_, 0.0);
+  return art;
+}
+
+}  // namespace snaps

@@ -1,0 +1,100 @@
+#ifndef SNAPS_SERVE_ARTIFACTS_H_
+#define SNAPS_SERVE_ARTIFACTS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "geo/gazetteer.h"
+#include "index/keyword_index.h"
+#include "index/similarity_index.h"
+#include "pedigree/pedigree_graph.h"
+#include "pipeline/pipeline_runner.h"
+#include "query/query_processor.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// How to build one artifact generation: the ranking configuration,
+/// the similarity-index threshold s_t, the thread count for the index
+/// precomputation, and an optional gazetteer enabling region-limited
+/// queries.
+struct ArtifactOptions {
+  QueryConfig query;
+  double similarity_threshold = 0.5;
+  size_t index_threads = 1;
+  Gazetteer gazetteer;
+};
+
+/// One immutable generation of everything the online side needs to
+/// answer queries (the right half of the paper's Figure 1): the
+/// pedigree graph, the keyword and similarity indices built over it,
+/// the gazetteer, and a ready QueryProcessor. Constructed complete
+/// via fallible factories — an artifact bundle that exists is always
+/// fully servable.
+///
+/// Thread safety: strictly immutable after construction; any number
+/// of threads may query one bundle concurrently. SnapsService shares
+/// bundles by shared_ptr<const SearchArtifacts>: Reload() publishes a
+/// fresh generation atomically while in-flight requests drain on the
+/// generation they started with, which keeps every response
+/// internally consistent (results, graph and indices all from one
+/// snapshot).
+class SearchArtifacts {
+ public:
+  /// Structural statistics of one generation (reported by the service
+  /// metrics dump and the bench).
+  struct Stats {
+    size_t num_nodes = 0;
+    size_t num_edges = 0;
+    std::array<size_t, kNumQueryFields> keyword_entries{};
+    double build_seconds = 0.0;  // Index construction time.
+  };
+
+  /// Builds the indices over `graph` (moved in).
+  static Result<std::unique_ptr<SearchArtifacts>> Build(
+      PedigreeGraph graph, ArtifactOptions options = ArtifactOptions());
+
+  /// Loads a pedigree graph from a SNAPSFILE snapshot (the container
+  /// written by SavePedigreeGraph) and builds the indices over it.
+  static Result<std::unique_ptr<SearchArtifacts>> LoadFromFile(
+      const std::string& path, ArtifactOptions options = ArtifactOptions());
+
+  /// Adopts the graph and indices of a finished offline pipeline run
+  /// (no index rebuild; the ER result itself is not retained).
+  static Result<std::unique_ptr<SearchArtifacts>> FromPipeline(
+      PipelineOutput&& output, QueryConfig query = QueryConfig(),
+      Gazetteer gazetteer = Gazetteer());
+
+  SearchArtifacts(const SearchArtifacts&) = delete;
+  SearchArtifacts& operator=(const SearchArtifacts&) = delete;
+
+  const PedigreeGraph& graph() const { return *graph_; }
+  const KeywordIndex& keyword_index() const { return *keyword_; }
+  const SimilarityIndex& similarity_index() const { return *similarity_; }
+  const Gazetteer& gazetteer() const { return gazetteer_; }
+  const QueryProcessor& processor() const { return *processor_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Which published generation this bundle is (0 until a service
+  /// publishes it; then 1 for the initial load, +1 per reload).
+  uint64_t generation() const { return generation_; }
+
+ private:
+  friend class SnapsService;  // Stamps generation_ at publish time.
+
+  SearchArtifacts() = default;
+
+  std::unique_ptr<PedigreeGraph> graph_;  // Stable address for indices.
+  Gazetteer gazetteer_;
+  std::unique_ptr<KeywordIndex> keyword_;
+  std::unique_ptr<SimilarityIndex> similarity_;
+  std::unique_ptr<QueryProcessor> processor_;
+  Stats stats_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_SERVE_ARTIFACTS_H_

@@ -1,0 +1,183 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace snaps {
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSearch:
+      return "search";
+    case RequestKind::kPedigree:
+      return "pedigree";
+    case RequestKind::kLookup:
+      return "lookup";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Bucket index for a latency in microseconds: floor(log2(us)),
+/// clamped to the table.
+int BucketOf(uint64_t micros) {
+  int b = 0;
+  while (micros > 1 && b < kNumLatencyBuckets - 1) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Upper bound of bucket i in milliseconds.
+double BucketUpperMs(int i) {
+  return static_cast<double>(uint64_t{1} << (i + 1)) / 1000.0;
+}
+
+/// The smallest latency `bound` such that at least `rank` of the
+/// `count` recorded requests were <= bound.
+double PercentileMs(const std::array<uint64_t, kNumLatencyBuckets>& buckets,
+                    uint64_t count, double quantile) {
+  if (count == 0) return 0.0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(quantile * count + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumLatencyBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperMs(i);
+  }
+  return BucketUpperMs(kNumLatencyBuckets - 1);
+}
+
+void UpdateMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::total_started() const {
+  uint64_t n = 0;
+  for (const PerKind& k : kinds) n += k.started;
+  return n;
+}
+
+uint64_t MetricsSnapshot::total_ok() const {
+  uint64_t n = 0;
+  for (const PerKind& k : kinds) n += k.ok;
+  return n;
+}
+
+void ServiceMetrics::RecordStarted(RequestKind kind) {
+  kinds_[static_cast<size_t>(kind)].started.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordRejected(RequestKind kind) {
+  kinds_[static_cast<size_t>(kind)].rejected.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordDeadlineExceeded(RequestKind kind) {
+  kinds_[static_cast<size_t>(kind)].deadline_exceeded.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordCompleted(RequestKind kind, bool ok, bool truncated,
+                                     double latency_seconds) {
+  KindCounters& k = kinds_[static_cast<size_t>(kind)];
+  (ok ? k.ok : k.failed).fetch_add(1, std::memory_order_relaxed);
+  if (truncated) {
+    searches_truncated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t micros =
+      latency_seconds <= 0.0
+          ? 0
+          : static_cast<uint64_t>(latency_seconds * 1e6);
+  k.buckets[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  k.total_micros.fetch_add(micros, std::memory_order_relaxed);
+  UpdateMax(k.max_micros, micros);
+}
+
+void ServiceMetrics::RecordReload(bool ok) {
+  (ok ? reloads_ok_ : reloads_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot(uint64_t generation,
+                                         uint64_t inflight) const {
+  MetricsSnapshot snap;
+  for (int i = 0; i < kNumRequestKinds; ++i) {
+    const KindCounters& k = kinds_[i];
+    MetricsSnapshot::PerKind& out = snap.kinds[i];
+    out.started = k.started.load(std::memory_order_relaxed);
+    out.ok = k.ok.load(std::memory_order_relaxed);
+    out.rejected = k.rejected.load(std::memory_order_relaxed);
+    out.deadline_exceeded =
+        k.deadline_exceeded.load(std::memory_order_relaxed);
+    out.failed = k.failed.load(std::memory_order_relaxed);
+
+    std::array<uint64_t, kNumLatencyBuckets> buckets;
+    uint64_t count = 0;
+    for (int b = 0; b < kNumLatencyBuckets; ++b) {
+      buckets[b] = k.buckets[b].load(std::memory_order_relaxed);
+      count += buckets[b];
+    }
+    LatencySummary& lat = out.latency;
+    lat.count = count;
+    if (count > 0) {
+      lat.mean_ms = k.total_micros.load(std::memory_order_relaxed) /
+                    (1000.0 * count);
+      lat.p50_ms = PercentileMs(buckets, count, 0.50);
+      lat.p95_ms = PercentileMs(buckets, count, 0.95);
+      lat.p99_ms = PercentileMs(buckets, count, 0.99);
+      lat.max_ms = k.max_micros.load(std::memory_order_relaxed) / 1000.0;
+    }
+  }
+  snap.searches_truncated =
+      searches_truncated_.load(std::memory_order_relaxed);
+  snap.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
+  snap.reloads_failed = reloads_failed_.load(std::memory_order_relaxed);
+  snap.generation = generation;
+  snap.inflight = inflight;
+  return snap;
+}
+
+std::string FormatMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "serving generation %llu, %llu in flight, reloads %llu ok / "
+                "%llu failed\n",
+                static_cast<unsigned long long>(snapshot.generation),
+                static_cast<unsigned long long>(snapshot.inflight),
+                static_cast<unsigned long long>(snapshot.reloads_ok),
+                static_cast<unsigned long long>(snapshot.reloads_failed));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "%-9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "kind", "started",
+                "ok", "rejected", "dead", "failed", "p50ms", "p95ms", "p99ms");
+  out += line;
+  for (int i = 0; i < kNumRequestKinds; ++i) {
+    const MetricsSnapshot::PerKind& k = snapshot.kinds[i];
+    std::snprintf(line, sizeof(line),
+                  "%-9s %9llu %9llu %9llu %9llu %9llu %9.3f %9.3f %9.3f\n",
+                  RequestKindName(static_cast<RequestKind>(i)),
+                  static_cast<unsigned long long>(k.started),
+                  static_cast<unsigned long long>(k.ok),
+                  static_cast<unsigned long long>(k.rejected),
+                  static_cast<unsigned long long>(k.deadline_exceeded),
+                  static_cast<unsigned long long>(k.failed), k.latency.p50_ms,
+                  k.latency.p95_ms, k.latency.p99_ms);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "searches truncated at deadline: %llu\n",
+                static_cast<unsigned long long>(snapshot.searches_truncated));
+  out += line;
+  return out;
+}
+
+}  // namespace snaps

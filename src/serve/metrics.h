@@ -1,0 +1,109 @@
+#ifndef SNAPS_SERVE_METRICS_H_
+#define SNAPS_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace snaps {
+
+/// The request types SnapsService serves and instruments.
+enum class RequestKind : uint8_t {
+  kSearch = 0,
+  kPedigree = 1,
+  kLookup = 2,
+};
+
+inline constexpr int kNumRequestKinds = 3;
+
+const char* RequestKindName(RequestKind kind);
+
+/// Log-scale latency buckets: bucket i counts requests whose latency
+/// lies in [2^i, 2^(i+1)) microseconds. 28 buckets cover <1us up to
+/// ~2 minutes, plenty for an interactive search service.
+inline constexpr int kNumLatencyBuckets = 28;
+
+/// Point-in-time latency distribution of one request kind, derived
+/// from the histogram buckets. Percentiles are bucket upper bounds —
+/// conservative (never under-reported) and cheap to compute.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// A consistent-enough copy of every service counter, taken without
+/// stopping traffic (individual counters are read atomically; the set
+/// is not a transaction — totals can be off by in-flight requests).
+struct MetricsSnapshot {
+  struct PerKind {
+    uint64_t started = 0;    // Admitted or rejected — every arrival.
+    uint64_t ok = 0;         // Completed with an OK status.
+    uint64_t rejected = 0;   // Turned away by the admission gate.
+    uint64_t deadline_exceeded = 0;  // Dead on arrival or in queue.
+    uint64_t failed = 0;     // Any other error (e.g. not-found).
+    LatencySummary latency;    // Over completed (ok + failed) requests.
+  };
+  std::array<PerKind, kNumRequestKinds> kinds;
+  uint64_t searches_truncated = 0;  // OK searches cut at the deadline.
+  uint64_t reloads_ok = 0;
+  uint64_t reloads_failed = 0;
+  uint64_t generation = 0;          // Artifact generation now serving.
+  uint64_t inflight = 0;            // Requests currently admitted.
+
+  uint64_t total_started() const;
+  uint64_t total_ok() const;
+};
+
+/// Renders a snapshot as an aligned human-readable text block (the
+/// REPL's `metrics` command and the bench report).
+std::string FormatMetricsText(const MetricsSnapshot& snapshot);
+
+/// Thread-safe request instrumentation: lock-free atomic counters and
+/// per-kind latency histograms. One instance lives inside each
+/// SnapsService; recording on the hot path is a handful of relaxed
+/// atomic increments.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  void RecordStarted(RequestKind kind);
+  void RecordRejected(RequestKind kind);
+  void RecordDeadlineExceeded(RequestKind kind);
+  /// Completion with latency; `ok` routes between the ok/failed
+  /// counters, `truncated` (searches only) counts deadline cuts.
+  void RecordCompleted(RequestKind kind, bool ok, bool truncated,
+                       double latency_seconds);
+  void RecordReload(bool ok);
+
+  /// Takes a snapshot; `generation` and `inflight` are stamped in by
+  /// the service, which owns that state.
+  MetricsSnapshot Snapshot(uint64_t generation, uint64_t inflight) const;
+
+ private:
+  struct KindCounters {
+    std::atomic<uint64_t> started{0};
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> failed{0};
+    std::array<std::atomic<uint64_t>, kNumLatencyBuckets> buckets{};
+    std::atomic<uint64_t> total_micros{0};
+    std::atomic<uint64_t> max_micros{0};
+  };
+
+  std::array<KindCounters, kNumRequestKinds> kinds_;
+  std::atomic<uint64_t> searches_truncated_{0};
+  std::atomic<uint64_t> reloads_ok_{0};
+  std::atomic<uint64_t> reloads_failed_{0};
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_SERVE_METRICS_H_

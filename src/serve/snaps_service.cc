@@ -1,0 +1,229 @@
+#include "serve/snaps_service.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace snaps {
+
+Result<void> ServiceConfig::Validate() const {
+  if (max_inflight == 0) {
+    return Status::InvalidArgument("max_inflight must be >= 1");
+  }
+  if (!std::isfinite(default_timeout_ms) || default_timeout_ms < 0.0) {
+    return Status::InvalidArgument(
+        "default_timeout_ms must be finite and >= 0");
+  }
+  return Result<void>::Ok();
+}
+
+SnapsService::SnapsService(ServiceConfig config, ArtifactLoader loader)
+    : config_(config),
+      loader_(std::move(loader)),
+      pool_(config.num_threads) {}
+
+SnapsService::~SnapsService() = default;
+
+Result<std::unique_ptr<SnapsService>> SnapsService::Create(
+    ServiceConfig config, std::unique_ptr<SearchArtifacts> artifacts) {
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  if (artifacts == nullptr) {
+    return Status::InvalidArgument("initial artifacts must not be null");
+  }
+  std::unique_ptr<SnapsService> service(
+      new SnapsService(config, ArtifactLoader()));
+  if (Status s = service->Reload(std::move(artifacts)); !s.ok()) return s;
+  return service;
+}
+
+Result<std::unique_ptr<SnapsService>> SnapsService::Create(
+    ServiceConfig config, ArtifactLoader loader) {
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  if (!loader) {
+    return Status::InvalidArgument("artifact loader must not be empty");
+  }
+  std::unique_ptr<SnapsService> service(
+      new SnapsService(config, std::move(loader)));
+  if (Status s = service->Reload(); !s.ok()) return s;
+  return service;
+}
+
+bool SnapsService::TryEnterInflight() {
+  const uint64_t prior = inflight_.fetch_add(1, std::memory_order_acquire);
+  if (prior >= config_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void SnapsService::ExitInflight() {
+  inflight_.fetch_sub(1, std::memory_order_release);
+}
+
+Deadline SnapsService::EffectiveDeadline(const Deadline& requested) const {
+  if (!requested.infinite()) return requested;
+  if (config_.default_timeout_ms > 0.0) {
+    return Deadline::AfterMillis(
+        static_cast<int64_t>(config_.default_timeout_ms));
+  }
+  return requested;
+}
+
+template <typename Response, typename Fn>
+Response SnapsService::RunRequest(RequestKind kind, const Deadline& deadline,
+                                  Fn&& run) {
+  Response response;
+  metrics_.RecordStarted(kind);
+  if (!TryEnterInflight()) {
+    metrics_.RecordRejected(kind);
+    response.status = Status::Unavailable("service overloaded");
+    return response;
+  }
+  const Deadline effective = EffectiveDeadline(deadline);
+  if (effective.expired()) {
+    ExitInflight();
+    metrics_.RecordDeadlineExceeded(kind);
+    response.status = Status::DeadlineExceeded("deadline expired unserved");
+    return response;
+  }
+  // One snapshot per request: results, graph reads and the reported
+  // generation all come from this single artifact bundle, even if a
+  // reload publishes a newer one mid-request.
+  const ArtifactsPtr snapshot = this->snapshot();
+  Timer timer;
+  bool truncated = false;
+  response.status = run(*snapshot, effective, &response, &truncated);
+  response.generation = snapshot->generation();
+  response.latency_ms = timer.ElapsedSeconds() * 1000.0;
+  ExitInflight();
+  metrics_.RecordCompleted(kind, response.status.ok(), truncated,
+                           response.latency_ms / 1000.0);
+  return response;
+}
+
+SearchResponse SnapsService::Search(const SearchRequest& request) {
+  return RunRequest<SearchResponse>(
+      RequestKind::kSearch, request.deadline,
+      [&request](const SearchArtifacts& art, const Deadline& deadline,
+                 SearchResponse* out, bool* truncated) {
+        SearchOutcome outcome = art.processor().Search(request.query, deadline);
+        out->results = std::move(outcome.results);
+        out->truncated = outcome.truncated;
+        *truncated = outcome.truncated;
+        return Status::Ok();
+      });
+}
+
+PedigreeResponse SnapsService::ExtractPedigree(const PedigreeRequest& request) {
+  return RunRequest<PedigreeResponse>(
+      RequestKind::kPedigree, request.deadline,
+      [&request](const SearchArtifacts& art, const Deadline& /*deadline*/,
+                 PedigreeResponse* out, bool* /*truncated*/) {
+        if (request.generations < 0) {
+          return Status::InvalidArgument("generations must be >= 0");
+        }
+        if (request.node >= art.graph().num_nodes()) {
+          return Status::NotFound("no entity with id " +
+                                  std::to_string(request.node));
+        }
+        out->pedigree =
+            snaps::ExtractPedigree(art.graph(), request.node,
+                                   request.generations);
+        return Status::Ok();
+      });
+}
+
+LookupResponse SnapsService::Lookup(const LookupRequest& request) {
+  return RunRequest<LookupResponse>(
+      RequestKind::kLookup, request.deadline,
+      [&request](const SearchArtifacts& art, const Deadline& /*deadline*/,
+                 LookupResponse* out, bool* /*truncated*/) {
+        if (request.node >= art.graph().num_nodes()) {
+          return Status::NotFound("no entity with id " +
+                                  std::to_string(request.node));
+        }
+        out->node = art.graph().node(request.node);
+        return Status::Ok();
+      });
+}
+
+bool SnapsService::SearchAsync(SearchRequest request,
+                               std::function<void(SearchResponse)> callback) {
+  const uint64_t pending = queued_.fetch_add(1, std::memory_order_acquire);
+  if (pending >= config_.max_queue) {
+    queued_.fetch_sub(1, std::memory_order_release);
+    // An accepted request is counted as started inside Search(); a
+    // rejected one is counted here, so every arrival is counted once.
+    metrics_.RecordStarted(RequestKind::kSearch);
+    metrics_.RecordRejected(RequestKind::kSearch);
+    SearchResponse response;
+    response.status = Status::Unavailable("admission queue full");
+    if (callback) callback(std::move(response));
+    return false;
+  }
+  pool_.Submit([this, request = std::move(request),
+                callback = std::move(callback)]() mutable {
+    queued_.fetch_sub(1, std::memory_order_release);
+    SearchResponse response = Search(request);
+    if (callback) callback(std::move(response));
+  });
+  return true;
+}
+
+void SnapsService::Drain() { pool_.Wait(); }
+
+Status SnapsService::Reload() {
+  if (!loader_) {
+    return Status::FailedPrecondition(
+        "service was created over prebuilt artifacts; use "
+        "Reload(std::unique_ptr<SearchArtifacts>)");
+  }
+  std::unique_lock<std::mutex> lock(reload_mutex_);
+  Result<std::unique_ptr<SearchArtifacts>> loaded = loader_();
+  if (!loaded.ok()) {
+    metrics_.RecordReload(false);
+    return loaded.status();
+  }
+  std::unique_ptr<SearchArtifacts> art = std::move(loaded).value();
+  art->generation_ =
+      generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Publish(ArtifactsPtr(std::move(art)));
+  metrics_.RecordReload(true);
+  return Status::Ok();
+}
+
+Status SnapsService::Reload(std::unique_ptr<SearchArtifacts> artifacts) {
+  if (artifacts == nullptr) {
+    return Status::InvalidArgument("artifacts must not be null");
+  }
+  std::unique_lock<std::mutex> lock(reload_mutex_);
+  artifacts->generation_ =
+      generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Publish(ArtifactsPtr(std::move(artifacts)));
+  metrics_.RecordReload(true);
+  return Status::Ok();
+}
+
+void SnapsService::Publish(ArtifactsPtr artifacts) {
+  // The old generation's shared_ptr is released outside the lock so a
+  // last-holder destruction never runs under snapshot_mutex_.
+  ArtifactsPtr retired;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    retired = std::move(artifacts_);
+    artifacts_ = std::move(artifacts);
+  }
+}
+
+MetricsSnapshot SnapsService::Metrics() const {
+  return metrics_.Snapshot(generation(),
+                           inflight_.load(std::memory_order_relaxed));
+}
+
+std::string SnapsService::MetricsText() const {
+  return FormatMetricsText(Metrics());
+}
+
+}  // namespace snaps

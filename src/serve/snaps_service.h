@@ -1,0 +1,216 @@
+#ifndef SNAPS_SERVE_SNAPS_SERVICE_H_
+#define SNAPS_SERVE_SNAPS_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pedigree/extraction.h"
+#include "query/query_processor.h"
+#include "serve/artifacts.h"
+#include "serve/metrics.h"
+#include "util/deadline.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace snaps {
+
+/// Serving parameters of a SnapsService.
+struct ServiceConfig {
+  /// Worker threads for the asynchronous API (SearchAsync). 0 keeps
+  /// async execution inline on the submitting thread. The synchronous
+  /// API always executes on the calling thread — request concurrency
+  /// is the caller's thread count, bounded by `max_inflight`.
+  size_t num_threads = 0;
+  /// Bounded admission queue: async requests pending beyond this are
+  /// rejected immediately with Unavailable instead of piling up
+  /// unboundedly behind a slow generation. 0 rejects all async work.
+  size_t max_queue = 64;
+  /// Cap on requests executing at once (sync + async combined); the
+  /// gate turns excess arrivals away with Unavailable.
+  size_t max_inflight = 128;
+  /// Deadline applied to requests that arrive without one, in
+  /// milliseconds. 0 leaves such requests unbounded.
+  double default_timeout_ms = 0.0;
+
+  /// max_inflight >= 1, default_timeout_ms finite and >= 0.
+  Result<void> Validate() const;
+};
+
+/// A search request: the query plus an optional per-request deadline
+/// (default unbounded; the service then applies its configured
+/// default timeout, if any).
+struct SearchRequest {
+  Query query;
+  Deadline deadline;
+};
+
+struct SearchResponse {
+  Status status;
+  std::vector<RankedResult> results;
+  /// True when candidate gathering stopped early at the deadline (the
+  /// results are a valid best-effort ranking, flagged as partial).
+  bool truncated = false;
+  /// Artifact generation that produced this response; all fields of
+  /// one response are consistent with this single generation.
+  uint64_t generation = 0;
+  double latency_ms = 0.0;
+};
+
+/// A pedigree-extraction request for a node id previously returned by
+/// Search (the paper's "explore" interaction, Figures 7-8).
+struct PedigreeRequest {
+  PedigreeNodeId node = 0;
+  int generations = 2;
+  Deadline deadline;
+};
+
+struct PedigreeResponse {
+  Status status;
+  FamilyPedigree pedigree;
+  uint64_t generation = 0;
+  double latency_ms = 0.0;
+};
+
+/// A direct entity lookup by node id.
+struct LookupRequest {
+  PedigreeNodeId node = 0;
+  Deadline deadline;
+};
+
+struct LookupResponse {
+  Status status;
+  PedigreeNode node;  // Copy, valid beyond any reload.
+  uint64_t generation = 0;
+  double latency_ms = 0.0;
+};
+
+/// The single public entry point of the online side (Section 7): a
+/// thread-safe serving facade over one immutable SearchArtifacts
+/// generation at a time.
+///
+/// Concurrency model — snapshot swap, not locking: each request
+/// copies the current bundle's shared_ptr once and serves entirely
+/// from that snapshot, so readers never hold a lock while doing
+/// request work and never observe a half-swapped state. Reload()
+/// builds the next generation off to the side and publishes it by
+/// swapping the pointer; requests already running keep their old
+/// generation alive through their shared_ptr and drain on their own
+/// copy, which is freed when the last one finishes. The pointer
+/// itself is guarded by a mutex held only for the copy/swap (a
+/// refcount bump, tens of nanoseconds) rather than
+/// std::atomic<shared_ptr>: libstdc++'s _Sp_atomic releases reader
+/// critical sections with a relaxed unlock, which leaves the
+/// reader's pointer read formally racing the writer's swap (TSan
+/// reports it); the explicit mutex is unambiguously correct at the
+/// same practical cost.
+///
+/// Admission control: a bounded in-flight gate (max_inflight) turns
+/// excess arrivals away with Unavailable, and the async path adds a
+/// bounded queue (max_queue) on top of the worker ThreadPool.
+/// Deadlines: requests dead on arrival (or expired while queued) are
+/// answered DeadlineExceeded without doing work; searches that run
+/// out of time mid-flight return partial results flagged `truncated`.
+/// Every request is instrumented (see serve/metrics.h).
+class SnapsService {
+ public:
+  using ArtifactsPtr = std::shared_ptr<const SearchArtifacts>;
+  /// Builds a fresh artifact generation (e.g. re-reading a SNAPSFILE
+  /// snapshot); invoked by Create and by every loader-based Reload().
+  using ArtifactLoader =
+      std::function<Result<std::unique_ptr<SearchArtifacts>>()>;
+
+  /// Creates a service over prebuilt artifacts. Reload() then needs
+  /// the artifact-passing overload (there is no loader to re-invoke).
+  static Result<std::unique_ptr<SnapsService>> Create(
+      ServiceConfig config, std::unique_ptr<SearchArtifacts> artifacts);
+
+  /// Creates a service that loads generation 1 through `loader` and
+  /// re-invokes it on every Reload().
+  static Result<std::unique_ptr<SnapsService>> Create(ServiceConfig config,
+                                                      ArtifactLoader loader);
+
+  ~SnapsService();
+
+  SnapsService(const SnapsService&) = delete;
+  SnapsService& operator=(const SnapsService&) = delete;
+
+  /// Synchronous request API; executes on the calling thread.
+  SearchResponse Search(const SearchRequest& request);
+  PedigreeResponse ExtractPedigree(const PedigreeRequest& request);
+  LookupResponse Lookup(const LookupRequest& request);
+
+  /// Asynchronous search over the worker pool. The callback runs on a
+  /// worker thread (or inline when num_threads == 0). Returns false —
+  /// after invoking the callback with an Unavailable response — when
+  /// the admission queue is full.
+  bool SearchAsync(SearchRequest request,
+                   std::function<void(SearchResponse)> callback);
+
+  /// Blocks until all accepted async requests have completed.
+  void Drain();
+
+  /// Atomically publishes a freshly loaded artifact generation; the
+  /// service keeps answering from the old generation until the swap
+  /// and never blocks readers. The loader overload requires the
+  /// service to have been created with one.
+  Status Reload();
+  Status Reload(std::unique_ptr<SearchArtifacts> artifacts);
+
+  /// The generation currently serving. The returned shared_ptr keeps
+  /// that generation alive for as long as the caller holds it.
+  ArtifactsPtr snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return artifacts_;
+  }
+  uint64_t generation() const { return snapshot()->generation(); }
+
+  MetricsSnapshot Metrics() const;
+  /// FormatMetricsText(Metrics()) — the REPL's `metrics` command.
+  std::string MetricsText() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  SnapsService(ServiceConfig config, ArtifactLoader loader);
+
+  /// Admission gate; Exit must be called iff TryEnter returned true.
+  bool TryEnterInflight();
+  void ExitInflight();
+
+  /// Swaps in the next generation; the retired bundle is released
+  /// outside snapshot_mutex_.
+  void Publish(ArtifactsPtr artifacts);
+
+  /// Common request wrapper: admission, deadline derivation and
+  /// dead-on-arrival check, snapshot load, timing, metrics. `run` is
+  /// invoked with the snapshot and effective deadline and fills the
+  /// response body; it returns the request status.
+  template <typename Response, typename Fn>
+  Response RunRequest(RequestKind kind, const Deadline& deadline, Fn&& run);
+
+  Deadline EffectiveDeadline(const Deadline& requested) const;
+
+  ServiceConfig config_;
+  ArtifactLoader loader_;  // Empty when created over prebuilt artifacts.
+  /// Guards only the artifacts_ pointer; held for a copy or a swap,
+  /// never across request work or an artifact build.
+  mutable std::mutex snapshot_mutex_;
+  ArtifactsPtr artifacts_;
+  std::atomic<uint64_t> generation_counter_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::mutex reload_mutex_;  // Serialises Reload(), not readers.
+  ServiceMetrics metrics_;
+  /// Declared last: destroyed first, so queued tasks still see every
+  /// other member alive while the pool drains.
+  ThreadPool pool_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_SERVE_SNAPS_SERVICE_H_

@@ -21,6 +21,10 @@ class Deadline {
 
   static Deadline Infinite() { return Deadline(); }
 
+  /// Synonym of Infinite(), reading better as a default argument:
+  /// `Search(query, Deadline::Unbounded())`.
+  static Deadline Unbounded() { return Deadline(); }
+
   /// Expires `seconds` from now. Non-positive values are already
   /// expired (useful in tests).
   static Deadline After(double seconds) {

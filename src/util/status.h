@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -20,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kUnavailable,        // Transient overload; retrying later may work.
+  kDeadlineExceeded,   // The request's deadline expired before service.
 };
 
 /// Returns a short human-readable name for a status code.
@@ -56,6 +59,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,15 +97,15 @@ class Result {
 
   const T& value() const& {
     CheckOk();
-    return value_;
+    return *value_;
   }
   T& value() & {
     CheckOk();
-    return value_;
+    return *value_;
   }
   T&& value() && {
     CheckOk();
-    return std::move(value_);
+    return *std::move(value_);
   }
 
   const T& operator*() const& { return value(); }
@@ -113,7 +122,26 @@ class Result {
   }
 
   Status status_;
-  T value_{};
+  std::optional<T> value_;  // optional: T need not be default-constructible.
+};
+
+/// Result<void>: a fallible operation with no payload. Unlike the
+/// primary template it accepts an OK status (there is no value to
+/// forget to provide), so validation code can `return Result<void>();`
+/// or `return Status::InvalidArgument(...)` uniformly.
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  static Result Ok() { return Result(); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 }  // namespace snaps

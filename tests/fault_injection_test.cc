@@ -233,7 +233,7 @@ TEST(BoundedSearchTest, DeadlineBoundedQueryIsFlaggedNotGarbage) {
 
   const SearchOutcome unbounded = processor.Search(q, Deadline::Infinite());
   EXPECT_FALSE(unbounded.truncated);
-  EXPECT_EQ(unbounded.results.size(), processor.Search(q).size());
+  EXPECT_EQ(unbounded.results.size(), processor.Search(q).results.size());
 
   const SearchOutcome bounded = processor.Search(q, Deadline::After(0.0));
   EXPECT_TRUE(bounded.truncated);

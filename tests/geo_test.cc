@@ -140,11 +140,11 @@ TEST_F(GeoQueryTest, RegionLimitFilters) {
   Query q;
   q.first_name = "flora";
   q.surname = "macrae";
-  EXPECT_EQ(processor_->Search(q).size(), 2u);  // No limit: both.
+  EXPECT_EQ(processor_->Search(q).results.size(), 2u);  // No limit: both.
 
   q.near_place = "portree";
   q.within_km = 25.0;
-  const auto near = processor_->Search(q);
+  const auto near = processor_->Search(q).results;
   ASSERT_EQ(near.size(), 1u);
   EXPECT_EQ(graph_->node(near[0].node).parishes[0], "portree");
 }
@@ -154,7 +154,7 @@ TEST_F(GeoQueryTest, UnresolvablePlaceKeepsEverything) {
   q.first_name = "flora";
   q.surname = "macrae";
   q.near_place = "atlantis";
-  EXPECT_EQ(processor_->Search(q).size(), 2u);
+  EXPECT_EQ(processor_->Search(q).results.size(), 2u);
 }
 
 TEST_F(GeoQueryTest, LocationSurvivesSerialization) {

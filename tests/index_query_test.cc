@@ -121,16 +121,22 @@ TEST_F(IndexQueryTest, AllEntriesAboveThreshold) {
   }
 }
 
-TEST_F(IndexQueryTest, UnseenQueryValueComputedAndCached) {
+TEST_F(IndexQueryTest, UnseenQueryValueComputedOnTheFly) {
   // "floraa" is not an indexed value; the index must still resolve it
-  // against values sharing a bigram.
+  // against values sharing a bigram. The fallback computes into the
+  // returned object (no caching: the const read path must stay
+  // mutation-free so concurrent readers need no locks), so repeated
+  // lookups are deterministic but independent.
   const auto& similar =
       similarity_->Similar(QueryField::kFirstName, "floraa");
   ASSERT_FALSE(similar.empty());
   EXPECT_EQ(similar[0].value, "flora");
-  // Cached: second call returns the same object.
   const auto& again = similarity_->Similar(QueryField::kFirstName, "floraa");
-  EXPECT_EQ(&similar, &again);
+  ASSERT_EQ(similar.size(), again.size());
+  for (size_t i = 0; i < similar.size(); ++i) {
+    EXPECT_EQ(similar[i].value, again[i].value);
+    EXPECT_DOUBLE_EQ(similar[i].similarity, again[i].similarity);
+  }
 }
 
 TEST_F(IndexQueryTest, ResultsSortedBySimilarity) {
@@ -147,7 +153,7 @@ TEST_F(IndexQueryTest, ExactSearchFindsPerson) {
   Query q;
   q.first_name = "Flora";
   q.surname = "Mackinnon";
-  const auto results = processor_->Search(q);
+  const auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   const PedigreeNode& top = graph_->node(results[0].node);
   EXPECT_EQ(top.first_names[0], "flora");
@@ -160,7 +166,7 @@ TEST_F(IndexQueryTest, TypoQueryFindsApproximateMatch) {
   Query q;
   q.first_name = "flora";
   q.surname = "mackinon";  // Missing 'n'.
-  const auto results = processor_->Search(q);
+  const auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].surname_match, MatchType::kApproximate);
   EXPECT_LT(results[0].score, 100.0);
@@ -170,10 +176,10 @@ TEST_F(IndexQueryTest, TypoQueryFindsApproximateMatch) {
 TEST_F(IndexQueryTest, MandatoryNamesRequired) {
   Query q;
   q.first_name = "flora";
-  EXPECT_TRUE(processor_->Search(q).empty());
+  EXPECT_TRUE(processor_->Search(q).results.empty());
   q.first_name = "";
   q.surname = "mackinnon";
-  EXPECT_TRUE(processor_->Search(q).empty());
+  EXPECT_TRUE(processor_->Search(q).results.empty());
 }
 
 TEST_F(IndexQueryTest, KindFilterBirthVsDeath) {
@@ -181,7 +187,7 @@ TEST_F(IndexQueryTest, KindFilterBirthVsDeath) {
   q.first_name = "morag";
   q.surname = "beaton";
   q.kind = SearchKind::kBirth;
-  const auto birth_results = processor_->Search(q);
+  const auto birth_results = processor_->Search(q).results;
   ASSERT_FALSE(birth_results.empty());
   const PedigreeNodeId morag = birth_results[0].node;
   EXPECT_NE(graph_->node(morag).birth_year, 0);
@@ -190,7 +196,7 @@ TEST_F(IndexQueryTest, KindFilterBirthVsDeath) {
   // *approximate* strangers (as in the paper's Figure 6) but never
   // morag's entity, and every result must have a death record.
   q.kind = SearchKind::kDeath;
-  for (const RankedResult& r : processor_->Search(q)) {
+  for (const RankedResult& r : processor_->Search(q).results) {
     EXPECT_NE(r.node, morag);
     EXPECT_NE(graph_->node(r.node).death_year, 0);
   }
@@ -201,12 +207,12 @@ TEST_F(IndexQueryTest, GenderRefinementScores) {
   q.first_name = "flora";
   q.surname = "nicolson";
   q.gender = Gender::kFemale;
-  auto results = processor_->Search(q);
+  auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].gender_match, MatchType::kExact);
 
   q.gender = Gender::kMale;
-  results = processor_->Search(q);
+  results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].gender_match, MatchType::kNone);
   EXPECT_LT(results[0].score, 100.0);
@@ -219,19 +225,19 @@ TEST_F(IndexQueryTest, YearRangeScoring) {
   q.kind = SearchKind::kBirth;
   q.year_from = 1870;
   q.year_to = 1872;
-  auto results = processor_->Search(q);
+  auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].year_match, MatchType::kExact);
 
   q.year_from = 1874;  // Off by 3 years: approximate.
   q.year_to = 1878;
-  results = processor_->Search(q);
+  results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].year_match, MatchType::kApproximate);
 
   q.year_from = 1900;  // Far away: no year credit.
   q.year_to = 1910;
-  results = processor_->Search(q);
+  results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].year_match, MatchType::kNone);
 }
@@ -241,7 +247,7 @@ TEST_F(IndexQueryTest, ParishRefinement) {
   q.first_name = "flora";
   q.surname = "mackinnon";
   q.parish = "portree";
-  auto results = processor_->Search(q);
+  auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].parish_match, MatchType::kExact);
   EXPECT_EQ(results[0].matched_parish, "portree");
@@ -251,7 +257,7 @@ TEST_F(IndexQueryTest, RankingPrefersBetterMatches) {
   Query q;
   q.first_name = "flora";
   q.surname = "mackinnon";
-  const auto results = processor_->Search(q);
+  const auto results = processor_->Search(q).results;
   ASSERT_GE(results.size(), 2u);
   for (size_t i = 1; i < results.size(); ++i) {
     EXPECT_GE(results[i - 1].score, results[i].score);
@@ -264,7 +270,7 @@ TEST_F(IndexQueryTest, WildcardPrefixSearch) {
   Query q;
   q.first_name = "flora";
   q.surname = "mac*";  // Prefix wildcard.
-  const auto results = processor_->Search(q);
+  const auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].surname_match, MatchType::kExact);
   EXPECT_EQ(results[0].matched_surname.rfind("mac", 0), 0u);
@@ -274,7 +280,7 @@ TEST_F(IndexQueryTest, WildcardOnBothFields) {
   Query q;
   q.first_name = "f*";
   q.surname = "*";  // Matches every surname.
-  const auto results = processor_->Search(q);
+  const auto results = processor_->Search(q).results;
   ASSERT_FALSE(results.empty());
   // A match on one name field is enough to enter the result set
   // (Section 7); results whose first name matched must match the
@@ -291,7 +297,7 @@ TEST_F(IndexQueryTest, WildcardDoesNotMatchOtherPrefixes) {
   Query q;
   q.first_name = "morag";
   q.surname = "nic*";
-  const auto results = processor_->Search(q);
+  const auto results = processor_->Search(q).results;
   for (const RankedResult& r : results) {
     if (r.surname_match == MatchType::kExact) {
       EXPECT_EQ(r.matched_surname.rfind("nic", 0), 0u);
@@ -306,7 +312,7 @@ TEST_F(IndexQueryTest, TopMLimitsResults) {
   Query q;
   q.first_name = "flora";
   q.surname = "mackinnon";
-  EXPECT_EQ(limited.Search(q).size(), 1u);
+  EXPECT_EQ(limited.Search(q).results.size(), 1u);
 }
 
 }  // namespace

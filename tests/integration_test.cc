@@ -82,7 +82,7 @@ TEST_F(PipelineTest, QueryFindsKnownDeceasedPerson) {
     q.first_name = r.value(Attr::kFirstName);
     q.surname = r.value(Attr::kSurname);
     q.kind = SearchKind::kDeath;
-    const auto results = Get().processor->Search(q);
+    const auto results = Get().processor->Search(q).results;
     ASSERT_FALSE(results.empty());
     // The top result must contain a record with the same true person
     // or at least an exact name match (doppelgangers permitted).
@@ -140,7 +140,7 @@ TEST_F(PipelineTest, AnonymisedPipelineStillSearchable) {
     Query q;
     q.first_name = r.value(Attr::kFirstName);
     q.surname = r.value(Attr::kSurname);
-    EXPECT_FALSE(processor.Search(q).empty());
+    EXPECT_FALSE(processor.Search(q).results.empty());
     break;
   }
 }

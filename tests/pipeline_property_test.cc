@@ -144,7 +144,7 @@ TEST_P(PipelinePropertyTest, QueriesNeverCrashAndRankDescending) {
     Query q;
     q.first_name = r.value(Attr::kFirstName);
     q.surname = r.value(Attr::kSurname);
-    const auto results = processor.Search(q);
+    const auto results = processor.Search(q).results;
     EXPECT_FALSE(results.empty());
     for (size_t i = 1; i < results.size(); ++i) {
       EXPECT_GE(results[i - 1].score, results[i].score);

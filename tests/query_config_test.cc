@@ -37,7 +37,7 @@ class QueryConfigTest : public ::testing::Test {
   std::vector<RankedResult> Search(const QueryConfig& cfg,
                                    const Query& q) const {
     QueryProcessor processor(keyword_.get(), similarity_.get(), cfg);
-    return processor.Search(q);
+    return processor.Search(q).results;
   }
 
   Dataset ds_;

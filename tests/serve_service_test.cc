@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/er_engine.h"
+#include "pedigree/pedigree_graph.h"
+#include "serve/snaps_service.h"
+
+namespace snaps {
+namespace {
+
+/// Small searchable universe built through the real offline pipeline,
+/// then wrapped in serving artifacts.
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  ServeServiceTest() {
+    AddBirth(1862, "flora", "mackinnon", "f", "portree");
+    AddBirth(1866, "kenneth", "mackinnon", "m", "portree");
+    AddBirth(1871, "flora", "nicolson", "f", "snizort");
+    AddBirth(1875, "morag", "beaton", "f", "duirinish");
+
+    result_ = std::make_unique<ErResult>(ErEngine().Resolve(ds_));
+    graph_ = std::make_unique<PedigreeGraph>(
+        PedigreeGraph::Build(ds_, *result_));
+  }
+
+  void AddBirth(int year, const std::string& first,
+                const std::string& surname, const std::string& gender,
+                const std::string& parish) {
+    const CertId c = ds_.AddCertificate(CertType::kBirth, year);
+    Record baby;
+    baby.set_value(Attr::kFirstName, first);
+    baby.set_value(Attr::kSurname, surname);
+    baby.set_value(Attr::kGender, gender);
+    baby.set_value(Attr::kParish, parish);
+    ds_.AddRecord(c, Role::kBb, baby);
+    Record mother;
+    mother.set_value(Attr::kFirstName, "mairi");
+    mother.set_value(Attr::kSurname, surname);
+    mother.set_value(Attr::kGender, "f");
+    ds_.AddRecord(c, Role::kBm, mother);
+  }
+
+  std::unique_ptr<SearchArtifacts> MakeArtifacts() {
+    Result<std::unique_ptr<SearchArtifacts>> r =
+        SearchArtifacts::Build(*graph_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  std::unique_ptr<SnapsService> MakeService(
+      ServiceConfig config = ServiceConfig()) {
+    Result<std::unique_ptr<SnapsService>> r =
+        SnapsService::Create(config, MakeArtifacts());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  Dataset ds_;
+  std::unique_ptr<ErResult> result_;
+  std::unique_ptr<PedigreeGraph> graph_;
+};
+
+// ---------------------------------------------------------------------------
+// Config validation (satellite: fallible factories).
+
+TEST(ServiceConfigTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(ServiceConfig().Validate().ok());
+}
+
+TEST(ServiceConfigTest, ValidateRejectsZeroInflight) {
+  ServiceConfig c;
+  c.max_inflight = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ServiceConfigTest, ValidateRejectsBadTimeout) {
+  ServiceConfig c;
+  c.default_timeout_ms = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.default_timeout_ms = std::nan("");
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, AcceptsDefaults) {
+  EXPECT_TRUE(QueryConfig().Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, RejectsNegativeWeight) {
+  QueryConfig c;
+  c.year_weight = -0.1;
+  c.parish_weight = 0.35;  // Keeps the sum at 1 — sign is the error.
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, RejectsNanWeight) {
+  QueryConfig c;
+  c.surname_weight = std::nan("");
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, RejectsWeightsNotSummingToOne) {
+  QueryConfig c;
+  c.first_name_weight = 0.9;  // Sum now 1.55.
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, RejectsZeroTopM) {
+  QueryConfig c;
+  c.top_m = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, RejectsNegativeYearSlack) {
+  QueryConfig c;
+  c.year_slack = -1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(QueryConfigValidateTest, CreateRejectsNullIndices) {
+  Result<QueryProcessor> r = QueryProcessor::Create(nullptr, nullptr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ErConfigValidateTest, AcceptsDefaults) {
+  EXPECT_TRUE(ErConfig().Validate().ok());
+  EXPECT_TRUE(ErEngine::Create(ErConfig()).ok());
+}
+
+TEST(ErConfigValidateTest, RejectsOutOfUnitThreshold) {
+  ErConfig c;
+  c.atomic_threshold = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_FALSE(ErEngine::Create(c).ok());
+}
+
+TEST(ErConfigValidateTest, RejectsNanGamma) {
+  ErConfig c;
+  c.gamma = std::nan("");
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts.
+
+TEST_F(ServeServiceTest, BuildPopulatesStats) {
+  std::unique_ptr<SearchArtifacts> art = MakeArtifacts();
+  EXPECT_EQ(art->stats().num_nodes, graph_->num_nodes());
+  EXPECT_GT(art->stats().keyword_entries[0], 0u);
+  EXPECT_EQ(art->generation(), 0u);  // Unpublished until a service owns it.
+}
+
+TEST_F(ServeServiceTest, BuildRejectsBadSimilarityThreshold) {
+  ArtifactOptions options;
+  options.similarity_threshold = 0.0;
+  EXPECT_FALSE(SearchArtifacts::Build(*graph_, options).ok());
+  options.similarity_threshold = 1.5;
+  EXPECT_FALSE(SearchArtifacts::Build(*graph_, options).ok());
+}
+
+TEST_F(ServeServiceTest, BuildRejectsBadQueryConfig) {
+  ArtifactOptions options;
+  options.query.top_m = 0;
+  EXPECT_FALSE(SearchArtifacts::Build(*graph_, options).ok());
+}
+
+TEST_F(ServeServiceTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(
+      SearchArtifacts::LoadFromFile("/nonexistent/no.snaps").ok());
+}
+
+// ---------------------------------------------------------------------------
+// The service request API.
+
+TEST_F(ServeServiceTest, CreateRejectsBadConfig) {
+  ServiceConfig bad;
+  bad.max_inflight = 0;
+  Result<std::unique_ptr<SnapsService>> r =
+      SnapsService::Create(bad, MakeArtifacts());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ServeServiceTest, CreateRejectsNullArtifacts) {
+  Result<std::unique_ptr<SnapsService>> r = SnapsService::Create(
+      ServiceConfig(), std::unique_ptr<SearchArtifacts>());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ServeServiceTest, SearchMatchesDirectProcessor) {
+  std::unique_ptr<SearchArtifacts> reference = MakeArtifacts();
+  std::unique_ptr<SnapsService> service = MakeService();
+
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  const SearchOutcome direct = reference->processor().Search(q);
+
+  SearchRequest req;
+  req.query = q;
+  const SearchResponse resp = service->Search(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.generation, 1u);
+  EXPECT_FALSE(resp.truncated);
+  ASSERT_EQ(resp.results.size(), direct.results.size());
+  for (size_t i = 0; i < direct.results.size(); ++i) {
+    EXPECT_EQ(resp.results[i].node, direct.results[i].node);
+    EXPECT_DOUBLE_EQ(resp.results[i].score, direct.results[i].score);
+  }
+}
+
+TEST_F(ServeServiceTest, LookupReturnsNodeCopy) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  ASSERT_GT(service->snapshot()->graph().num_nodes(), 0u);
+  LookupRequest req;
+  req.node = 0;
+  const LookupResponse resp = service->Lookup(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.generation, 1u);
+}
+
+TEST_F(ServeServiceTest, LookupUnknownNodeIsNotFound) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  LookupRequest req;
+  req.node = 1000000;
+  EXPECT_EQ(service->Lookup(req).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->Metrics().kinds[size_t(RequestKind::kLookup)].failed, 1u);
+}
+
+TEST_F(ServeServiceTest, ExtractPedigreeValidatesGenerations) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  PedigreeRequest req;
+  req.node = 0;
+  req.generations = -1;
+  EXPECT_EQ(service->ExtractPedigree(req).status.code(),
+            StatusCode::kInvalidArgument);
+  req.generations = 2;
+  EXPECT_TRUE(service->ExtractPedigree(req).status.ok());
+}
+
+TEST_F(ServeServiceTest, ExpiredDeadlineIsRejectedWithoutWork) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  SearchRequest req;
+  req.query.first_name = "flora";
+  req.query.surname = "mackinnon";
+  req.deadline = Deadline::AfterMillis(0);
+  const SearchResponse resp = service->Search(req);
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(resp.results.empty());
+  const MetricsSnapshot m = service->Metrics();
+  EXPECT_EQ(m.kinds[size_t(RequestKind::kSearch)].deadline_exceeded, 1u);
+  EXPECT_EQ(m.kinds[size_t(RequestKind::kSearch)].ok, 0u);
+}
+
+TEST_F(ServeServiceTest, MetricsCountRequests) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  SearchRequest req;
+  req.query.first_name = "flora";
+  req.query.surname = "mackinnon";
+  ASSERT_TRUE(service->Search(req).status.ok());
+  ASSERT_TRUE(service->Search(req).status.ok());
+
+  const MetricsSnapshot m = service->Metrics();
+  const MetricsSnapshot::PerKind& search =
+      m.kinds[size_t(RequestKind::kSearch)];
+  EXPECT_EQ(search.started, 2u);
+  EXPECT_EQ(search.ok, 2u);
+  EXPECT_EQ(search.latency.count, 2u);
+  EXPECT_GE(search.latency.p95_ms, search.latency.p50_ms);
+  EXPECT_EQ(m.generation, 1u);
+  EXPECT_EQ(m.inflight, 0u);
+  EXPECT_NE(service->MetricsText().find("search"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Reload / snapshot-swap semantics.
+
+TEST_F(ServeServiceTest, ReloadBumpsGenerationAndOldSnapshotSurvives) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  EXPECT_EQ(service->generation(), 1u);
+
+  const SnapsService::ArtifactsPtr old = service->snapshot();
+  ASSERT_TRUE(service->Reload(MakeArtifacts()).ok());
+  EXPECT_EQ(service->generation(), 2u);
+  EXPECT_EQ(service->Metrics().reloads_ok, 2u);  // Initial load + reload.
+
+  // A reader that grabbed the old generation keeps a fully servable
+  // bundle: this is the drain guarantee of the snapshot swap.
+  EXPECT_EQ(old->generation(), 1u);
+  Query q;
+  q.first_name = "flora";
+  q.surname = "mackinnon";
+  EXPECT_FALSE(old->processor().Search(q).results.empty());
+}
+
+TEST_F(ServeServiceTest, ReloadWithoutLoaderFails) {
+  std::unique_ptr<SnapsService> service = MakeService();
+  EXPECT_EQ(service->Reload().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeServiceTest, LoaderBackedReload) {
+  int loads = 0;
+  SnapsService::ArtifactLoader loader =
+      [this, &loads]() -> Result<std::unique_ptr<SearchArtifacts>> {
+    ++loads;
+    if (loads == 2) return Status::IoError("flaky storage");
+    return SearchArtifacts::Build(*graph_);
+  };
+  Result<std::unique_ptr<SnapsService>> r =
+      SnapsService::Create(ServiceConfig(), loader);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  SnapsService& service = **r;
+  EXPECT_EQ(service.generation(), 1u);
+
+  // A failing reload keeps the old generation serving.
+  EXPECT_FALSE(service.Reload().ok());
+  EXPECT_EQ(service.generation(), 1u);
+  EXPECT_EQ(service.Metrics().reloads_failed, 1u);
+
+  EXPECT_TRUE(service.Reload().ok());
+  EXPECT_EQ(service.generation(), 2u);
+  EXPECT_EQ(loads, 3);
+}
+
+TEST_F(ServeServiceTest, CreateWithFailingLoaderFails) {
+  SnapsService::ArtifactLoader loader =
+      []() -> Result<std::unique_ptr<SearchArtifacts>> {
+    return Status::IoError("no snapshot");
+  };
+  EXPECT_FALSE(SnapsService::Create(ServiceConfig(), loader).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Async path and admission.
+
+TEST_F(ServeServiceTest, SearchAsyncInlineDeliversResponse) {
+  ServiceConfig config;
+  config.num_threads = 0;  // Inline execution — deterministic.
+  std::unique_ptr<SnapsService> service = MakeService(config);
+  SearchRequest req;
+  req.query.first_name = "flora";
+  req.query.surname = "mackinnon";
+  bool delivered = false;
+  ASSERT_TRUE(service->SearchAsync(req, [&](SearchResponse resp) {
+    delivered = true;
+    EXPECT_TRUE(resp.status.ok());
+    EXPECT_FALSE(resp.results.empty());
+  }));
+  service->Drain();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(ServeServiceTest, SearchAsyncFullQueueRejectsWithUnavailable) {
+  ServiceConfig config;
+  config.max_queue = 0;  // Admission queue admits nothing.
+  std::unique_ptr<SnapsService> service = MakeService(config);
+  SearchRequest req;
+  req.query.first_name = "flora";
+  req.query.surname = "mackinnon";
+  bool delivered = false;
+  EXPECT_FALSE(service->SearchAsync(req, [&](SearchResponse resp) {
+    delivered = true;
+    EXPECT_EQ(resp.status.code(), StatusCode::kUnavailable);
+  }));
+  EXPECT_TRUE(delivered);
+  const MetricsSnapshot m = service->Metrics();
+  EXPECT_EQ(m.kinds[size_t(RequestKind::kSearch)].rejected, 1u);
+  EXPECT_EQ(m.kinds[size_t(RequestKind::kSearch)].started, 1u);
+}
+
+}  // namespace
+}  // namespace snaps
