@@ -335,8 +335,11 @@ GeneratedData PopulationSimulator::Generate() {
       if (people[i].gender != Gender::kFemale) continue;
       if (people[i].death_year != 0) continue;
       if (people[i].spouse == kUnknownPersonId) continue;
-      const SimPerson& husband = people[people[i].spouse];
-      if (husband.death_year != 0) continue;
+      // Hold the spouse by id, not by reference: new_person() below
+      // grows `people`, and a reallocation would leave a reference
+      // dangling when the second twin reads it.
+      const PersonId husband_id = people[i].spouse;
+      if (people[husband_id].death_year != 0) continue;
       const int age = year - people[i].birth_year;
       if (age < 17 || age > 44) continue;
       if (people[i].num_children >= cfg.max_children) continue;
@@ -346,7 +349,7 @@ GeneratedData PopulationSimulator::Generate() {
         const Gender g =
             rng.NextBool(0.5) ? Gender::kFemale : Gender::kMale;
         const PersonId baby =
-            new_person(g, year, people[i].id, husband.id,
+            new_person(g, year, people[i].id, husband_id,
                        people[i].address_idx);
         people[i].num_children++;
         people[people[i].spouse].num_children++;

@@ -284,5 +284,37 @@ TEST(SimulatorAgeTest, DeathRecordsCarryPlausibleAge) {
   EXPECT_GT(with_age, 0u);
 }
 
+/// Regression test: the birth loop used to hold the husband by
+/// reference across new_person() calls; the push_back growing
+/// `people` could reallocate and leave the reference dangling, so a
+/// second twin read a freed SimPerson for its father id (SEGV under
+/// TSan/ASan with this exact configuration). The fix reads the spouse
+/// through its id. Every child's recorded father must be a valid,
+/// male, earlier-born person married to the mother.
+TEST(SimulatorRegressionTest, TwinBirthsSurvivePeopleReallocation) {
+  SimulatorConfig cfg;
+  cfg.seed = 808;
+  cfg.num_founder_couples = 35;
+  cfg.immigrants_per_year = 1.5;
+  const GeneratedData data = PopulationSimulator(cfg).Generate();
+  ASSERT_FALSE(data.people.empty());
+  for (const SimPerson& p : data.people) {
+    if (p.father == kUnknownPersonId) continue;
+    ASSERT_LT(static_cast<size_t>(p.father), data.people.size()) << p.id;
+    const SimPerson& father = data.people[p.father];
+    EXPECT_EQ(father.gender, Gender::kMale) << p.id;
+    EXPECT_LT(father.birth_year, p.birth_year) << p.id;
+    // A recorded father implies a married mother at the time of
+    // birth, so the child was born while the father was alive.
+    if (father.death_year != 0) {
+      EXPECT_LE(p.birth_year, father.death_year) << p.id;
+    }
+    ASSERT_NE(p.mother, kUnknownPersonId) << p.id;
+    const SimPerson& mother = data.people[p.mother];
+    EXPECT_EQ(mother.gender, Gender::kFemale) << p.id;
+    EXPECT_LT(mother.birth_year, p.birth_year) << p.id;
+  }
+}
+
 }  // namespace
 }  // namespace snaps
