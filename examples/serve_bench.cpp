@@ -104,7 +104,7 @@ RunResult RunClosedLoop(SnapsService* service,
                         const ArtifactOptions& reload_options) {
   std::vector<std::vector<double>> latencies(threads);
   std::vector<uint64_t> errors(threads, 0), truncated(threads, 0);
-  std::vector<std::thread> clients;
+  std::vector<std::thread> clients;  // NOLINT(snaps-raw-thread): load clients.
   Timer wall;
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back(ClientLoop, service, &firsts, &surnames,

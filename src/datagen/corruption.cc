@@ -16,7 +16,7 @@ std::string ApplyRandomEdit(std::string_view value, Rng& rng) {
   std::string out(value);
   if (out.empty()) return out;
   const int op = static_cast<int>(rng.NextUint64(out.size() > 1 ? 4 : 3));
-  const size_t pos = static_cast<size_t>(rng.NextUint64(out.size()));
+  const size_t pos = rng.NextUint64(out.size());
   switch (op) {
     case 0:  // Substitute.
       out[pos] = RandomLowercase(rng);

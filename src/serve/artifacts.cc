@@ -38,7 +38,8 @@ Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::Build(
   // The bundle is heap-allocated before the indices are built so every
   // internal pointer (indices -> graph, processor -> indices and
   // gazetteer) refers to its final, stable address.
-  std::unique_ptr<SearchArtifacts> art(new SearchArtifacts());
+  std::unique_ptr<SearchArtifacts> art(
+      new SearchArtifacts());  // NOLINT(snaps-naked-new): private ctor.
   art->graph_ = std::make_unique<PedigreeGraph>(std::move(graph));
   art->gazetteer_ = std::move(options.gazetteer);
   art->keyword_ = std::make_unique<KeywordIndex>(art->graph_.get());
@@ -69,7 +70,8 @@ Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::FromPipeline(
     return Status::InvalidArgument(
         "pipeline output is missing the pedigree graph or an index");
   }
-  std::unique_ptr<SearchArtifacts> art(new SearchArtifacts());
+  std::unique_ptr<SearchArtifacts> art(
+      new SearchArtifacts());  // NOLINT(snaps-naked-new): private ctor.
   art->graph_ = std::move(output.pedigree);
   art->gazetteer_ = std::move(gazetteer);
   art->keyword_ = std::move(output.keyword_index);

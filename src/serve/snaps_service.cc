@@ -32,7 +32,8 @@ Result<std::unique_ptr<SnapsService>> SnapsService::Create(
     return Status::InvalidArgument("initial artifacts must not be null");
   }
   std::unique_ptr<SnapsService> service(
-      new SnapsService(config, ArtifactLoader()));
+      new SnapsService(  // NOLINT(snaps-naked-new): private ctor.
+          config, ArtifactLoader()));
   if (Status s = service->Reload(std::move(artifacts)); !s.ok()) return s;
   return service;
 }
@@ -44,7 +45,8 @@ Result<std::unique_ptr<SnapsService>> SnapsService::Create(
     return Status::InvalidArgument("artifact loader must not be empty");
   }
   std::unique_ptr<SnapsService> service(
-      new SnapsService(config, std::move(loader)));
+      new SnapsService(  // NOLINT(snaps-naked-new): private ctor.
+          config, std::move(loader)));
   if (Status s = service->Reload(); !s.ok()) return s;
   return service;
 }

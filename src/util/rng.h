@@ -48,7 +48,7 @@ class Rng {
   void Shuffle(std::vector<T>& items) {
     if (items.empty()) return;
     for (size_t i = items.size() - 1; i > 0; --i) {
-      const size_t j = static_cast<size_t>(NextUint64(i + 1));
+      const size_t j = NextUint64(i + 1);
       using std::swap;
       swap(items[i], items[j]);
     }

@@ -30,7 +30,12 @@ const char* StatusCodeName(StatusCode code);
 
 /// Lightweight status object for fallible operations (the library does
 /// not use exceptions). An `Ok()` status carries no message.
-class Status {
+///
+/// Marked [[nodiscard]] at class level so *every* function returning a
+/// Status is discard-checked by the compiler without per-declaration
+/// annotations; tools/snaps_lint.py guards the attribute against
+/// accidental removal.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,8 +87,9 @@ class Status {
 /// `value()` on an error result is a programming error and aborts with
 /// the status message in every build type — an `assert` alone would
 /// make the same bug silent undefined behaviour under NDEBUG.
+/// Marked [[nodiscard]] at class level for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error status, so functions can
   /// `return value;` or `return Status::...;` directly.
@@ -130,7 +136,7 @@ class Result {
 /// forget to provide), so validation code can `return Result<void>();`
 /// or `return Status::InvalidArgument(...)` uniformly.
 template <>
-class Result<void> {
+class [[nodiscard]] Result<void> {
  public:
   Result() = default;
   Result(Status status) : status_(std::move(status)) {}  // NOLINT

@@ -75,7 +75,7 @@ TEST_P(ClassifierToyTest, UntrainedPredictsZero) {
 INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassifierToyTest,
                          ::testing::Values("logistic", "svm", "tree",
                                            "forest", "bayes"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 // ------------------------------------------------ FeatureExtractor.
 

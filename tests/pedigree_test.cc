@@ -139,7 +139,9 @@ TEST_F(ThreeGenerations, SpouseDoesNotChangeGeneration) {
   const FamilyPedigree p =
       ExtractPedigree(*graph_, NodeOf(mary_bm_), /*generations=*/1);
   for (const PedigreeMember& m : p.members) {
-    if (m.node == NodeOf(father_)) EXPECT_EQ(m.generation, 0);
+    if (m.node == NodeOf(father_)) {
+      EXPECT_EQ(m.generation, 0);
+    }
   }
 }
 

@@ -121,12 +121,12 @@ TEST_F(ServeConcurrencyTest, ReadersNeverObserveTornState) {
 
   std::atomic<uint64_t> bad_status{0};
   std::atomic<uint64_t> bad_generation{0};
-  std::vector<std::thread> readers;
+  std::vector<std::thread> readers;  // NOLINT(snaps-raw-thread): TSan hammer.
   for (int t = 0; t < kReaderThreads; ++t) {
     readers.emplace_back(ReaderLoop, &service, /*seed=*/91 + 17 * t,
                          &bad_status, &bad_generation);
   }
-  std::thread writer([this, &service] {
+  std::thread writer([this, &service] {  // NOLINT(snaps-raw-thread): TSan hammer.
     for (int i = 0; i < kReloads; ++i) {
       ASSERT_TRUE(service.Reload(MakeArtifacts()).ok());
     }
@@ -155,7 +155,7 @@ TEST_F(ServeConcurrencyTest, OldGenerationDrainsSafely) {
   SnapsService& service = **created;
 
   SnapsService::ArtifactsPtr held = service.snapshot();
-  std::thread reloader([this, &service] {
+  std::thread reloader([this, &service] {  // NOLINT(snaps-raw-thread): TSan hammer.
     for (int i = 0; i < 4; ++i) {
       ASSERT_TRUE(service.Reload(MakeArtifacts()).ok());
     }

@@ -64,7 +64,9 @@ TEST_F(DemographyTest, NoBirthsAfterMotherDeath) {
   for (const SimPerson& p : people) {
     if (p.mother == kUnknownPersonId) continue;
     const SimPerson& m = people[p.mother];
-    if (m.death_year != 0) EXPECT_LE(p.birth_year, m.death_year);
+    if (m.death_year != 0) {
+      EXPECT_LE(p.birth_year, m.death_year);
+    }
   }
 }
 
@@ -144,8 +146,12 @@ TEST_F(DemographyTest, WidowsCanRemarry) {
 
 TEST_F(DemographyTest, EventYearsOrdered) {
   for (const SimPerson& p : Data().people) {
-    if (p.marriage_year != 0) EXPECT_GT(p.marriage_year, p.birth_year);
-    if (p.death_year != 0) EXPECT_GE(p.death_year, p.birth_year);
+    if (p.marriage_year != 0) {
+      EXPECT_GT(p.marriage_year, p.birth_year);
+    }
+    if (p.death_year != 0) {
+      EXPECT_GE(p.death_year, p.birth_year);
+    }
   }
 }
 

@@ -214,7 +214,7 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple("jaccard_token", &JaccardTokenSimilarity),
         std::make_tuple("dice_bigram", &DiceBigramSimilarity),
         std::make_tuple("lcs", &LcsSimilarity)),
-    [](const auto& info) { return std::get<0>(info.param); });
+    [](const auto& param_info) { return std::get<0>(param_info.param); });
 
 /// Single-edit corruption should stay highly similar under the
 /// edit-distance based similarity: property of the noise model the

@@ -1,0 +1,14 @@
+// expect-lint: discard
+namespace snaps {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status Save();
+
+void Caller() {
+  (void)Save();
+}
+
+}  // namespace snaps

@@ -1,0 +1,16 @@
+// expect-lint: naked-new
+// expect-lint: naked-new
+// expect-lint: naked-new
+namespace snaps {
+
+struct Node {
+  int v = 0;
+};
+
+Node* Make() { return new Node(); }
+void Drop(Node* n) { delete n; }
+
+// A NOLINT without a justification is itself a finding.
+Node* MakeBare() { return new Node(); }  // NOLINT(snaps-naked-new)
+
+}  // namespace snaps

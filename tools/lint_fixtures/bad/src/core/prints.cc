@@ -1,0 +1,15 @@
+// expect-lint: stdout
+// expect-lint: stdout
+// expect-lint: stdout
+#include <cstdio>
+#include <iostream>
+
+namespace snaps {
+
+void Noisy(int x) {
+  std::cout << "progress " << x << "\n";
+  std::cerr << "warning\n";
+  std::printf("%d\n", x);
+}
+
+}  // namespace snaps

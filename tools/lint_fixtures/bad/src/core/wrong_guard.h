@@ -1,0 +1,7 @@
+// expect-lint: include-guard
+#ifndef SNAPS_MISNAMED_GUARD_H_
+#define SNAPS_MISNAMED_GUARD_H_
+
+namespace snaps {}
+
+#endif  // SNAPS_MISNAMED_GUARD_H_

@@ -1,0 +1,16 @@
+// expect-lint: banned-fn
+// expect-lint: banned-fn
+// expect-lint: banned-fn
+#include <cstdlib>
+#include <cstring>
+
+namespace snaps {
+
+void Unsafe(char* dst, const char* src) {
+  strcpy(dst, src);
+}
+
+int Unseeded() { return std::rand(); }
+void Seed() { srand(42); }
+
+}  // namespace snaps

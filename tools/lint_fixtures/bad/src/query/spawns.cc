@@ -1,0 +1,11 @@
+// expect-lint: raw-thread
+#include <thread>
+
+namespace snaps {
+
+void Parallel() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace snaps

@@ -1,0 +1,18 @@
+#ifndef SNAPS_UTIL_STATUS_H_
+#define SNAPS_UTIL_STATUS_H_
+
+// Fixture: Status/Result missing their class-level [[nodiscard]].
+
+namespace snaps {
+
+class Status {};
+
+template <typename T>
+class Result {};
+
+template <>
+class Result<void> {};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_STATUS_H_

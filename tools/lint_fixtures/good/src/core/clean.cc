@@ -1,0 +1,22 @@
+#include "core/clean.h"
+
+#include <memory>
+#include <vector>
+
+namespace snaps {
+
+// Smart-pointer allocation is fine anywhere; a justified NOLINT makes
+// a naked new acceptable outside src/util/ too.
+std::unique_ptr<Clean> MakeClean() {
+  std::unique_ptr<Clean> c(
+      new Clean());  // NOLINT(snaps-naked-new): private ctor, fixture.
+  return c;
+}
+
+// new_person / renewed / deleted identifiers must not trip the
+// naked-new rule.
+int new_value_counter(int renewed) { return renewed + 1; }
+
+/* block comments hide findings too: new Clean() std::cout << x; */
+
+}  // namespace snaps

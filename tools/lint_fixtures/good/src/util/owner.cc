@@ -1,0 +1,12 @@
+#include <cstdio>
+
+namespace snaps {
+
+// src/util/ may use naked new/delete (arenas, intentional leaks) and
+// fprintf-to-stderr abort paths.
+int* AllocateSlot() { return new int(0); }
+void ReleaseSlot(int* p) { delete p; }
+
+void AbortPath() { std::fprintf(stderr, "fatal\n"); }
+
+}  // namespace snaps

@@ -1,0 +1,13 @@
+#include <thread>
+#include <vector>
+
+namespace snaps {
+
+// Tests may hammer with raw threads when justified.
+void Hammer() {
+  std::vector<std::thread> workers;  // NOLINT(snaps-raw-thread): TSan hammer.
+  for (std::thread& w : workers) w.join();  // References never spawn.
+  (void)std::thread::hardware_concurrency();  // Nor static queries.
+}
+
+}  // namespace snaps
