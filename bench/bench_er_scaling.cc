@@ -1,0 +1,182 @@
+// Offline-ER thread-scaling benchmark (the tentpole measurement of
+// docs/PARALLELISM.md): resolves one synthetic town at several
+// ErConfig::num_threads settings and reports per-phase and total
+// wall-clock times plus the 8-over-1 speedup in BENCH_er_scaling.json.
+//
+// Determinism is asserted, not assumed: every run's MatchedPairs()
+// must be byte-identical to the single-threaded baseline's, and the
+// bench exits non-zero on any divergence.
+//
+// The JSON records `hardware_threads` so a flat curve from a 1-core
+// CI box is distinguishable from a parallelisation regression.
+//
+//   ./bench_er_scaling [--couples <n>] [--threads <t1,t2,...>]
+//                      [--out <path>]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "util/csv.h"
+#include "util/execution_context.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace snaps;
+
+struct RunResult {
+  int threads = 0;
+  double blocking_seconds = 0.0;
+  double graph_seconds = 0.0;
+  double bootstrap_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t matched_pairs = 0;
+  size_t entities = 0;
+};
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+std::vector<int> ParseThreadList(const char* spec) {
+  std::vector<int> out;
+  for (const char* p = spec; *p != '\0';) {
+    char* end = nullptr;
+    const long t = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (t > 0) out.push_back(static_cast<int>(t));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t couples = 40;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::string out_path = "BENCH_er_scaling.json";
+  if (const char* v = FlagValue(argc, argv, "--couples")) {
+    couples = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--threads")) {
+    thread_counts = ParseThreadList(v);
+    if (thread_counts.empty() || thread_counts.front() != 1) {
+      std::fprintf(stderr,
+                   "--threads must be a comma list starting at 1 "
+                   "(the baseline run)\n");
+      return 2;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "--out")) out_path = v;
+
+  std::printf("[bench] generating a synthetic town (%zu founder couples)...\n",
+              couples);
+  SimulatorConfig scfg;
+  scfg.seed = 1855;
+  scfg.num_founder_couples = couples;
+  GeneratedData data = PopulationSimulator(scfg).Generate();
+  std::printf("[bench] %zu certificates, %zu records\n",
+              data.dataset.num_certificates(), data.dataset.num_records());
+
+  std::vector<RunResult> runs;
+  std::vector<std::pair<RecordId, RecordId>> baseline_pairs;
+  for (const int threads : thread_counts) {
+    ErConfig config;
+    config.num_threads = threads;
+    Timer timer;
+    const ErResult result = ErEngine(config).Resolve(data.dataset);
+    const double total = timer.ElapsedSeconds();
+    const auto pairs = result.MatchedPairs();
+
+    RunResult run;
+    run.threads = threads;
+    run.blocking_seconds = result.stats.atomic_gen_seconds;
+    run.graph_seconds = result.stats.rel_gen_seconds;
+    run.bootstrap_seconds = result.stats.bootstrap_seconds;
+    run.merge_seconds = result.stats.merge_seconds;
+    run.refine_seconds = result.stats.refine_seconds;
+    run.total_seconds = total;
+    run.matched_pairs = pairs.size();
+    run.entities = result.stats.num_entities;
+    runs.push_back(run);
+    std::printf(
+        "[bench] %d thread(s): %.2fs total (graph %.2fs, bootstrap %.2fs, "
+        "merge %.2fs, refine %.2fs), %zu matched pairs\n",
+        threads, total, run.graph_seconds, run.bootstrap_seconds,
+        run.merge_seconds, run.refine_seconds, pairs.size());
+
+    // ---- The determinism gate. ----
+    if (threads == thread_counts.front()) {
+      baseline_pairs = pairs;
+    } else if (pairs != baseline_pairs) {
+      std::fprintf(stderr,
+                   "[bench] FAIL: %d-thread run diverged from the "
+                   "%d-thread baseline (%zu vs %zu matched pairs)\n",
+                   threads, thread_counts.front(), pairs.size(),
+                   baseline_pairs.size());
+      return 1;
+    }
+  }
+
+  const double speedup = runs.back().total_seconds > 0.0
+                             ? runs.front().total_seconds /
+                                   runs.back().total_seconds
+                             : 0.0;
+  const unsigned hardware =
+      static_cast<unsigned>(ExecutionContext::HardwareThreads());
+  if (hardware < static_cast<unsigned>(thread_counts.back())) {
+    std::printf(
+        "[bench] note: only %u hardware thread(s); scaling is "
+        "hardware-bound here, not engine-bound\n",
+        hardware);
+  }
+  std::printf("[bench] %d-thread total / %d-thread total = %.2fx speedup\n",
+              runs.front().threads, runs.back().threads, speedup);
+
+  // ---- BENCH_er_scaling.json. ----
+  std::string json = "{\n  \"bench\": \"er_scaling\",\n";
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  \"hardware_threads\": %u,\n  \"founder_couples\": %zu,\n"
+                "  \"records\": %zu,\n  \"matched_pairs\": %zu,\n"
+                "  \"runs\": [\n",
+                hardware, couples, data.dataset.num_records(),
+                baseline_pairs.size());
+  json += buf;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"threads\": %d, \"total_seconds\": %.4f, "
+        "\"blocking_seconds\": %.4f, \"graph_seconds\": %.4f, "
+        "\"bootstrap_seconds\": %.4f, \"merge_seconds\": %.4f, "
+        "\"refine_seconds\": %.4f, \"entities\": %zu}%s\n",
+        r.threads, r.total_seconds, r.blocking_seconds, r.graph_seconds,
+        r.bootstrap_seconds, r.merge_seconds, r.refine_seconds, r.entities,
+        i + 1 < runs.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"deterministic\": true,\n"
+                "  \"speedup_%dx_over_%dx\": %.3f\n}\n",
+                runs.back().threads, runs.front().threads, speedup);
+  json += buf;
+  const Status s = WriteStringToFile(out_path, json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("[bench] wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -49,8 +49,16 @@ int main(int argc, char** argv) {
 
   AnonConfig cfg;
   if (const char* v = FlagValue(argc, argv, "--k")) cfg.k = std::atoi(v);
+  // Create() validates the flag-assembled config (e.g. --k 0) before
+  // any record is touched.
+  Result<Anonymizer> anonymizer = Anonymizer::Create(cfg);
+  if (!anonymizer.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 anonymizer.status().ToString().c_str());
+    return 2;
+  }
   std::printf("\nAnonymising (k=%d)...\n", cfg.k);
-  const AnonReport report = AnonymizeDataset(&data.dataset, cfg);
+  const AnonReport report = anonymizer->Run(&data.dataset);
 
   std::printf("  first names mapped: %zu female, %zu male\n",
               report.female_first_names_mapped,

@@ -10,9 +10,14 @@
 // previously killed run from the last completed phase instead of
 // starting over (see docs/ROBUSTNESS.md).
 //
-//   ./offline_online [graph.csv] [--resume]
+//   ./offline_online [graph.csv] [--resume] [--threads N]
+//
+// --threads sets ErConfig::num_threads for the offline ER run (0 =
+// hardware concurrency); see docs/PARALLELISM.md. Thread count does
+// not change the resolved clusters.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -27,9 +32,12 @@ int main(int argc, char** argv) {
   using namespace snaps;
   std::string path = "/tmp/snaps_pedigree_graph.csv";
   bool resume = false;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else {
       path = argv[i];
     }
@@ -45,6 +53,7 @@ int main(int argc, char** argv) {
     GeneratedData data = PopulationSimulator(cfg).Generate();
 
     PipelineConfig pcfg;
+    pcfg.er.num_threads = threads;
     pcfg.checkpoint_dir = path + ".ckpt";
     pcfg.resume = resume;
     pcfg.keep_checkpoints = true;  // So a later --resume can pick up.

@@ -7,6 +7,10 @@
 //                     [--kind birth|death] [--gender f|m]
 //                     [--from <year>] [--to <year>] [--parish <name>]
 //                     [--data <records.csv>] [--generations <g>]
+//                     [--threads <n>]
+//
+// --threads parallelises the offline phase (0 = hardware concurrency;
+// see docs/PARALLELISM.md) without changing its result.
 //
 // Example:
 //   ./pedigree_search --first douglas --surname macdonald --kind birth
@@ -69,6 +73,10 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--generations")) {
     generations = std::atoi(v);
   }
+  int threads = 1;
+  if (const char* v = FlagValue(argc, argv, "--threads")) {
+    threads = std::atoi(v);
+  }
 
   // ---- Load or generate the record universe. ----
   Dataset dataset;
@@ -91,10 +99,19 @@ int main(int argc, char** argv) {
               dataset.num_certificates(), dataset.num_records());
 
   // ---- Offline phase. ----
-  const ErResult result = ErEngine().Resolve(dataset);
+  ErConfig er_config;
+  er_config.num_threads = threads;
+  Result<ErEngine> engine = ErEngine::Create(er_config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+  const ErResult result = engine->Resolve(dataset);
   const PedigreeGraph graph = PedigreeGraph::Build(dataset, result);
   KeywordIndex keyword(&graph);
-  SimilarityIndex similarity(&keyword);
+  // The similarity index reuses the engine's workers: one context per
+  // offline run.
+  SimilarityIndex similarity(&keyword, /*s_t=*/0.5, engine->exec());
   QueryProcessor processor(&keyword, &similarity);
 
   // ---- Query, ranked results (the paper's Figure 6). ----

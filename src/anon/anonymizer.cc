@@ -1,5 +1,6 @@
 #include "anon/anonymizer.h"
 
+#include <cmath>
 #include <cstdlib>
 
 #include <algorithm>
@@ -106,6 +107,31 @@ size_t AnonymizeCauses(Dataset* ds, int k, size_t* frequent_out) {
 }
 
 }  // namespace
+
+Result<void> AnonConfig::Validate() const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!std::isfinite(name_cluster_threshold) ||
+      name_cluster_threshold < 0.0 || name_cluster_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "name_cluster_threshold must be finite and in [0,1]");
+  }
+  if (min_year_offset < 0 || max_year_offset < min_year_offset) {
+    return Status::InvalidArgument(
+        "year offsets must satisfy 0 <= min_year_offset <= max_year_offset");
+  }
+  return Result<void>::Ok();
+}
+
+Anonymizer::Anonymizer(AnonConfig config) : config_(config) {}
+
+Result<Anonymizer> Anonymizer::Create(AnonConfig config) {
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  return Anonymizer(config);
+}
+
+AnonReport Anonymizer::Run(Dataset* dataset) const {
+  return AnonymizeDataset(dataset, config_);
+}
 
 AnonReport AnonymizeDataset(Dataset* dataset, const AnonConfig& config) {
   AnonReport report;

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace snaps {
 
@@ -19,6 +20,10 @@ struct AnonConfig {
   /// (sign chosen randomly).
   int min_year_offset = 7;
   int max_year_offset = 40;
+
+  /// k >= 1, name_cluster_threshold finite and in [0,1],
+  /// 0 <= min_year_offset <= max_year_offset.
+  Result<void> Validate() const;
 };
 
 /// Summary of one anonymisation run.
@@ -38,6 +43,28 @@ struct AnonReport {
 /// replaced k-anonymously within gender x age-band strata
 /// (young <= 20 < middle <= 40 < old), falling back to "not known".
 AnonReport AnonymizeDataset(Dataset* dataset, const AnonConfig& config);
+
+/// The configured entry point to the anonymisation, following the
+/// library-wide construction convention: an Anonymizer that exists
+/// always carries a validated configuration.
+class Anonymizer {
+ public:
+  /// Unchecked construction over a known-good config; prefer Create()
+  /// for configs assembled from user input or files.
+  explicit Anonymizer(AnonConfig config = AnonConfig());
+
+  /// Validating factory: rejects any config failing
+  /// AnonConfig::Validate().
+  static Result<Anonymizer> Create(AnonConfig config);
+
+  /// AnonymizeDataset over the held configuration.
+  AnonReport Run(Dataset* dataset) const;
+
+  const AnonConfig& config() const { return config_; }
+
+ private:
+  AnonConfig config_;
+};
 
 /// Age band used for the cause-of-death strata.
 enum class AgeBand : uint8_t { kYoung = 0, kMiddle = 1, kOld = 2 };

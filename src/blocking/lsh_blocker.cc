@@ -34,12 +34,30 @@ uint64_t Mix(uint64_t x) {
 
 }  // namespace
 
+Result<void> BlockingConfig::Validate() const {
+  if (num_hashes < 1 || num_hashes > 4096) {
+    return Status::InvalidArgument("num_hashes must be in [1, 4096]");
+  }
+  if (band_size < 1 || band_size > num_hashes) {
+    return Status::InvalidArgument("band_size must be in [1, num_hashes]");
+  }
+  if (max_bucket < 2) {
+    return Status::InvalidArgument("max_bucket must be >= 2");
+  }
+  return Result<void>::Ok();
+}
+
 LshBlocker::LshBlocker(BlockingConfig config) : config_(config) {
   Rng rng(config_.seed);
   hash_seeds_.reserve(static_cast<size_t>(config_.num_hashes));
   for (int i = 0; i < config_.num_hashes; ++i) {
     hash_seeds_.push_back(rng.Next());
   }
+}
+
+Result<LshBlocker> LshBlocker::Create(BlockingConfig config) {
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  return LshBlocker(config);
 }
 
 std::string LshBlocker::BlockingKey(const Record& record) {
@@ -73,17 +91,48 @@ std::string LshBlocker::MaidenBlockingKey(const Record& record) {
 }
 
 std::vector<CandidatePair> LshBlocker::CandidatePairs(
-    const Dataset& dataset) const {
+    const Dataset& dataset, const ExecutionContext& exec) const {
   const int num_bands =
       std::max(1, config_.num_hashes / std::max(1, config_.band_size));
 
+  // MinHashing the blocking keys is the expensive, embarrassingly
+  // parallel part: every record's signatures are pure functions of
+  // that record alone, computed into per-record slots over the pool.
+  struct RecordSignatures {
+    std::vector<uint32_t> primary;  // Empty when the key is empty.
+    std::vector<uint32_t> maiden;
+    uint64_t phonetic = 0;
+    bool has_phonetic = false;
+  };
+  const std::vector<Record>& records = dataset.records();
+  std::vector<RecordSignatures> sigs(records.size());
+  exec.ParallelFor(records.size(), [&](size_t i) {
+    const Record& r = records[i];
+    const std::string key = BlockingKey(r);
+    if (!key.empty()) sigs[i].primary = Signature(key);
+    // Women are additionally indexed under their maiden name so that
+    // their pre-marriage records block with post-marriage ones.
+    const std::string maiden_key = MaidenBlockingKey(r);
+    if (!maiden_key.empty()) sigs[i].maiden = Signature(maiden_key);
+    if (config_.use_phonetic_key) {
+      const std::string code = Soundex(r.value(Attr::kFirstName)) + "|" +
+                               Soundex(r.value(Attr::kSurname));
+      if (code != "|") {
+        sigs[i].phonetic = Fnv1a(code);
+        sigs[i].has_phonetic = true;
+      }
+    }
+  });
+
+  // Bucket insertion stays sequential in record order: bucket member
+  // lists (and hence the emitted pairs) come out identical for any
+  // thread count.
   // band index -> bucket hash -> record ids.
   std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> bands(
       static_cast<size_t>(num_bands));
 
-  auto insert_key = [&](const std::string& key, RecordId id) {
-    if (key.empty()) return;
-    const std::vector<uint32_t> sig = Signature(key);
+  auto insert_signature = [&](const std::vector<uint32_t>& sig, RecordId id) {
+    if (sig.empty()) return;
     for (int b = 0; b < num_bands; ++b) {
       uint64_t bucket = 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(b);
       for (int row = 0; row < config_.band_size; ++row) {
@@ -100,18 +149,13 @@ std::vector<CandidatePair> LshBlocker::CandidatePairs(
   // Optional exact phonetic buckets live in a dedicated pseudo-band.
   std::unordered_map<uint64_t, std::vector<RecordId>> phonetic_band;
 
-  for (const Record& r : dataset.records()) {
-    insert_key(BlockingKey(r), r.id);
-    // Women are additionally indexed under their maiden name so that
-    // their pre-marriage records block with post-marriage ones.
-    insert_key(MaidenBlockingKey(r), r.id);
-    if (config_.use_phonetic_key) {
-      const std::string code = Soundex(r.value(Attr::kFirstName)) + "|" +
-                               Soundex(r.value(Attr::kSurname));
-      if (code != "|") {
-        auto& slot = phonetic_band[Fnv1a(code)];
-        if (slot.empty() || slot.back() != r.id) slot.push_back(r.id);
-      }
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RecordId id = records[i].id;
+    insert_signature(sigs[i].primary, id);
+    insert_signature(sigs[i].maiden, id);
+    if (sigs[i].has_phonetic) {
+      auto& slot = phonetic_band[sigs[i].phonetic];
+      if (slot.empty() || slot.back() != id) slot.push_back(id);
     }
   }
   if (config_.use_phonetic_key) {

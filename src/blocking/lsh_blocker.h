@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 
 namespace snaps {
 
@@ -22,6 +24,10 @@ struct BlockingConfig {
   /// bigram overlap is too low for the MinHash bands.
   bool use_phonetic_key = false;
   uint64_t seed = 0x5a9f00d5;
+
+  /// num_hashes in [1, 4096], band_size in [1, num_hashes],
+  /// max_bucket >= 2 (a one-record bucket can never pair).
+  Result<void> Validate() const;
 };
 
 /// A candidate record pair emitted by blocking, always ordered
@@ -34,10 +40,22 @@ using CandidatePair = std::pair<RecordId, RecordId>;
 /// candidates).
 class LshBlocker {
  public:
+  /// Unchecked construction over a known-good config; prefer Create()
+  /// for configs assembled from user input or files.
   explicit LshBlocker(BlockingConfig config = BlockingConfig());
 
-  /// Generates the deduplicated candidate pairs for a data set.
-  std::vector<CandidatePair> CandidatePairs(const Dataset& dataset) const;
+  /// Validating factory: rejects any config failing
+  /// BlockingConfig::Validate().
+  static Result<LshBlocker> Create(BlockingConfig config);
+
+  /// Generates the deduplicated candidate pairs for a data set. The
+  /// per-record MinHash signatures (the bulk of the work) are computed
+  /// over `exec`; bucket insertion and pair generation stay on the
+  /// calling thread in record order, so the result is identical for
+  /// any thread count.
+  std::vector<CandidatePair> CandidatePairs(
+      const Dataset& dataset,
+      const ExecutionContext& exec = ExecutionContext()) const;
 
   /// The MinHash signature of one blocking key (exposed for tests).
   std::vector<uint32_t> Signature(const std::string& key) const;

@@ -40,6 +40,11 @@ Result<void> ErConfig::Validate() const {
   if (merge_passes < 0) {
     return Status::InvalidArgument("merge_passes must be >= 0");
   }
+  if (num_threads < 0 || num_threads > 4096) {
+    return Status::InvalidArgument(
+        "num_threads must be in [0, 4096] (0 = hardware concurrency)");
+  }
+  if (Result<void> v = blocking.Validate(); !v.ok()) return v.status();
   return Result<void>::Ok();
 }
 

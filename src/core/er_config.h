@@ -55,6 +55,15 @@ struct ErConfig {
   /// loop of Section 4.2.6.
   uint64_t max_merge_operations = 0;
 
+  /// Worker threads of the offline run's ExecutionContext, used by
+  /// the parallel score computations (blocking, graph construction,
+  /// bootstrap scoring, the pass-start similarity refresh) and shared
+  /// with the index build when driven by PipelineRunner. 1 (the
+  /// default) runs everything inline; 0 resolves to the hardware
+  /// concurrency. Results are byte-identical for any value
+  /// (docs/PARALLELISM.md).
+  int num_threads = 1;
+
   // Ablation toggles (Table 3). PROP covers both PROP-A (value
   // propagation) and PROP-C (constraint propagation), as in the
   // paper: disabling it stops both the positive evidence (propagated

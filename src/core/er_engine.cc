@@ -3,9 +3,9 @@
 #include "core/graph_builder.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "blocking/lsh_blocker.h"
 #include "graph/algorithms.h"
@@ -32,18 +32,53 @@ std::vector<std::pair<RecordId, RecordId>> ErResult::MatchedPairs() const {
 
 namespace {
 
-/// PROP-A (Section 4.2.1): rewires the node's atomic edges using the
-/// propagated QID values of the entities the two records belong to.
-/// For each attribute, the best-matching value pair between the two
-/// entities' value sets replaces a worse current atomic node.
-void PropagateAttributeValues(ErRunState& st, RelNodeId id) {
-  RelationalNode& node = st.graph.mutable_rel_node(id);
+/// True when `node`'s cached similarity was computed against the two
+/// records' current clusters (same entities, same cluster versions).
+bool SimilarityCacheFresh(const ErRunState& st, const RelationalNode& node) {
+  const EntityId ea = st.entities->entity_of(node.rec_a);
+  const EntityId eb = st.entities->entity_of(node.rec_b);
+  return node.last_entity_a == ea && node.last_entity_b == eb &&
+         node.last_version_a == st.entities->cluster(ea).version &&
+         node.last_version_b == st.entities->cluster(eb).version;
+}
+
+/// The outcome of one pure PROP-A computation: the recomputed raw
+/// similarity per attribute, plus the value pair to intern when a
+/// better-than-base pair at or above t_a was found. Splitting the
+/// computation (pure, parallelisable) from its application (mutates
+/// the node and interns atomic nodes, sequential) is what lets the
+/// pass-start refresh fan out while staying byte-identical for any
+/// thread count.
+struct PropPlan {
+  /// False: PROP-A's gates early-out and the node is left untouched.
+  bool changed = false;
+  std::array<double, kNumAttrs> best;
+  /// Non-null: a cluster value pair beat the records' own values.
+  /// Points at record values or entity cluster value lists, both
+  /// stable for the lifetime of the plan (no merges happen between
+  /// compute and apply).
+  std::array<const std::string*, kNumAttrs> best_a;
+  std::array<const std::string*, kNumAttrs> best_b;
+
+  PropPlan() {
+    best.fill(-1.0);
+    best_a.fill(nullptr);
+    best_b.fill(nullptr);
+  }
+};
+
+/// PROP-A (Section 4.2.1), compute half: finds, per attribute, the
+/// best-matching value pair between the two records' entities. Reads
+/// the graph, entity store and dataset but mutates nothing — safe to
+/// run concurrently for distinct nodes.
+bool ComputePropPlan(const ErRunState& st, RelNodeId id, PropPlan* plan) {
+  const RelationalNode& node = st.graph.rel_node(id);
   const Schema& schema = st.config->schema;
   const EntityCluster& ca =
       st.entities->cluster(st.entities->entity_of(node.rec_a));
   const EntityCluster& cb =
       st.entities->cluster(st.entities->entity_of(node.rec_b));
-  if (ca.records.size() == 1 && cb.records.size() == 1) return;
+  if (ca.records.size() == 1 && cb.records.size() == 1) return false;
   // Only name-anchored pairs benefit from propagation: a pair whose
   // Must attribute (first name) already disagrees is not the
   // changed-QID case PROP-A exists for, and boosting its other
@@ -51,7 +86,7 @@ void PropagateAttributeValues(ErRunState& st, RelNodeId id) {
   // themselves.
   if (node.base_sims[static_cast<size_t>(Attr::kFirstName)] <
       static_cast<float>(st.config->atomic_threshold)) {
-    return;
+    return false;
   }
 
   const Record& rec_a = st.dataset->record(node.rec_a);
@@ -84,37 +119,91 @@ void PropagateAttributeValues(ErRunState& st, RelNodeId id) {
     };
     scan(rec_a.value(attr), cb.values[ai], /*anchor_is_a=*/true);
     scan(rec_b.value(attr), ca.values[ai], /*anchor_is_a=*/false);
-    node.raw_sims[ai] = static_cast<float>(best);
-    if (best_a != nullptr && best >= st.config->atomic_threshold) {
-      node.atomic[ai] =
-          st.graph.InternAtomicNode(attr, *best_a, *best_b, best);
+    plan->best[ai] = best;
+    plan->best_a[ai] = best_a;
+    plan->best_b[ai] = best_b;
+  }
+  plan->changed = true;
+  return true;
+}
+
+/// PROP-A, apply half: writes the recomputed raw similarities and
+/// rewires the node's atomic edges. Interning allocates atomic-node
+/// ids, so applications must happen sequentially in a fixed order.
+void ApplyPropPlan(ErRunState& st, RelNodeId id, const PropPlan& plan) {
+  RelationalNode& node = st.graph.mutable_rel_node(id);
+  for (Attr attr : st.config->schema.SimilarityAttrs()) {
+    const size_t ai = static_cast<size_t>(attr);
+    node.raw_sims[ai] = static_cast<float>(plan.best[ai]);
+    if (plan.best_a[ai] != nullptr &&
+        plan.best[ai] >= st.config->atomic_threshold) {
+      node.atomic[ai] = st.graph.InternAtomicNode(
+          attr, *plan.best_a[ai], *plan.best_b[ai], plan.best[ai]);
     }
   }
+}
+
+/// Recomputes the node's overall similarity and stamps the cache.
+void FinishNodeRefresh(ErRunState& st, RelNodeId id) {
+  RelationalNode& node = st.graph.mutable_rel_node(id);
+  const EntityId ea = st.entities->entity_of(node.rec_a);
+  const EntityId eb = st.entities->entity_of(node.rec_b);
+  node.similarity =
+      st.simmodel->NodeSimilarity(st.graph, node, st.config->enable_amb);
+  node.last_entity_a = ea;
+  node.last_entity_b = eb;
+  node.last_version_a = st.entities->cluster(ea).version;
+  node.last_version_b = st.entities->cluster(eb).version;
 }
 
 /// Recomputes and caches the similarity of one node (with PROP-A and
 /// AMB applied according to the configuration). Skips the work when
 /// neither record's cluster has changed since the last refresh.
 double RefreshNodeSimilarity(ErRunState& st, RelNodeId id) {
-  RelationalNode& node = st.graph.mutable_rel_node(id);
-  const EntityId ea = st.entities->entity_of(node.rec_a);
-  const EntityId eb = st.entities->entity_of(node.rec_b);
-  const uint32_t va = st.entities->cluster(ea).version;
-  const uint32_t vb = st.entities->cluster(eb).version;
-  if (node.last_entity_a == ea && node.last_entity_b == eb &&
-      node.last_version_a == va && node.last_version_b == vb) {
-    return node.similarity;
+  if (SimilarityCacheFresh(st, st.graph.rel_node(id))) {
+    return st.graph.rel_node(id).similarity;
   }
   if (st.config->enable_prop_a) {
-    PropagateAttributeValues(st, id);
+    PropPlan plan;
+    if (ComputePropPlan(st, id, &plan)) ApplyPropPlan(st, id, plan);
   }
-  node.similarity =
-      st.simmodel->NodeSimilarity(st.graph, node, st.config->enable_amb);
-  node.last_entity_a = ea;
-  node.last_entity_b = eb;
-  node.last_version_a = va;
-  node.last_version_b = vb;
-  return node.similarity;
+  FinishNodeRefresh(st, id);
+  return st.graph.rel_node(id).similarity;
+}
+
+/// Pass-start bulk refresh: recomputes every stale active node before
+/// the merge loop starts, fanning the pure PROP-A computations out
+/// over the pool and applying the results sequentially in node order.
+/// Entity clusters do not change during the batch, so each plan is a
+/// pure function of pre-batch state and the applied result is
+/// byte-identical for any thread count. The in-loop refresh then only
+/// touches nodes whose clusters changed through this pass's merges.
+void RefreshStaleNodes(ErRunState& st, const ExecutionContext& exec) {
+  std::vector<RelNodeId> stale;
+  const size_t num_nodes = st.graph.num_rel_nodes();
+  for (RelNodeId id = 0; id < num_nodes; ++id) {
+    const RelationalNode& node = st.graph.rel_node(id);
+    if (node.merged || node.pruned) continue;
+    if (SimilarityCacheFresh(st, node)) continue;
+    stale.push_back(id);
+  }
+  // Batched so the in-flight plans (with their per-attribute value
+  // pointers) stay bounded regardless of graph size.
+  constexpr size_t kBatch = 16384;
+  std::vector<PropPlan> plans(std::min(stale.size(), kBatch));
+  const bool prop_a = st.config->enable_prop_a;
+  exec.ParallelForOrdered(
+      stale.size(), kBatch,
+      [&](size_t k) {
+        PropPlan& plan = plans[k % kBatch];
+        plan = PropPlan();
+        if (prop_a) ComputePropPlan(st, stale[k], &plan);
+      },
+      [&](size_t k) {
+        const PropPlan& plan = plans[k % kBatch];
+        if (plan.changed) ApplyPropPlan(st, stale[k], plan);
+        FinishNodeRefresh(st, stale[k]);
+      });
 }
 
 /// Merges every surviving node of a group (marks nodes merged and
@@ -136,9 +225,32 @@ void MergeGroupNodes(ErRunState& st, const std::vector<RelNodeId>& nodes) {
 /// Bootstrapping (Section 4.2.6): merge groups of at least two nodes
 /// whose average atomic similarity reaches t_b. Constraints are
 /// checked per node; the group must be conflict-free to bootstrap.
-void Bootstrap(ErRunState& st) {
+/// The per-group score sums are pure functions of the freshly built
+/// graph and fan out over the pool; the merge decisions and merges
+/// themselves run sequentially in group order, so the clustering is
+/// byte-identical for any thread count.
+void Bootstrap(ErRunState& st, const ExecutionContext& exec) {
   Timer timer;
-  for (GroupId g = 0; g < st.graph.num_groups(); ++g) {
+  struct GroupScore {
+    double total = 0.0;
+    double ambiguity = 0.0;
+  };
+  const size_t num_groups = st.graph.num_groups();
+  std::vector<GroupScore> scores(num_groups);
+  exec.ParallelFor(num_groups, [&](size_t g) {
+    const std::vector<RelNodeId>& members =
+        st.graph.GroupMembers(static_cast<GroupId>(g));
+    if (members.size() < 2) return;
+    GroupScore& score = scores[g];
+    for (RelNodeId id : members) {
+      const RelationalNode& node = st.graph.rel_node(id);
+      score.total += st.simmodel->AtomicSimilarity(st.graph, node);
+      score.ambiguity +=
+          st.simmodel->DisambiguationSimilarity(node.rec_a, node.rec_b);
+    }
+  });
+
+  for (GroupId g = 0; g < num_groups; ++g) {
     // Cooperative cancellation: an expired deadline stops issuing new
     // bootstrap work (checked every 256 groups to keep clock reads off
     // the hot path).
@@ -148,29 +260,25 @@ void Bootstrap(ErRunState& st) {
     }
     const std::vector<RelNodeId>& members = st.graph.GroupMembers(g);
     if (members.size() < 2) continue;
-    double total = 0.0;
-    double ambiguity_total = 0.0;
     bool ok = true;
-    for (RelNodeId id : members) {
-      const RelationalNode& node = st.graph.rel_node(id);
-      total += st.simmodel->AtomicSimilarity(st.graph, node);
-      ambiguity_total +=
-          st.simmodel->DisambiguationSimilarity(node.rec_a, node.rec_b);
-      if (st.config->enable_prop_c &&
-          !st.entities->CanLink(node.rec_a, node.rec_b)) {
-        ok = false;
-        break;
+    if (st.config->enable_prop_c) {
+      for (RelNodeId id : members) {
+        const RelationalNode& node = st.graph.rel_node(id);
+        if (!st.entities->CanLink(node.rec_a, node.rec_b)) {
+          ok = false;
+          break;
+        }
       }
     }
     if (!ok) continue;
     const double denom = static_cast<double>(members.size());
-    if (total / denom < st.config->bootstrap_threshold) continue;
+    if (scores[g].total / denom < st.config->bootstrap_threshold) continue;
     // AMB at bootstrap time: ambiguous groups (common QID value
     // combinations) are left for the constraint- and relationship-
     // aware merging phase instead of being linked on name evidence
     // alone (Section 4.2.3: unique pairs are prioritised).
     if (st.config->enable_amb &&
-        ambiguity_total / denom < st.config->bootstrap_ambiguity_min) {
+        scores[g].ambiguity / denom < st.config->bootstrap_ambiguity_min) {
       continue;
     }
     MergeGroupNodes(st, members);
@@ -178,11 +286,17 @@ void Bootstrap(ErRunState& st) {
   st.stats.bootstrap_seconds = timer.ElapsedSeconds();
 }
 
-/// One merging pass (Section 4.2.6): a priority queue of groups
-/// (larger first, then higher average similarity) is processed; for
-/// each group the REL loop drops constraint violators and the lowest-
-/// similarity node until the group average reaches t_m, then merges.
-void MergePass(ErRunState& st) {
+/// One merging pass (Section 4.2.6): groups ordered larger-first,
+/// then by higher average similarity, are processed; for each group
+/// the REL loop drops constraint violators and the lowest-similarity
+/// node until the group average reaches t_m, then merges. The queue
+/// is a descending-sorted vector rather than a std::priority_queue:
+/// nothing is pushed mid-loop, the visit order is the exact pop order
+/// of the heap (the comparator totally orders entries via the group
+/// tie-break), and iteration beats repeated heap pops.
+void MergePass(ErRunState& st, const ExecutionContext& exec) {
+  RefreshStaleNodes(st, exec);
+
   struct QueueEntry {
     size_t size;
     double avg_sim;
@@ -193,22 +307,31 @@ void MergePass(ErRunState& st) {
       return group < o.group;  // Deterministic tie-break.
     }
   };
-  std::priority_queue<QueueEntry> queue;
-  for (GroupId g = 0; g < st.graph.num_groups(); ++g) {
-    const auto& members = st.graph.GroupMembers(g);
-    size_t active = 0;
-    double total = 0.0;
-    for (RelNodeId id : members) {
+  // Per-group active-node counts and similarity totals are pure
+  // per-group reductions over disjoint member lists — computed in
+  // parallel into per-group slots.
+  const size_t num_groups = st.graph.num_groups();
+  std::vector<uint32_t> active(num_groups, 0);
+  std::vector<double> totals(num_groups, 0.0);
+  exec.ParallelFor(num_groups, [&](size_t g) {
+    for (RelNodeId id : st.graph.GroupMembers(static_cast<GroupId>(g))) {
       const RelationalNode& node = st.graph.rel_node(id);
       if (node.merged || node.pruned) continue;
-      ++active;
-      total += node.similarity;
+      ++active[g];
+      totals[g] += node.similarity;
     }
-    if (active == 0) continue;
-    queue.push(QueueEntry{active, total / static_cast<double>(active), g});
+  });
+  std::vector<QueueEntry> queue;
+  queue.reserve(num_groups);
+  for (GroupId g = 0; g < num_groups; ++g) {
+    if (active[g] == 0) continue;
+    queue.push_back(QueueEntry{active[g],
+                               totals[g] / static_cast<double>(active[g]), g});
   }
+  std::sort(queue.begin(), queue.end(),
+            [](const QueueEntry& a, const QueueEntry& b) { return b < a; });
 
-  while (!queue.empty()) {
+  for (const QueueEntry& entry : queue) {
     // One budget unit per group visit; exhaustion (operation cap or
     // deadline) stops the queue between units of work, leaving the
     // clustering consistent but partial.
@@ -216,14 +339,29 @@ void MergePass(ErRunState& st) {
       st.stats.truncated = true;
       break;
     }
-    const GroupId g = queue.top().group;
-    queue.pop();
+    const GroupId g = entry.group;
 
     // Working set: unmerged, unpruned nodes of the group.
     std::vector<RelNodeId> work;
     for (RelNodeId id : st.graph.GroupMembers(g)) {
       const RelationalNode& node = st.graph.rel_node(id);
       if (!node.merged && !node.pruned) work.push_back(id);
+    }
+    if (work.empty()) continue;
+
+    // Fast path for the dominant case: a group down to one node whose
+    // similarity is current (refreshed at pass start, clusters
+    // unchanged since) and below the solo threshold. The full path
+    // below provably changes no state for such a group — the refresh
+    // is a cache hit and the REL loop can neither merge (avg below
+    // threshold) nor drop (already a single node) — so it is skipped
+    // wholesale, constraint checks included.
+    if (work.size() == 1) {
+      const RelationalNode& node = st.graph.rel_node(work[0]);
+      if (node.similarity < st.config->solo_merge_threshold &&
+          SimilarityCacheFresh(st, node)) {
+        continue;
+      }
     }
 
     // PROP-C: drop nodes that violate constraints against the current
@@ -343,11 +481,23 @@ void RefineClusters(ErRunState& st) {
 
 }  // namespace
 
-ErEngine::ErEngine(ErConfig config) : config_(std::move(config)) {}
+ErEngine::ErEngine(ErConfig config)
+    : config_(std::move(config)),
+      exec_(ExecutionContext::WithThreads(
+          static_cast<size_t>(std::max(0, config_.num_threads)),
+          config_.deadline)) {}
+
+ErEngine::ErEngine(ErConfig config, ExecutionContext exec)
+    : config_(std::move(config)), exec_(std::move(exec)) {}
 
 Result<ErEngine> ErEngine::Create(ErConfig config) {
   if (Result<void> v = config.Validate(); !v.ok()) return v.status();
   return ErEngine(std::move(config));
+}
+
+Result<ErEngine> ErEngine::Create(ErConfig config, ExecutionContext exec) {
+  if (Result<void> v = config.Validate(); !v.ok()) return v.status();
+  return ErEngine(std::move(config), std::move(exec));
 }
 
 void ErEngine::ReportPhase(const std::string& phase) const {
@@ -372,18 +522,19 @@ void ErEngine::InitState(const Dataset& dataset, ErRunState* st) const {
 void ErEngine::BuildGraphPhase(ErRunState* st) const {
   ReportPhase("graph construction");
   BuildDependencyGraphForDataset(*st->dataset, config_, &st->graph,
-                                 &st->stats);
-  // Initial similarities for queue ordering.
-  for (RelNodeId id = 0; id < st->graph.num_rel_nodes(); ++id) {
-    RelationalNode& node = st->graph.mutable_rel_node(id);
+                                 &st->stats, exec_);
+  // Initial similarities for queue ordering: one pure write per node.
+  DependencyGraph& graph = st->graph;
+  exec_.ParallelFor(graph.num_rel_nodes(), [&](size_t id) {
+    RelationalNode& node = graph.mutable_rel_node(static_cast<RelNodeId>(id));
     node.similarity =
-        st->simmodel->NodeSimilarity(st->graph, node, config_.enable_amb);
-  }
+        st->simmodel->NodeSimilarity(graph, node, config_.enable_amb);
+  });
 }
 
 void ErEngine::BootstrapPhase(ErRunState* st) const {
   ReportPhase("bootstrap");
-  Bootstrap(*st);
+  Bootstrap(*st, exec_);
   if (config_.enable_ref) {
     ReportPhase("refine");
     RefineClusters(*st);
@@ -393,7 +544,7 @@ void ErEngine::BootstrapPhase(ErRunState* st) const {
 void ErEngine::MergePassPhase(ErRunState* st, int pass) const {
   ReportPhase("merge pass " + std::to_string(pass + 1));
   Timer merge_timer;
-  MergePass(*st);
+  MergePass(*st, exec_);
   st->stats.merge_seconds += merge_timer.ElapsedSeconds();
   // The refinement trailing the last pass belongs to FinalRefinePhase,
   // so the pipeline gets a standalone refine checkpoint; the sequence

@@ -9,6 +9,7 @@
 #include "core/similarity.h"
 #include "data/dataset.h"
 #include "graph/dependency_graph.h"
+#include "util/execution_context.h"
 
 namespace snaps {
 
@@ -49,13 +50,22 @@ struct ErRunState {
 class ErEngine {
  public:
   /// Unchecked construction over a known-good config; prefer Create()
-  /// for configs assembled from user input or files.
+  /// for configs assembled from user input or files. The engine's
+  /// ExecutionContext is derived from the config
+  /// (ErConfig::num_threads and the run deadline); workers, if any,
+  /// are spawned here and live for the engine's lifetime.
   explicit ErEngine(ErConfig config = ErConfig());
+
+  /// Construction over a caller-provided ExecutionContext (shared
+  /// pool), ignoring ErConfig::num_threads. Used by drivers that run
+  /// several components over one pool (see PipelineRunner).
+  ErEngine(ErConfig config, ExecutionContext exec);
 
   /// Validating factory: rejects any config failing
   /// ErConfig::Validate(), so an engine that exists always has a
   /// runnable parameterisation.
   static Result<ErEngine> Create(ErConfig config);
+  static Result<ErEngine> Create(ErConfig config, ExecutionContext exec);
 
   /// Runs the full offline ER pipeline on `dataset`. The dataset must
   /// outlive the returned result.
@@ -87,10 +97,16 @@ class ErEngine {
 
   const ErConfig& config() const { return config_; }
 
+  /// The engine's execution context. Drivers reuse it for adjacent
+  /// parallel work (PipelineRunner hands it to the index build) so
+  /// one offline run owns exactly one pool.
+  const ExecutionContext& exec() const { return exec_; }
+
  private:
   void ReportPhase(const std::string& phase) const;
 
   ErConfig config_;
+  ExecutionContext exec_;
 };
 
 }  // namespace snaps

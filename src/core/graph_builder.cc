@@ -1,7 +1,7 @@
 #include "core/graph_builder.h"
 
 #include <algorithm>
-#include <functional>
+#include <array>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -14,14 +14,49 @@ namespace snaps {
 
 namespace {
 
-/// Attaches to `node` the best atomic node per similarity attribute
-/// of the raw record pair, thresholded at t_a.
-void AttachInitialAtomicNodes(const Dataset& dataset, const ErConfig& config,
-                              DependencyGraph& graph, RelNodeId id) {
-  RelationalNode& node = graph.mutable_rel_node(id);
-  const Record& ra = dataset.record(node.rec_a);
-  const Record& rb = dataset.record(node.rec_b);
-  const Schema& schema = config.schema;
+/// Sentinel for "attribute missing on either side": the pair carries
+/// no evidence, raw/base sims stay at their -1 default and no atomic
+/// node is attached (similarities themselves are always >= 0).
+constexpr double kSimMissing = -2.0;
+
+/// A relationship edge between two members of one block, by local
+/// member index.
+struct LocalEdge {
+  uint32_t from;
+  uint32_t to;
+  Relationship rel;
+};
+
+/// Everything one block (certificate pair) contributes to the graph,
+/// computed as a pure function of the dataset so blocks can be
+/// processed in parallel; materialisation into the DependencyGraph
+/// happens afterwards, sequentially, in block order.
+struct BlockPlan {
+  std::vector<std::pair<RecordId, RecordId>> members;
+  std::vector<LocalEdge> local_edges;
+  std::vector<uint32_t> component;  // Union-find root per member.
+  /// Per member, per attribute: the best value-pair similarity
+  /// (maiden-surname cross-pairings included), or kSimMissing.
+  std::vector<std::array<double, kNumAttrs>> sims;
+
+  void Clear() {
+    members.clear();
+    local_edges.clear();
+    component.clear();
+    sims.clear();
+  }
+};
+
+/// The best value-pair similarity per attribute of one record pair,
+/// thresholded nowhere: dissimilar present values are negative
+/// evidence in Equation 1 instead of silently dropping out.
+std::array<double, kNumAttrs> ComputePairSims(const Dataset& dataset,
+                                              const Schema& schema,
+                                              RecordId rec_a, RecordId rec_b) {
+  std::array<double, kNumAttrs> sims;
+  sims.fill(kSimMissing);
+  const Record& ra = dataset.record(rec_a);
+  const Record& rb = dataset.record(rec_b);
   for (Attr attr : schema.SimilarityAttrs()) {
     const std::string& va = ra.value(attr);
     const std::string& vb = rb.value(attr);
@@ -48,31 +83,150 @@ void AttachInitialAtomicNodes(const Dataset& dataset, const ErConfig& config,
                                           schema.comparator_params));
       }
     }
-    node.raw_sims[static_cast<size_t>(attr)] = static_cast<float>(sim);
-    node.base_sims[static_cast<size_t>(attr)] = static_cast<float>(sim);
-    if (sim >= config.atomic_threshold) {
-      node.atomic[static_cast<size_t>(attr)] =
-          graph.InternAtomicNode(attr, va, vb, sim);
+    sims[static_cast<size_t>(attr)] = sim;
+  }
+  return sims;
+}
+
+/// Fills `plan` for one certificate pair: the role-consistent member
+/// pairs, their relationship edges, the connected components over
+/// those edges, and the pairwise attribute similarities. Reads only
+/// the dataset and config — safe to run concurrently across blocks.
+void ComputeBlockPlan(const Dataset& dataset, const ErConfig& config,
+                      CertId cert_a, CertId cert_b, BlockPlan* plan) {
+  plan->Clear();
+  const TemporalConstraints& temporal = config.temporal;
+
+  // All role-consistent, gender-consistent, temporally plausible
+  // record pairs of this certificate pair become relational nodes.
+  // There is deliberately no name-similarity gate: dissimilar pairs
+  // (e.g. two siblings) must enter the graph so their low
+  // similarity provides the negative evidence that the REL
+  // technique reacts to (the partial-match-group problem).
+  for (RecordId a : dataset.CertRecords(cert_a)) {
+    const Record& ra = dataset.record(a);
+    for (RecordId b : dataset.CertRecords(cert_b)) {
+      const Record& rb = dataset.record(b);
+      if (!RolePairPlausible(ra.role, rb.role)) continue;
+      const Gender ga = ra.gender();
+      const Gender gb = rb.gender();
+      if (ga != Gender::kUnknown && gb != Gender::kUnknown && ga != gb) {
+        continue;
+      }
+      if (!temporal.CompatibleRecords(ra, rb)) continue;
+      plan->members.emplace_back(a, b);
     }
+  }
+  if (plan->members.empty()) return;
+
+  // Relationship edges (by local member index): (a1,b1) -> (a2,b2)
+  // when the role relation of a2 w.r.t. a1 equals that of b2
+  // w.r.t. b1 on their respective certificates.
+  const size_t m = plan->members.size();
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const auto& [a1, b1] = plan->members[i];
+      const auto& [a2, b2] = plan->members[j];
+      if (a1 == a2 || b1 == b2) continue;
+      Relationship rel_a, rel_b;
+      if (!LookupRoleRelation(dataset.record(a1).role,
+                              dataset.record(a2).role, &rel_a)) {
+        continue;
+      }
+      if (!LookupRoleRelation(dataset.record(b1).role,
+                              dataset.record(b2).role, &rel_b)) {
+        continue;
+      }
+      if (rel_a != rel_b) continue;
+      plan->local_edges.push_back(LocalEdge{i, j, rel_a});
+    }
+  }
+
+  // Node groups are the connected components of the relationship
+  // edges (Section 4.2.4 reasons over "connected groups of nodes");
+  // isolated nodes form singleton groups.
+  std::vector<uint32_t> parent(m);
+  for (uint32_t i = 0; i < m; ++i) parent[i] = i;
+  auto find = [&parent](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const LocalEdge& e : plan->local_edges) {
+    parent[find(e.from)] = find(e.to);
+  }
+  plan->component.resize(m);
+  for (uint32_t i = 0; i < m; ++i) plan->component[i] = find(i);
+
+  plan->sims.resize(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    plan->sims[i] = ComputePairSims(dataset, config.schema,
+                                    plan->members[i].first,
+                                    plan->members[i].second);
   }
 }
 
-/// Phase 1: dependency-graph generation (Section 4.1). Blocking
-/// produces candidate pairs; candidate certificate pairs become
-/// groups; within each group all role-consistent record pairs become
-/// relational nodes with relationship edges between them.
+/// Materialises one computed block into the graph: group allocation
+/// (first-encounter order over members), relational nodes, atomic
+/// nodes at threshold t_a, relationship edges. Must run sequentially
+/// in block order — it assigns ids.
+void ApplyBlockPlan(const Dataset& dataset, const ErConfig& config,
+                    const BlockPlan& plan, DependencyGraph& graph,
+                    ErStats& stats) {
+  if (plan.members.empty()) return;
+  const Schema& schema = config.schema;
+  std::unordered_map<uint32_t, GroupId> group_of_root;
+  std::vector<RelNodeId> node_ids(plan.members.size());
+  for (uint32_t i = 0; i < plan.members.size(); ++i) {
+    const uint32_t root = plan.component[i];
+    auto it = group_of_root.find(root);
+    if (it == group_of_root.end()) {
+      it = group_of_root.emplace(root, graph.NewGroup()).first;
+    }
+    node_ids[i] = graph.AddRelationalNode(plan.members[i].first,
+                                          plan.members[i].second, it->second);
+    RelationalNode& node = graph.mutable_rel_node(node_ids[i]);
+    const Record& ra = dataset.record(node.rec_a);
+    const Record& rb = dataset.record(node.rec_b);
+    for (Attr attr : schema.SimilarityAttrs()) {
+      const size_t ai = static_cast<size_t>(attr);
+      const double sim = plan.sims[i][ai];
+      if (sim == kSimMissing) continue;
+      node.raw_sims[ai] = static_cast<float>(sim);
+      node.base_sims[ai] = static_cast<float>(sim);
+      if (sim >= config.atomic_threshold) {
+        node.atomic[ai] =
+            graph.InternAtomicNode(attr, ra.value(attr), rb.value(attr), sim);
+      }
+    }
+  }
+  for (const LocalEdge& e : plan.local_edges) {
+    graph.AddRelEdge(node_ids[e.from], node_ids[e.to], e.rel);
+    stats.num_rel_edges++;
+  }
+}
+
 }  // namespace
 
+/// Phase 1: dependency-graph generation (Section 4.1). Blocking
+/// produces candidate pairs; candidate certificate pairs become
+/// blocks processed in parallel; within each block all role-
+/// consistent record pairs become relational nodes with relationship
+/// edges between them.
 void BuildDependencyGraphForDataset(const Dataset& dataset,
                                     const ErConfig& config,
                                     DependencyGraph* graph_out,
-                                    ErStats* stats_out) {
+                                    ErStats* stats_out,
+                                    const ExecutionContext& exec) {
   DependencyGraph& graph = *graph_out;
   ErStats& stats = *stats_out;
   Timer timer;
   const LshBlocker blocker(config.blocking);
   const std::vector<CandidatePair> candidates =
-      blocker.CandidatePairs(dataset);
+      blocker.CandidatePairs(dataset, exec);
   stats.atomic_gen_seconds = timer.ElapsedSeconds();
   timer.Restart();
 
@@ -91,102 +245,34 @@ void BuildDependencyGraphForDataset(const Dataset& dataset,
         (static_cast<uint64_t>(ca) << 32) | static_cast<uint64_t>(cb);
     by_cert_pair[key].emplace_back(fa, fb);
   }
+  // Canonical block order — ascending certificate pair — so every id
+  // the apply stage assigns is independent of both the hash-map
+  // iteration order and the thread count.
+  std::vector<uint64_t> keys;
+  keys.reserve(by_cert_pair.size());
+  for (const auto& [key, pairs] : by_cert_pair) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
 
-  const TemporalConstraints& temporal = config.temporal;
-
-  for (auto& [key, seed_pairs] : by_cert_pair) {
-    const CertId cert_a = static_cast<CertId>(key >> 32);
-    const CertId cert_b = static_cast<CertId>(key & 0xffffffffu);
-
-    // All role-consistent, gender-consistent, temporally plausible
-    // record pairs of this certificate pair become relational nodes.
-    // There is deliberately no name-similarity gate: dissimilar pairs
-    // (e.g. two siblings) must enter the graph so their low
-    // similarity provides the negative evidence that the REL
-    // technique reacts to (the partial-match-group problem).
-    std::vector<std::pair<RecordId, RecordId>> members;
-    for (RecordId a : dataset.CertRecords(cert_a)) {
-      const Record& ra = dataset.record(a);
-      for (RecordId b : dataset.CertRecords(cert_b)) {
-        const Record& rb = dataset.record(b);
-        if (!RolePairPlausible(ra.role, rb.role)) continue;
-        const Gender ga = ra.gender();
-        const Gender gb = rb.gender();
-        if (ga != Gender::kUnknown && gb != Gender::kUnknown && ga != gb) {
-          continue;
-        }
-        if (!temporal.CompatibleRecords(ra, rb)) continue;
-        members.emplace_back(a, b);
-      }
-    }
-    if (members.empty()) continue;
-
-    // Relationship edges (by local member index): (a1,b1) -> (a2,b2)
-    // when the role relation of a2 w.r.t. a1 equals that of b2
-    // w.r.t. b1 on their respective certificates.
-    struct LocalEdge {
-      uint32_t from;
-      uint32_t to;
-      Relationship rel;
-    };
-    std::vector<LocalEdge> local_edges;
-    for (uint32_t i = 0; i < members.size(); ++i) {
-      for (uint32_t j = 0; j < members.size(); ++j) {
-        if (i == j) continue;
-        const auto& [a1, b1] = members[i];
-        const auto& [a2, b2] = members[j];
-        if (a1 == a2 || b1 == b2) continue;
-        Relationship rel_a, rel_b;
-        if (!LookupRoleRelation(dataset.record(a1).role,
-                                dataset.record(a2).role, &rel_a)) {
-          continue;
-        }
-        if (!LookupRoleRelation(dataset.record(b1).role,
-                                dataset.record(b2).role, &rel_b)) {
-          continue;
-        }
-        if (rel_a != rel_b) continue;
-        local_edges.push_back(LocalEdge{i, j, rel_a});
-      }
-    }
-
-    // Node groups are the connected components of the relationship
-    // edges (Section 4.2.4 reasons over "connected groups of nodes");
-    // isolated nodes form singleton groups.
-    std::vector<uint32_t> parent(members.size());
-    for (uint32_t i = 0; i < members.size(); ++i) parent[i] = i;
-    std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
-      while (parent[x] != x) {
-        parent[x] = parent[parent[x]];
-        x = parent[x];
-      }
-      return x;
-    };
-    for (const LocalEdge& e : local_edges) {
-      parent[find(e.from)] = find(e.to);
-    }
-    std::unordered_map<uint32_t, GroupId> group_of_root;
-    std::vector<RelNodeId> node_ids(members.size());
-    for (uint32_t i = 0; i < members.size(); ++i) {
-      const uint32_t root = find(i);
-      auto it = group_of_root.find(root);
-      if (it == group_of_root.end()) {
-        it = group_of_root.emplace(root, graph.NewGroup()).first;
-      }
-      node_ids[i] = graph.AddRelationalNode(members[i].first,
-                                            members[i].second, it->second);
-      AttachInitialAtomicNodes(dataset, config, graph, node_ids[i]);
-    }
-    for (const LocalEdge& e : local_edges) {
-      graph.AddRelEdge(node_ids[e.from], node_ids[e.to], e.rel);
-      stats.num_rel_edges++;
-    }
-  }
+  // Blocks fan out in bounded batches (plans hold per-pair similarity
+  // arrays; batching caps that memory at the batch size), then
+  // materialise sequentially in block order.
+  constexpr size_t kBlockBatch = 2048;
+  std::vector<BlockPlan> plans(std::min(keys.size(), kBlockBatch));
+  exec.ParallelForOrdered(
+      keys.size(), kBlockBatch,
+      [&](size_t i) {
+        const uint64_t key = keys[i];
+        ComputeBlockPlan(dataset, config, static_cast<CertId>(key >> 32),
+                         static_cast<CertId>(key & 0xffffffffu),
+                         &plans[i % kBlockBatch]);
+      },
+      [&](size_t i) {
+        ApplyBlockPlan(dataset, config, plans[i % kBlockBatch], graph, stats);
+      });
   stats.rel_gen_seconds = timer.ElapsedSeconds();
   stats.num_atomic_nodes = graph.num_atomic_nodes();
   stats.num_rel_nodes = graph.num_rel_nodes();
   stats.num_groups = graph.num_groups();
 }
-
 
 }  // namespace snaps

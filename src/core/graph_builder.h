@@ -4,6 +4,7 @@
 #include "core/er_config.h"
 #include "data/dataset.h"
 #include "graph/dependency_graph.h"
+#include "util/execution_context.h"
 
 namespace snaps {
 
@@ -16,9 +17,16 @@ namespace snaps {
 /// connect nodes whose role relations agree on both certificates.
 /// Shared by the SNAPS engine and the Dep-Graph baseline. Timing and
 /// size fields of `stats` are filled in.
-void BuildDependencyGraphForDataset(const Dataset& dataset,
-                                    const ErConfig& config,
-                                    DependencyGraph* graph, ErStats* stats);
+///
+/// The per-block work (member filtering, relationship edges,
+/// connected components, pairwise attribute similarities) is pure and
+/// fans out over `exec`; blocks are then materialised into the graph
+/// sequentially in ascending certificate-pair order, so node, group
+/// and atomic-node ids are byte-identical for any thread count.
+void BuildDependencyGraphForDataset(
+    const Dataset& dataset, const ErConfig& config,
+    DependencyGraph* graph, ErStats* stats,
+    const ExecutionContext& exec = ExecutionContext());
 
 }  // namespace snaps
 

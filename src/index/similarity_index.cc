@@ -3,13 +3,12 @@
 #include <algorithm>
 
 #include "strsim/similarity.h"
-#include "util/thread_pool.h"
 #include "util/string_util.h"
 
 namespace snaps {
 
 SimilarityIndex::SimilarityIndex(const KeywordIndex* keyword_index, double s_t,
-                                 size_t num_threads)
+                                 const ExecutionContext& exec)
     : keyword_index_(keyword_index), s_t_(s_t) {
   // Bigram postings per field.
   for (int f = 0; f < kNumQueryFields; ++f) {
@@ -24,12 +23,11 @@ SimilarityIndex::SimilarityIndex(const KeywordIndex* keyword_index, double s_t,
   // offline phase of Section 6). Each value's list is an independent
   // pure computation, so the work parallelises; insertion into the
   // map stays on the calling thread for determinism.
-  ThreadPool pool(num_threads);
   for (int f = 0; f < kNumQueryFields; ++f) {
     const QueryField field = static_cast<QueryField>(f);
     const auto& values = keyword_index_->Values(field);
     std::vector<std::vector<SimilarValue>> lists(values.size());
-    pool.ParallelFor(values.size(), [&](size_t i) {
+    exec.ParallelFor(values.size(), [&](size_t i) {
       lists[i] = Compute(field, values[i]);
     });
     for (size_t i = 0; i < values.size(); ++i) {

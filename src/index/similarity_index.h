@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "index/keyword_index.h"
+#include "util/execution_context.h"
 
 namespace snaps {
 
@@ -63,11 +64,13 @@ class SimilarityIndex {
  public:
   /// Precomputes the index over the values of `keyword_index`.
   /// `s_t` in (0,1) bounds which approximate matches are retained.
-  /// `num_threads` parallelises the offline precomputation (each
-  /// value's similar-list is an independent pure computation); the
-  /// resulting index is identical for any thread count.
-  SimilarityIndex(const KeywordIndex* keyword_index, double s_t = 0.5,
-                  size_t num_threads = 1);
+  /// `exec` parallelises the offline precomputation (each value's
+  /// similar-list is an independent pure computation); the resulting
+  /// index is identical for any thread count. Like every offline
+  /// component, the index borrows the caller's context instead of
+  /// owning a pool.
+  explicit SimilarityIndex(const KeywordIndex* keyword_index, double s_t = 0.5,
+                           const ExecutionContext& exec = ExecutionContext());
 
   /// Similar values (including exact, similarity 1.0) for `value` in
   /// `field`, best first. Values known to the index return a borrowed

@@ -165,8 +165,10 @@ Result<PipelineOutput> PipelineRunner::Run(const Dataset& dataset) {
   // ---- Index phase: cheap to rebuild, so in-memory only (see
   // docs/ROBUSTNESS.md); the phase boundary still exists for tests. ----
   out.keyword_index = std::make_unique<KeywordIndex>(out.pedigree.get());
-  out.similarity_index =
-      std::make_unique<SimilarityIndex>(out.keyword_index.get());
+  // The index build shares the ER engine's pool: one offline run, one
+  // ExecutionContext, every phase's parallelism behind one knob.
+  out.similarity_index = std::make_unique<SimilarityIndex>(
+      out.keyword_index.get(), /*s_t=*/0.5, engine_.exec());
   Log("index: computed (in-memory, not checkpointed)", &out.phase_log);
   if (SNAPS_FAULT_POINT("pipeline.after.index")) {
     return FaultInjection::InjectedError("pipeline.after.index");

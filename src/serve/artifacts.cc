@@ -44,8 +44,7 @@ Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::Build(
   art->gazetteer_ = std::move(options.gazetteer);
   art->keyword_ = std::make_unique<KeywordIndex>(art->graph_.get());
   art->similarity_ = std::make_unique<SimilarityIndex>(
-      art->keyword_.get(), options.similarity_threshold,
-      options.index_threads);
+      art->keyword_.get(), options.similarity_threshold, options.exec);
   Result<QueryProcessor> processor = QueryProcessor::Create(
       art->keyword_.get(), art->similarity_.get(), options.query);
   if (!processor.ok()) return processor.status();

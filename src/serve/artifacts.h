@@ -12,18 +12,24 @@
 #include "pedigree/pedigree_graph.h"
 #include "pipeline/pipeline_runner.h"
 #include "query/query_processor.h"
+#include "util/execution_context.h"
 #include "util/status.h"
 
 namespace snaps {
 
 /// How to build one artifact generation: the ranking configuration,
-/// the similarity-index threshold s_t, the thread count for the index
-/// precomputation, and an optional gazetteer enabling region-limited
-/// queries.
+/// the similarity-index threshold s_t, the execution context for the
+/// index precomputation, and an optional gazetteer enabling
+/// region-limited queries.
 struct ArtifactOptions {
   QueryConfig query;
   double similarity_threshold = 0.5;
-  size_t index_threads = 1;
+  /// Context the index precomputation fans out over (default:
+  /// inline). Callers that already own one — an offline pipeline, a
+  /// service reload loop — pass it in rather than having the build
+  /// spin up a private pool; the built index is identical for any
+  /// thread count.
+  ExecutionContext exec;
   Gazetteer gazetteer;
 };
 

@@ -21,7 +21,7 @@ Result<void> ServiceConfig::Validate() const {
 SnapsService::SnapsService(ServiceConfig config, ArtifactLoader loader)
     : config_(config),
       loader_(std::move(loader)),
-      pool_(config.num_threads) {}
+      exec_(config.num_threads) {}
 
 SnapsService::~SnapsService() = default;
 
@@ -165,8 +165,8 @@ bool SnapsService::SearchAsync(SearchRequest request,
     if (callback) callback(std::move(response));
     return false;
   }
-  pool_.Submit([this, request = std::move(request),
-                callback = std::move(callback)]() mutable {
+  exec_.pool().Submit([this, request = std::move(request),
+                       callback = std::move(callback)]() mutable {
     queued_.fetch_sub(1, std::memory_order_release);
     SearchResponse response = Search(request);
     if (callback) callback(std::move(response));
@@ -174,7 +174,7 @@ bool SnapsService::SearchAsync(SearchRequest request,
   return true;
 }
 
-void SnapsService::Drain() { pool_.Wait(); }
+void SnapsService::Drain() { exec_.pool().Wait(); }
 
 Status SnapsService::Reload() {
   if (!loader_) {

@@ -14,8 +14,8 @@
 #include "serve/artifacts.h"
 #include "serve/metrics.h"
 #include "util/deadline.h"
+#include "util/execution_context.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace snaps {
 
@@ -111,7 +111,8 @@ struct LookupResponse {
 ///
 /// Admission control: a bounded in-flight gate (max_inflight) turns
 /// excess arrivals away with Unavailable, and the async path adds a
-/// bounded queue (max_queue) on top of the worker ThreadPool.
+/// bounded queue (max_queue) on top of the service's worker pool
+/// (an owned ExecutionContext).
 /// Deadlines: requests dead on arrival (or expired while queued) are
 /// answered DeadlineExceeded without doing work; searches that run
 /// out of time mid-flight return partial results flagged `truncated`.
@@ -206,9 +207,10 @@ class SnapsService {
   std::atomic<uint64_t> queued_{0};
   std::mutex reload_mutex_;  // Serialises Reload(), not readers.
   ServiceMetrics metrics_;
-  /// Declared last: destroyed first, so queued tasks still see every
-  /// other member alive while the pool drains.
-  ThreadPool pool_;
+  /// The async worker pool (exact ServiceConfig::num_threads workers;
+  /// 0 = inline). Declared last: destroyed first, so queued tasks
+  /// still see every other member alive while the pool drains.
+  ExecutionContext exec_;
 };
 
 }  // namespace snaps

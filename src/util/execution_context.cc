@@ -1,0 +1,43 @@
+#include "util/execution_context.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace snaps {
+
+ExecutionContext::ExecutionContext(size_t num_threads, Deadline deadline)
+    : pool_(std::make_shared<ThreadPool>(num_threads)),
+      num_threads_(std::max<size_t>(1, num_threads)),
+      deadline_(deadline) {}
+
+size_t ExecutionContext::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+ExecutionContext ExecutionContext::WithThreads(size_t num_threads,
+                                               Deadline deadline) {
+  return ExecutionContext(num_threads == 0 ? HardwareThreads() : num_threads,
+                          deadline);
+}
+
+ExecutionContext ExecutionContext::WithDeadline(Deadline deadline) const {
+  ExecutionContext ctx = *this;
+  ctx.deadline_ = deadline;
+  return ctx;
+}
+
+void ExecutionContext::ParallelForOrdered(
+    size_t n, size_t chunk, const std::function<void(size_t)>& compute,
+    const std::function<void(size_t)>& apply) const {
+  if (chunk == 0) chunk = 1;
+  for (size_t base = 0; base < n; base += chunk) {
+    const size_t end = std::min(n, base + chunk);
+    pool_->ParallelFor(end - base,
+                       [&](size_t k) { compute(base + k); });
+    for (size_t i = base; i < end; ++i) apply(i);
+  }
+}
+
+}  // namespace snaps

@@ -1,0 +1,107 @@
+#ifndef SNAPS_UTIL_EXECUTION_CONTEXT_H_
+#define SNAPS_UTIL_EXECUTION_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/deadline.h"
+#include "util/thread_pool.h"
+
+namespace snaps {
+
+/// The execution environment of an offline run: one shared worker
+/// pool plus the run's wall-clock deadline. Every parallel offline
+/// component (the ER engine, graph construction, blocking, the
+/// similarity-index build) takes an ExecutionContext instead of an
+/// ad-hoc `num_threads` parameter, so a pipeline spins up exactly one
+/// pool and threads it through all phases.
+///
+/// Copying is cheap and shares the pool: `WithDeadline()` derives a
+/// context for a bounded sub-task without re-spawning workers. A
+/// default-constructed context runs everything inline on the calling
+/// thread, which keeps single-threaded callers allocation- and
+/// thread-free.
+///
+/// Determinism: the context only distributes *pure* computations;
+/// every consumer merges results in a fixed order on the calling
+/// thread (see docs/PARALLELISM.md), so outputs are byte-identical
+/// for any thread count.
+///
+/// Thread safety: the underlying pool serialises on Wait(), so one
+/// context (or a set of copies sharing a pool) must only be driven by
+/// one ParallelFor at a time. Concurrent *submissions* from request
+/// threads (the serving layer's async path) are fine.
+class ExecutionContext {
+ public:
+  /// Inline context: all work on the calling thread, no deadline.
+  ExecutionContext() : ExecutionContext(1) {}
+
+  /// A context over exactly `num_threads` workers (ThreadPool
+  /// semantics: 0 or 1 keeps execution inline, no workers spawned).
+  explicit ExecutionContext(size_t num_threads, Deadline deadline = Deadline());
+
+  /// The configuration convention (ErConfig::num_threads): 0 resolves
+  /// to the hardware concurrency, anything else is the exact count.
+  static ExecutionContext WithThreads(size_t num_threads,
+                                      Deadline deadline = Deadline());
+
+  /// std::thread::hardware_concurrency(), never 0 (falls back to 1
+  /// when the platform cannot report it).
+  static size_t HardwareThreads();
+
+  /// The resolved worker count (>= 1; 1 means inline execution).
+  size_t num_threads() const { return num_threads_; }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// A context sharing this pool but carrying a different deadline.
+  ExecutionContext WithDeadline(Deadline deadline) const;
+
+  /// A budget combining an operation cap with this context's deadline
+  /// (the unit consumed per merge-queue group visit; see Budget).
+  Budget MakeBudget(uint64_t max_operations) const {
+    return Budget(max_operations, deadline_);
+  }
+
+  /// The shared pool, for consumers that need Submit()/Wait() rather
+  /// than a parallel loop (the serving layer's async request path).
+  ThreadPool& pool() const { return *pool_; }
+
+  /// Runs `fn(i)` for i in [0, n) over the pool and waits. `fn` must
+  /// be safe to call concurrently for distinct indices. A throwing
+  /// `fn(i)` is recorded (num_failed_tasks()/FirstError()) and the
+  /// remaining indices still run — a failed task never aborts the
+  /// phase driving the loop.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) const {
+    pool_->ParallelFor(n, fn);
+  }
+
+  /// Deterministic compute/apply loop: runs the pure `compute(i)` for
+  /// i in [0, n) over the pool in batches of `chunk`, and after each
+  /// batch runs `apply(i)` sequentially in ascending i on the calling
+  /// thread. `compute` typically fills a caller-owned slot (index
+  /// `i % chunk` is unique within a batch), `apply` merges it into
+  /// shared state; because every apply happens in index order on one
+  /// thread, the merged result is byte-identical for any thread
+  /// count. `apply` may mutate state that `compute` of *later* batches
+  /// reads; batches never overlap.
+  void ParallelForOrdered(size_t n, size_t chunk,
+                          const std::function<void(size_t)>& compute,
+                          const std::function<void(size_t)>& apply) const;
+
+  /// Failure record of the shared pool (cumulative across phases).
+  size_t num_failed_tasks() const { return pool_->num_failed_tasks(); }
+  std::string FirstError() const { return pool_->FirstError(); }
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;  // Never null.
+  size_t num_threads_ = 1;
+  Deadline deadline_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_EXECUTION_CONTEXT_H_

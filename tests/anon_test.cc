@@ -220,5 +220,34 @@ TEST_F(AnonymizerTest, SimilarityStructureRoughlyPreserved) {
   EXPECT_GT(similar_pairs_sim / similar_pairs, 0.6);
 }
 
+// ------------------------------------------- Anonymizer factory.
+
+TEST(AnonConfigTest, CreateRejectsInvalidConfigs) {
+  AnonConfig config;
+  config.k = 0;
+  EXPECT_FALSE(Anonymizer::Create(config).ok());
+  config = AnonConfig();
+  config.name_cluster_threshold = 1.5;
+  EXPECT_FALSE(Anonymizer::Create(config).ok());
+  config = AnonConfig();
+  config.max_year_offset = config.min_year_offset - 1;
+  EXPECT_FALSE(Anonymizer::Create(config).ok());
+  EXPECT_TRUE(Anonymizer::Create(AnonConfig()).ok());
+}
+
+TEST(AnonConfigTest, RunMatchesFreeFunction) {
+  SimulatorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_founder_couples = 15;
+  GeneratedData a = PopulationSimulator(cfg).Generate();
+  GeneratedData b = PopulationSimulator(cfg).Generate();
+  Result<Anonymizer> anonymizer = Anonymizer::Create(AnonConfig());
+  ASSERT_TRUE(anonymizer.ok());
+  const AnonReport via_class = anonymizer->Run(&a.dataset);
+  const AnonReport via_free = AnonymizeDataset(&b.dataset, AnonConfig());
+  EXPECT_EQ(via_class.year_offset, via_free.year_offset);
+  EXPECT_EQ(via_class.surnames_mapped, via_free.surnames_mapped);
+}
+
 }  // namespace
 }  // namespace snaps

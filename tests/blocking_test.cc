@@ -4,6 +4,7 @@
 
 #include "blocking/lsh_blocker.h"
 #include "datagen/simulator.h"
+#include "util/execution_context.h"
 
 namespace snaps {
 namespace {
@@ -160,6 +161,33 @@ TEST(BlockingTest, RecallOnExactTrueMatches) {
   }
   ASSERT_GT(total, 100u);
   EXPECT_GT(static_cast<double>(hit) / total, 0.98);
+}
+
+TEST(BlockingTest, ParallelCandidatePairsIdenticalToSerial) {
+  GeneratedData data = PopulationSimulator([] {
+    SimulatorConfig cfg;
+    cfg.seed = 11;
+    cfg.num_founder_couples = 20;
+    return cfg;
+  }()).Generate();
+  const LshBlocker blocker;
+  const auto serial = blocker.CandidatePairs(data.dataset);
+  const auto parallel =
+      blocker.CandidatePairs(data.dataset, ExecutionContext(4));
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(BlockingConfigTest, CreateRejectsInvalidConfigs) {
+  BlockingConfig config;
+  config.num_hashes = 0;
+  EXPECT_FALSE(LshBlocker::Create(config).ok());
+  config = BlockingConfig();
+  config.band_size = config.num_hashes + 1;
+  EXPECT_FALSE(LshBlocker::Create(config).ok());
+  config = BlockingConfig();
+  config.max_bucket = 1;
+  EXPECT_FALSE(LshBlocker::Create(config).ok());
+  EXPECT_TRUE(LshBlocker::Create(BlockingConfig()).ok());
 }
 
 }  // namespace

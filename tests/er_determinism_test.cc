@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/er_engine.h"
+#include "datagen/simulator.h"
+#include "util/execution_context.h"
+
+namespace snaps {
+namespace {
+
+/// The tentpole guarantee of the parallel offline phase (see
+/// docs/PARALLELISM.md): ErConfig::num_threads changes wall-clock
+/// time only. Clusters and matched pairs must be byte-identical for
+/// any thread count.
+class ErDeterminismTest : public ::testing::Test {
+ protected:
+  ErDeterminismTest() {
+    SimulatorConfig cfg;
+    cfg.seed = 7;
+    cfg.num_founder_couples = 12;
+    data_ = PopulationSimulator(cfg).Generate();
+  }
+
+  ErResult ResolveWithThreads(int num_threads) const {
+    ErConfig config;
+    config.num_threads = num_threads;
+    return ErEngine(config).Resolve(data_.dataset);
+  }
+
+  /// Thread-count-independent fingerprint of the clustering: each
+  /// cluster as its sorted record set, all clusters as a set of sets.
+  static std::set<std::vector<RecordId>> ClusterSets(const ErResult& result) {
+    std::set<std::vector<RecordId>> out;
+    for (EntityId id : result.entities->AllEntities()) {
+      std::vector<RecordId> records = result.entities->cluster(id).records;
+      std::sort(records.begin(), records.end());
+      out.insert(std::move(records));
+    }
+    return out;
+  }
+
+  GeneratedData data_;
+};
+
+TEST_F(ErDeterminismTest, MatchedPairsIdenticalAcrossThreadCounts) {
+  const ErResult serial = ResolveWithThreads(1);
+  const auto baseline = serial.MatchedPairs();
+  ASSERT_FALSE(baseline.empty());
+  for (const int threads : {2, 8}) {
+    const ErResult parallel = ResolveWithThreads(threads);
+    EXPECT_EQ(parallel.MatchedPairs(), baseline)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(ErDeterminismTest, ClustersIdenticalAcrossThreadCounts) {
+  const ErResult serial = ResolveWithThreads(1);
+  const auto baseline = ClusterSets(serial);
+  for (const int threads : {2, 8}) {
+    const ErResult parallel = ResolveWithThreads(threads);
+    EXPECT_EQ(ClusterSets(parallel), baseline) << "num_threads=" << threads;
+    EXPECT_EQ(parallel.entities->NumMergedEntities(),
+              serial.entities->NumMergedEntities());
+  }
+}
+
+TEST_F(ErDeterminismTest, StatsCountersIdenticalAcrossThreadCounts) {
+  const ErResult serial = ResolveWithThreads(1);
+  const ErResult parallel = ResolveWithThreads(8);
+  EXPECT_EQ(parallel.stats.num_rel_nodes, serial.stats.num_rel_nodes);
+  EXPECT_EQ(parallel.stats.num_rel_edges, serial.stats.num_rel_edges);
+  EXPECT_EQ(parallel.stats.num_merged_nodes, serial.stats.num_merged_nodes);
+  EXPECT_EQ(parallel.stats.num_entities, serial.stats.num_entities);
+}
+
+// ------------------------------------------- num_threads validation.
+
+TEST(ErThreadConfigTest, CreateRejectsOutOfRangeThreadCounts) {
+  ErConfig config;
+  config.num_threads = -1;
+  EXPECT_FALSE(ErEngine::Create(config).ok());
+  config.num_threads = 4097;
+  EXPECT_FALSE(ErEngine::Create(config).ok());
+}
+
+TEST(ErThreadConfigTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ErConfig config;
+  config.num_threads = 0;
+  Result<ErEngine> engine = ErEngine::Create(config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_GE(engine->exec().num_threads(), 1u);
+  EXPECT_EQ(engine->exec().num_threads(),
+            ExecutionContext::HardwareThreads());
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/execution_context.h"
+
+namespace snaps {
+namespace {
+
+TEST(ExecutionContextTest, DefaultIsInline) {
+  const ExecutionContext exec;
+  EXPECT_EQ(exec.num_threads(), 1u);
+  EXPECT_EQ(exec.pool().num_threads(), 0u);  // ThreadPool inline mode.
+  EXPECT_TRUE(exec.deadline().infinite());
+}
+
+TEST(ExecutionContextTest, WithThreadsZeroResolvesHardwareConcurrency) {
+  const ExecutionContext exec = ExecutionContext::WithThreads(0);
+  EXPECT_GE(exec.num_threads(), 1u);
+  EXPECT_EQ(exec.num_threads(), ExecutionContext::HardwareThreads());
+  EXPECT_GE(ExecutionContext::HardwareThreads(), 1u);
+}
+
+TEST(ExecutionContextTest, WithThreadsNonZeroIsExact) {
+  const ExecutionContext exec = ExecutionContext::WithThreads(3);
+  EXPECT_EQ(exec.num_threads(), 3u);
+  EXPECT_EQ(exec.pool().num_threads(), 3u);
+}
+
+ExecutionContext PassedByValue(ExecutionContext exec) { return exec; }
+
+TEST(ExecutionContextTest, CopySharesThePool) {
+  const ExecutionContext exec(2);
+  const ExecutionContext copy = PassedByValue(exec);
+  EXPECT_EQ(&copy.pool(), &exec.pool());
+}
+
+TEST(ExecutionContextTest, WithDeadlineSharesPoolAndSwapsDeadline) {
+  const ExecutionContext exec(2);
+  const ExecutionContext bounded = exec.WithDeadline(Deadline::After(-1.0));
+  EXPECT_EQ(&bounded.pool(), &exec.pool());
+  EXPECT_TRUE(bounded.deadline().expired());
+  EXPECT_TRUE(exec.deadline().infinite());  // Original untouched.
+}
+
+TEST(ExecutionContextTest, MakeBudgetCombinesCapAndDeadline) {
+  const ExecutionContext exec(1, Deadline::After(-1.0));
+  Budget budget = exec.MakeBudget(1000);
+  EXPECT_TRUE(budget.exhausted());  // Deadline already passed.
+
+  const ExecutionContext unbounded(1);
+  Budget capped = unbounded.MakeBudget(2);
+  EXPECT_TRUE(capped.Consume());
+  EXPECT_FALSE(capped.Consume());  // Cap of 2 reached.
+}
+
+TEST(ExecutionContextTest, ParallelForCoversEveryIndexOnce) {
+  const ExecutionContext exec(4);
+  std::vector<std::atomic<int>> hits(257);
+  exec.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutionContextTest, ThrowingBodySurfacesWithoutAborting) {
+  const ExecutionContext exec(4);
+  std::atomic<int> completed{0};
+  exec.ParallelFor(100, [&](size_t i) {
+    if (i == 37) throw std::runtime_error("injected failure");
+    completed++;
+  });
+  EXPECT_EQ(completed.load(), 99);
+  EXPECT_EQ(exec.num_failed_tasks(), 1u);
+  EXPECT_NE(exec.FirstError().find("injected failure"), std::string::npos);
+}
+
+TEST(ExecutionContextTest, ParallelForOrderedAppliesInAscendingOrder) {
+  const ExecutionContext exec(4);
+  const size_t n = 1000;
+  const size_t chunk = 64;
+  std::vector<int> slots(chunk, 0);
+  std::vector<size_t> applied;
+  exec.ParallelForOrdered(
+      n, chunk,
+      [&](size_t i) { slots[i % chunk] = static_cast<int>(i) * 3; },
+      [&](size_t i) {
+        EXPECT_EQ(slots[i % chunk], static_cast<int>(i) * 3);
+        applied.push_back(i);
+      });
+  ASSERT_EQ(applied.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(applied[i], i);
+}
+
+TEST(ExecutionContextTest, ParallelForOrderedInlineMatchesParallel) {
+  // The determinism contract in miniature: an order-sensitive fold
+  // over per-index compute results is identical inline and threaded.
+  auto fold = [](const ExecutionContext& exec) {
+    std::vector<uint64_t> slot(8, 0);
+    uint64_t acc = 1469598103934665603ull;
+    exec.ParallelForOrdered(
+        100, 8, [&](size_t i) { slot[i % 8] = (i * 2654435761u) ^ (i << 7); },
+        [&](size_t i) { acc = (acc ^ slot[i % 8]) * 1099511628211ull; });
+    return acc;
+  };
+  EXPECT_EQ(fold(ExecutionContext(1)), fold(ExecutionContext(4)));
+}
+
+TEST(ExecutionContextTest, ParallelForOrderedZeroChunkStillCompletes) {
+  const ExecutionContext exec(2);
+  std::vector<int> slot(1, 0);
+  int sum = 0;
+  exec.ParallelForOrdered(
+      5, 0, [&](size_t i) { slot[0] = static_cast<int>(i); },
+      [&](size_t) { sum += slot[0]; });
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+}
+
+}  // namespace
+}  // namespace snaps

@@ -5,6 +5,7 @@
 #include "index/similarity_index.h"
 #include "pedigree/pedigree_graph.h"
 #include "query/query_processor.h"
+#include "util/execution_context.h"
 
 namespace snaps {
 namespace {
@@ -89,7 +90,7 @@ TEST_F(IndexQueryTest, ValuesAreSortedDistinct) {
 // ------------------------------------------------ SimilarityIndex.
 
 TEST_F(IndexQueryTest, ParallelBuildIdenticalToSerial) {
-  SimilarityIndex parallel(keyword_.get(), 0.5, /*num_threads=*/4);
+  SimilarityIndex parallel(keyword_.get(), 0.5, ExecutionContext(4));
   for (int f = 0; f < kNumQueryFields; ++f) {
     const QueryField field = static_cast<QueryField>(f);
     for (const std::string& v : keyword_->Values(field)) {

@@ -1,0 +1,11 @@
+// expect-lint: raw-pool
+#include "util/thread_pool.h"
+
+namespace snaps {
+
+void FanOut() {
+  ThreadPool pool(4);
+  pool.ParallelFor(8, [](size_t) {});
+}
+
+}  // namespace snaps

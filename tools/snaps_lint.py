@@ -15,6 +15,10 @@ the SNAPS source tree for project rules:
   raw-thread      No std::thread / std::jthread outside
                   src/util/thread_pool — concurrency goes through the
                   pool so deadlines, faults, and shutdown stay uniform.
+  raw-pool        No direct ThreadPool use in src/ outside src/util/ —
+                  ExecutionContext is the only sanctioned pool owner,
+                  so an offline run spins up exactly one pool and the
+                  determinism contract (docs/PARALLELISM.md) holds.
   banned-fn       strcpy / strcat / sprintf / gets / rand / srand are
                   never acceptable (bounds-unsafe or hidden global
                   state; use snaps::Rng and std::snprintf).
@@ -54,6 +58,12 @@ STDOUT_RE = re.compile(r"std::cout|std::cerr|(?<!\w)(?:std::)?printf\s*\(")
 # Static member access (hardware_concurrency) and references (join
 # loops) do not create threads and stay silent.
 THREAD_RE = re.compile(r"std::j?thread\b(?!::)(?!\s*&)")
+# Any mention of the ThreadPool type in code (declaration, member,
+# pool construction) — ExecutionContext wraps it for everyone else.
+# The include directive is matched against the raw line because
+# strip_noncode blanks string literals.
+POOL_RE = re.compile(r"\bThreadPool\b")
+POOL_INCLUDE_RE = re.compile(r'#\s*include\s*"util/thread_pool\.h"')
 BANNED_FN_RE = re.compile(
     r"(?<![\w:.])(?:std::)?(strcpy|strcat|sprintf|gets|rand|srand)\s*\(")
 VOID_DISCARD_RE = re.compile(r"\(void\)\s*[A-Za-z_][\w.:]*(->\w+)*\s*\(")
@@ -155,6 +165,11 @@ def check_file(path, rel, findings):
             report(i, raw, "raw-thread",
                    "raw std::thread outside src/util/thread_pool — "
                    "use snaps::ThreadPool")
+        if (in_src and not in_util and
+                (POOL_RE.search(code) or POOL_INCLUDE_RE.search(raw))):
+            report(i, raw, "raw-pool",
+                   "direct ThreadPool use outside src/util/ — thread "
+                   "work through an ExecutionContext")
         m = BANNED_FN_RE.search(code)
         if m:
             report(i, raw, "banned-fn",
