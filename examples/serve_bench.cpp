@@ -25,6 +25,7 @@
 #include "datagen/simulator.h"
 #include "serve/snaps_service.h"
 #include "util/csv.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -180,29 +181,28 @@ int main(int argc, char** argv) {
   const PedigreeGraph graph = PedigreeGraph::Build(data.dataset, er);
 
   // ---- Serving artifacts + service. ----
+  // Created through a loader (not prebuilt artifacts) so the
+  // resilience probe below can exercise the retried Reload() path.
   ArtifactOptions options;
-  Result<std::unique_ptr<SearchArtifacts>> artifacts =
-      SearchArtifacts::Build(graph, options);
-  if (!artifacts.ok()) {
-    std::fprintf(stderr, "artifact build failed: %s\n",
-                 artifacts.status().ToString().c_str());
-    return 1;
-  }
-  // Workload vocabulary: the indexed name values of generation 1.
-  const std::vector<std::string> firsts =
-      artifacts.value()->keyword_index().Values(QueryField::kFirstName);
-  const std::vector<std::string> surnames =
-      artifacts.value()->keyword_index().Values(QueryField::kSurname);
-
   ServiceConfig svc;
   svc.max_inflight = 64;
+  svc.reload_retry.max_attempts = 3;
+  svc.reload_retry.initial_backoff_ms = 1.0;
   Result<std::unique_ptr<SnapsService>> service =
-      SnapsService::Create(svc, std::move(artifacts).value());
+      SnapsService::Create(svc, [&graph, &options]() {
+        return SearchArtifacts::Build(graph, options);
+      });
   if (!service.ok()) {
     std::fprintf(stderr, "service create failed: %s\n",
                  service.status().ToString().c_str());
     return 1;
   }
+  // Workload vocabulary: the indexed name values of generation 1.
+  const std::vector<std::string> firsts =
+      service.value()->snapshot()->keyword_index().Values(
+          QueryField::kFirstName);
+  const std::vector<std::string> surnames =
+      service.value()->snapshot()->keyword_index().Values(QueryField::kSurname);
   std::printf("[bench] serving %zu entities, %zu relationships\n",
               graph.num_nodes(), graph.num_edges());
 
@@ -232,6 +232,25 @@ int main(int argc, char** argv) {
   std::printf("[bench] 8-thread QPS / 1-thread QPS = %.2fx\n%s", scaling,
               service.value()->MetricsText().c_str());
 
+  // ---- Resilience probe: a loader that fails once must heal inside
+  // the retry budget without disturbing the serving generation. ----
+  FaultInjection::ArmFailOnce("serve.reload.load");
+  const Status probe = service.value()->Reload();
+  FaultInjection::Reset();
+  std::printf("[bench] reload probe with injected loader fault: %s\n%s\n",
+              probe.ok() ? "recovered via retry" : probe.ToString().c_str(),
+              service.value()->HealthText().c_str());
+
+  const MetricsSnapshot m = service.value()->Metrics();
+  uint64_t rejected = 0;
+  bool reconciled = m.inflight == 0;
+  for (int k = 0; k < kNumRequestKinds; ++k) {
+    rejected += m.kinds[static_cast<size_t>(k)].rejected;
+    reconciled = reconciled &&
+                 m.total_responses(static_cast<RequestKind>(k)) ==
+                     m.kinds[static_cast<size_t>(k)].started;
+  }
+
   // ---- BENCH_serve.json. ----
   std::string json = "{\n  \"bench\": \"serve\",\n";
   char buf[256];
@@ -257,7 +276,24 @@ int main(int argc, char** argv) {
     json += buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "  ],\n  \"scaling_8x_over_1x\": %.3f\n}\n", scaling);
+                "  ],\n  \"scaling_8x_over_1x\": %.3f,\n", scaling);
+  json += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"resilience\": {\"health\": \"%s\", \"rejected\": %llu, "
+      "\"shed\": %llu, \"queue_timeouts\": %llu, \"degraded_entries\": %llu,\n",
+      HealthStateName(m.health), static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(m.shed),
+      static_cast<unsigned long long>(m.queue_timeouts),
+      static_cast<unsigned long long>(m.degraded_entries));
+  json += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"reload_retries\": %llu, \"breaker_trips\": %llu, "
+      "\"reload_probe_ok\": %s, \"reconciled\": %s}\n}\n",
+      static_cast<unsigned long long>(m.reload_retries),
+      static_cast<unsigned long long>(m.breaker_trips),
+      probe.ok() ? "true" : "false", reconciled ? "true" : "false");
   json += buf;
   const Status s = WriteStringToFile(out_path, json);
   if (!s.ok()) {

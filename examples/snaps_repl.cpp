@@ -13,6 +13,7 @@
 //   explore <rank> [generations]              family tree of a result
 //   gedcom <rank> <path>                      export a pedigree
 //   metrics                                   service counters
+//   health                                    breaker + overload state
 //   reload                                    rebuild + swap artifacts
 //   json                                      toggle JSON output
 //   help / quit
@@ -42,8 +43,8 @@ void PrintHelp() {
       "  search <first> <surname> [birth|death]\n"
       "  gender <f|m|any>      years <from> <to>      parish <name>\n"
       "  near <place> <km>     explore <rank> [g]     gedcom <rank> <path>\n"
-      "  metrics               reload                 json\n"
-      "  help                  quit\n");
+      "  metrics               reload                 health\n"
+      "  json                  help                   quit\n");
 }
 
 }  // namespace
@@ -114,6 +115,8 @@ int main(int argc, char** argv) {
       std::printf("json output %s\n", json ? "on" : "off");
     } else if (cmd == "metrics") {
       std::printf("%s", service.MetricsText().c_str());
+    } else if (cmd == "health") {
+      std::printf("%s\n", service.HealthText().c_str());
     } else if (cmd == "reload") {
       const Status s = service.Reload();
       std::printf("%s\n", s.ok() ? ("now serving generation " +

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "pedigree/serialization.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace snaps {
@@ -33,6 +34,9 @@ Result<std::unique_ptr<SearchArtifacts>> SearchArtifacts::Build(
       options.similarity_threshold > 1.0) {
     return Status::InvalidArgument(
         "similarity_threshold must be in (0,1]");
+  }
+  if (SNAPS_FAULT_POINT("serve.artifacts.validate")) {
+    return FaultInjection::InjectedError("serve.artifacts.validate");
   }
   Timer timer;
   // The bundle is heap-allocated before the indices are built so every

@@ -1,0 +1,109 @@
+#include "serve/health.h"
+
+#include <cmath>
+
+namespace snaps {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "Starting";
+    case HealthState::kServing:
+      return "Serving";
+    case HealthState::kDegraded:
+      return "Degraded";
+    case HealthState::kDraining:
+      return "Draining";
+  }
+  return "unknown";
+}
+
+Result<void> BreakerConfig::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument(
+        "breaker.failure_threshold must be >= 1 (got " +
+        std::to_string(failure_threshold) +
+        "); 1 opens the breaker on the first reload failure");
+  }
+  if (!std::isfinite(open_duration_ms) || open_duration_ms < 0.0) {
+    return Status::InvalidArgument(
+        "breaker.open_duration_ms must be finite and >= 0 "
+        "(0 allows a half-open probe immediately)");
+  }
+  return Result<void>::Ok();
+}
+
+HealthTracker::HealthTracker(BreakerConfig config) : config_(config) {}
+
+void HealthTracker::MarkServing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  serving_ = true;
+}
+
+void HealthTracker::MarkDraining() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool HealthTracker::AllowReload() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return true;
+  // Half-open: one probe through once the cooldown elapsed. The
+  // breaker stays formally open until the probe succeeds, so a
+  // failing probe just restarts the cooldown (RecordReloadFailure).
+  if (cooldown_.expired()) return true;
+  ++short_circuits_;
+  return false;
+}
+
+void HealthTracker::RecordReloadSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  open_ = false;
+  serving_ = true;
+}
+
+void HealthTracker::RecordReloadFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (open_) {
+    // A failed half-open probe: back to cooling down.
+    cooldown_ = Deadline::After(config_.open_duration_ms / 1000.0);
+    return;
+  }
+  if (consecutive_failures_ >= config_.failure_threshold) {
+    open_ = true;
+    ++trips_;
+    cooldown_ = Deadline::After(config_.open_duration_ms / 1000.0);
+  }
+}
+
+HealthState HealthTracker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) return HealthState::kDraining;
+  if (!serving_) return HealthState::kStarting;
+  if (open_) return HealthState::kDegraded;
+  return HealthState::kServing;
+}
+
+bool HealthTracker::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_;
+}
+
+int HealthTracker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+uint64_t HealthTracker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+uint64_t HealthTracker::short_circuits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return short_circuits_;
+}
+
+}  // namespace snaps

@@ -1,0 +1,100 @@
+#ifndef SNAPS_SERVE_HEALTH_H_
+#define SNAPS_SERVE_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// Lifecycle of a SnapsService (docs/ROBUSTNESS.md, "Serving
+/// resilience"):
+///
+///   Starting -> Serving <-> Degraded -> Draining
+///
+/// Starting covers construction until the first generation publishes;
+/// Degraded means the service is still answering from its last good
+/// generation but something is wrong (reload breaker open, or overload
+/// degradation active); Draining is the terminal shutdown state.
+enum class HealthState : uint8_t {
+  kStarting = 0,
+  kServing = 1,
+  kDegraded = 2,
+  kDraining = 3,
+};
+
+const char* HealthStateName(HealthState state);
+
+/// Reload circuit-breaker parameters.
+struct BreakerConfig {
+  /// Consecutive reload failures that open the breaker. While open,
+  /// Reload() is short-circuited without touching the loader — a
+  /// persistently failing (or corrupt) SNAPSFILE is probed, not
+  /// hammered.
+  int failure_threshold = 3;
+  /// Cooldown before a half-open probe is allowed through. Each
+  /// failed probe restarts the cooldown; one success closes the
+  /// breaker.
+  double open_duration_ms = 5000.0;
+
+  /// failure_threshold >= 1; open_duration_ms finite and >= 0.
+  Result<void> Validate() const;
+};
+
+/// Thread-safe health state machine + reload circuit breaker. One
+/// instance lives inside each SnapsService; the service feeds it
+/// reload outcomes and lifecycle transitions, and combines its state
+/// with the overload controller's for the reported HealthState.
+class HealthTracker {
+ public:
+  explicit HealthTracker(BreakerConfig config = BreakerConfig());
+
+  HealthTracker(const HealthTracker&) = delete;
+  HealthTracker& operator=(const HealthTracker&) = delete;
+
+  /// Starting -> Serving (first generation published).
+  void MarkServing();
+  /// -> Draining (service shutting down; terminal).
+  void MarkDraining();
+
+  /// Gate in front of the loader. True when the breaker is closed, or
+  /// open with an elapsed cooldown (the half-open probe). False hits
+  /// are counted (short_circuits) so skipped reloads stay visible.
+  bool AllowReload();
+
+  /// Reload outcome feedback: success closes the breaker and resets
+  /// the failure streak; failure extends the streak, opening the
+  /// breaker at the threshold (or restarting the cooldown after a
+  /// failed half-open probe).
+  void RecordReloadSuccess();
+  void RecordReloadFailure();
+
+  /// Draining > Starting > Degraded (breaker open) > Serving.
+  HealthState state() const;
+
+  bool breaker_open() const;
+  int consecutive_failures() const;
+  /// Times the breaker opened (threshold crossings, not probe
+  /// failures).
+  uint64_t trips() const;
+  /// Reloads short-circuited while the breaker was open.
+  uint64_t short_circuits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  BreakerConfig config_;
+  bool serving_ = false;
+  bool draining_ = false;
+  bool open_ = false;
+  int consecutive_failures_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t short_circuits_ = 0;
+  Deadline cooldown_;  // Half-open probe allowed once expired.
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_SERVE_HEALTH_H_

@@ -71,6 +71,13 @@ uint64_t MetricsSnapshot::total_ok() const {
   return n;
 }
 
+uint64_t MetricsSnapshot::total_responses(RequestKind kind) const {
+  const PerKind& k = kinds[static_cast<size_t>(kind)];
+  uint64_t n = k.ok + k.failed + k.rejected + k.deadline_exceeded;
+  if (kind == RequestKind::kSearch) n += queue_timeouts + shed;
+  return n;
+}
+
 void ServiceMetrics::RecordStarted(RequestKind kind) {
   kinds_[static_cast<size_t>(kind)].started.fetch_add(
       1, std::memory_order_relaxed);
@@ -107,6 +114,18 @@ void ServiceMetrics::RecordReload(bool ok) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::RecordReloadRetries(uint64_t retries) {
+  reload_retries_.fetch_add(retries, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordQueueTimeout() {
+  queue_timeouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot(uint64_t generation,
                                          uint64_t inflight) const {
   MetricsSnapshot snap;
@@ -141,6 +160,9 @@ MetricsSnapshot ServiceMetrics::Snapshot(uint64_t generation,
       searches_truncated_.load(std::memory_order_relaxed);
   snap.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
   snap.reloads_failed = reloads_failed_.load(std::memory_order_relaxed);
+  snap.reload_retries = reload_retries_.load(std::memory_order_relaxed);
+  snap.queue_timeouts = queue_timeouts_.load(std::memory_order_relaxed);
+  snap.shed = shed_.load(std::memory_order_relaxed);
   snap.generation = generation;
   snap.inflight = inflight;
   return snap;
@@ -176,6 +198,25 @@ std::string FormatMetricsText(const MetricsSnapshot& snapshot) {
   }
   std::snprintf(line, sizeof(line), "searches truncated at deadline: %llu\n",
                 static_cast<unsigned long long>(snapshot.searches_truncated));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "health %s%s | breaker: %llu consecutive failure(s), %llu trip(s), "
+      "%llu short-circuit(s), %llu retried load(s)\n",
+      HealthStateName(snapshot.health),
+      snapshot.degraded_mode ? " (overload degradation active)" : "",
+      static_cast<unsigned long long>(snapshot.consecutive_reload_failures),
+      static_cast<unsigned long long>(snapshot.breaker_trips),
+      static_cast<unsigned long long>(snapshot.breaker_short_circuits),
+      static_cast<unsigned long long>(snapshot.reload_retries));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "overload: %llu shed, %llu queue timeout(s), %llu degraded entr%s\n",
+      static_cast<unsigned long long>(snapshot.shed),
+      static_cast<unsigned long long>(snapshot.queue_timeouts),
+      static_cast<unsigned long long>(snapshot.degraded_entries),
+      snapshot.degraded_entries == 1 ? "y" : "ies");
   out += line;
   return out;
 }

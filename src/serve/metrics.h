@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/health.h"
+
 namespace snaps {
 
 /// The request types SnapsService serves and instruments.
@@ -52,11 +54,36 @@ struct MetricsSnapshot {
   uint64_t searches_truncated = 0;  // OK searches cut at the deadline.
   uint64_t reloads_ok = 0;
   uint64_t reloads_failed = 0;
+  /// Loader attempts beyond the first, summed over all Reload() calls
+  /// (0 with retries disabled).
+  uint64_t reload_retries = 0;
+  /// Async requests whose deadline expired *while queued* — distinct
+  /// from deadline_exceeded (dead on arrival), so a slow worker pool
+  /// is distinguishable from clients sending pre-expired requests.
+  uint64_t queue_timeouts = 0;
+  /// Async requests shed by the overload controller (standing queue
+  /// above the CoDel target) — distinct from `rejected` (static
+  /// admission limits).
+  uint64_t shed = 0;
   uint64_t generation = 0;          // Artifact generation now serving.
   uint64_t inflight = 0;            // Requests currently admitted.
+  // Resilience state, stamped by the service (see serve/health.h and
+  // serve/overload.h).
+  HealthState health = HealthState::kStarting;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_short_circuits = 0;
+  uint64_t consecutive_reload_failures = 0;
+  bool degraded_mode = false;
+  uint64_t degraded_entries = 0;
 
   uint64_t total_started() const;
   uint64_t total_ok() const;
+  /// Responses of kind `kind` accounted so far: ok + failed +
+  /// rejected + deadline_exceeded, plus the global queue_timeout and
+  /// shed counters for searches (both are search-only paths). Equals
+  /// `started` for that kind once every arrival has been answered —
+  /// the reconciliation invariant the chaos test asserts.
+  uint64_t total_responses(RequestKind kind) const;
 };
 
 /// Renders a snapshot as an aligned human-readable text block (the
@@ -81,6 +108,13 @@ class ServiceMetrics {
   void RecordCompleted(RequestKind kind, bool ok, bool truncated,
                        double latency_seconds);
   void RecordReload(bool ok);
+  /// `retries` loader attempts beyond the first in one Reload().
+  void RecordReloadRetries(uint64_t retries);
+  /// An async request answered DeadlineExceeded because its deadline
+  /// expired while it sat in the admission queue.
+  void RecordQueueTimeout();
+  /// An async request shed by the overload controller.
+  void RecordShed();
 
   /// Takes a snapshot; `generation` and `inflight` are stamped in by
   /// the service, which owns that state.
@@ -102,6 +136,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> searches_truncated_{0};
   std::atomic<uint64_t> reloads_ok_{0};
   std::atomic<uint64_t> reloads_failed_{0};
+  std::atomic<uint64_t> reload_retries_{0};
+  std::atomic<uint64_t> queue_timeouts_{0};
+  std::atomic<uint64_t> shed_{0};
 };
 
 }  // namespace snaps

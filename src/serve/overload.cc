@@ -1,0 +1,120 @@
+#include "serve/overload.h"
+
+#include <cmath>
+
+namespace snaps {
+
+Result<void> OverloadConfig::Validate() const {
+  if (!std::isfinite(target_delay_ms) || target_delay_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "overload.target_delay_ms must be finite and > 0 (the CoDel "
+        "target; disable shedding by raising it, not zeroing it)");
+  }
+  if (!std::isfinite(interval_ms) || interval_ms < 0.0) {
+    return Status::InvalidArgument(
+        "overload.interval_ms must be finite and >= 0 "
+        "(0 sheds on the first above-target delay)");
+  }
+  if (!std::isfinite(degrade_latency_ms) || degrade_latency_ms < 0.0) {
+    return Status::InvalidArgument(
+        "overload.degrade_latency_ms must be finite and >= 0 "
+        "(0 disables latency-based degradation)");
+  }
+  if (!std::isfinite(degraded_timeout_ms) || degraded_timeout_ms < 0.0) {
+    return Status::InvalidArgument(
+        "overload.degraded_timeout_ms must be finite and >= 0 "
+        "(0 leaves deadlines untouched while degraded)");
+  }
+  if (!std::isfinite(ewma_alpha) || ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "overload.ewma_alpha must be in (0, 1]");
+  }
+  return Result<void>::Ok();
+}
+
+OverloadController::OverloadController(OverloadConfig config)
+    : config_(config) {}
+
+bool OverloadController::ShouldShed(double queue_delay_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_delay_ms < config_.target_delay_ms) {
+    // Queue drained below target: overload is over.
+    above_ = false;
+    dropping_ = false;
+    drop_count_ = 0;
+    return false;
+  }
+  if (!above_) {
+    above_ = true;
+    sustained_ = Deadline::After(config_.interval_ms / 1000.0);
+    next_drop_ = Deadline();  // First shed due as soon as we drop.
+    if (config_.interval_ms > 0.0) return false;  // Burst tolerance.
+  }
+  if (!dropping_) {
+    if (!sustained_.expired()) return false;  // Still within the burst.
+    dropping_ = true;
+  }
+  if (next_drop_.infinite() || next_drop_.expired()) {
+    ++drop_count_;
+    ++sheds_;
+    // CoDel control law: shed spacing shrinks with sqrt(drop_count)
+    // while the standing queue persists.
+    next_drop_ = Deadline::After(
+        config_.interval_ms /
+        std::sqrt(static_cast<double>(drop_count_)) / 1000.0);
+    return true;
+  }
+  return false;
+}
+
+void OverloadController::RecordLatency(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.degrade_latency_ms <= 0.0) return;
+  if (!ewma_seeded_) {
+    ewma_ms_ = latency_ms;
+    ewma_seeded_ = true;
+  } else {
+    ewma_ms_ = config_.ewma_alpha * latency_ms +
+               (1.0 - config_.ewma_alpha) * ewma_ms_;
+  }
+  if (!latency_degraded_ && ewma_ms_ > config_.degrade_latency_ms) {
+    latency_degraded_ = true;
+    ++degraded_entries_;
+  } else if (latency_degraded_ &&
+             ewma_ms_ < 0.5 * config_.degrade_latency_ms) {
+    latency_degraded_ = false;  // Hysteresis: recover at half.
+  }
+}
+
+Deadline OverloadController::MaybeShrink(const Deadline& effective) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!latency_degraded_ && !dropping_) return effective;
+  if (config_.degraded_timeout_ms <= 0.0) return effective;
+  if (!effective.infinite() &&
+      effective.RemainingSeconds() * 1000.0 <= config_.degraded_timeout_ms) {
+    return effective;  // The request's own deadline is already tighter.
+  }
+  return Deadline::After(config_.degraded_timeout_ms / 1000.0);
+}
+
+bool OverloadController::degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_degraded_ || dropping_;
+}
+
+uint64_t OverloadController::sheds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sheds_;
+}
+
+uint64_t OverloadController::degraded_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_entries_;
+}
+
+double OverloadController::latency_ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_ms_;
+}
+
+}  // namespace snaps

@@ -1,0 +1,105 @@
+#ifndef SNAPS_SERVE_OVERLOAD_H_
+#define SNAPS_SERVE_OVERLOAD_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// Adaptive overload-control parameters, layered on the static
+/// admission limits (ServiceConfig::max_inflight / max_queue): the
+/// static gates bound *memory*, this controller bounds *waiting*.
+struct OverloadConfig {
+  /// CoDel-style target for the async queueing delay: delay below the
+  /// target is healthy, a standing queue above it is overload.
+  double target_delay_ms = 5.0;
+  /// How long the delay must stay above target before shedding
+  /// starts, and the initial spacing between sheds (shrinking with
+  /// the square root of the shed count while overload persists).
+  /// 0 sheds on the first above-target request — deterministic for
+  /// tests, aggressive in production.
+  double interval_ms = 100.0;
+  /// Completion-latency EWMA threshold that enters degraded mode
+  /// (graceful degradation); recovery at half the threshold
+  /// (hysteresis). 0 disables latency-based degradation.
+  double degrade_latency_ms = 0.0;
+  /// Effective search deadline while degraded: long requests are
+  /// shrunk to this so they return truncated best-effort rankings
+  /// quickly instead of being rejected outright. 0 leaves deadlines
+  /// untouched.
+  double degraded_timeout_ms = 25.0;
+  /// Smoothing of the completion-latency EWMA, in (0, 1].
+  double ewma_alpha = 0.2;
+
+  /// target/interval/degrade/timeout finite and >= 0 (target > 0),
+  /// alpha in (0, 1].
+  Result<void> Validate() const;
+};
+
+/// Thread-safe queue-delay shedder + graceful-degradation detector
+/// (docs/ROBUSTNESS.md, "Serving resilience").
+///
+/// Shedding follows the CoDel idea: a queueing delay above
+/// `target_delay_ms` sustained for `interval_ms` means a standing
+/// queue that admission alone will not clear; from then on requests
+/// are shed with sqrt-decreasing spacing until the delay drops below
+/// target. Compared to a hard queue cap, this keeps latency bounded
+/// at any arrival rate while still absorbing short bursts.
+///
+/// Degradation watches a completion-latency EWMA: above
+/// `degrade_latency_ms` (or while actively shedding) the service is
+/// "degraded" and long deadlines are shrunk to `degraded_timeout_ms`,
+/// trading result completeness (truncated rankings) for availability.
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadConfig config = OverloadConfig());
+
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  /// Feeds the measured queueing delay of a request about to execute;
+  /// true means shed it (answer Unavailable without running it).
+  bool ShouldShed(double queue_delay_ms);
+
+  /// Feeds a completion latency into the degradation EWMA.
+  void RecordLatency(double latency_ms);
+
+  /// Shrinks `effective` to the degraded timeout while degraded;
+  /// otherwise (or when the request's own deadline is already
+  /// tighter) returns it unchanged.
+  Deadline MaybeShrink(const Deadline& effective) const;
+
+  /// True while shedding is active or the latency EWMA is above the
+  /// degrade threshold.
+  bool degraded() const;
+
+  uint64_t sheds() const;
+  /// Times the latency EWMA crossed into degraded (entries, not
+  /// samples).
+  uint64_t degraded_entries() const;
+  double latency_ewma_ms() const;
+
+ private:
+  mutable std::mutex mutex_;
+  OverloadConfig config_;
+  // CoDel state: when the delay first went above target, whether we
+  // are in the dropping regime, and when the next shed is due.
+  bool above_ = false;
+  bool dropping_ = false;
+  uint64_t drop_count_ = 0;
+  Deadline sustained_;  // Above-target since; dropping once expired.
+  Deadline next_drop_;
+  // Degradation state.
+  bool latency_degraded_ = false;
+  bool ewma_seeded_ = false;
+  double ewma_ms_ = 0.0;
+  uint64_t sheds_ = 0;
+  uint64_t degraded_entries_ = 0;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_SERVE_OVERLOAD_H_

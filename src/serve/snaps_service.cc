@@ -1,8 +1,10 @@
 #include "serve/snaps_service.h"
 
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace snaps {
@@ -15,15 +17,21 @@ Result<void> ServiceConfig::Validate() const {
     return Status::InvalidArgument(
         "default_timeout_ms must be finite and >= 0");
   }
+  if (Result<void> v = reload_retry.Validate(); !v.ok()) return v;
+  if (Result<void> v = breaker.Validate(); !v.ok()) return v;
+  if (Result<void> v = overload.Validate(); !v.ok()) return v;
   return Result<void>::Ok();
 }
 
 SnapsService::SnapsService(ServiceConfig config, ArtifactLoader loader)
     : config_(config),
       loader_(std::move(loader)),
-      exec_(config.num_threads) {}
+      reload_retry_(config_.reload_retry),
+      health_(config_.breaker),
+      overload_(config_.overload),
+      exec_(config_.num_threads) {}
 
-SnapsService::~SnapsService() = default;
+SnapsService::~SnapsService() { health_.MarkDraining(); }
 
 Result<std::unique_ptr<SnapsService>> SnapsService::Create(
     ServiceConfig config, std::unique_ptr<SearchArtifacts> artifacts) {
@@ -83,7 +91,12 @@ Response SnapsService::RunRequest(RequestKind kind, const Deadline& deadline,
     response.status = Status::Unavailable("service overloaded");
     return response;
   }
-  const Deadline effective = EffectiveDeadline(deadline);
+  Deadline effective = EffectiveDeadline(deadline);
+  if (kind == RequestKind::kSearch) {
+    // Graceful degradation: while overloaded, long searches are cut
+    // down to the degraded timeout and return truncated rankings.
+    effective = overload_.MaybeShrink(effective);
+  }
   if (effective.expired()) {
     ExitInflight();
     metrics_.RecordDeadlineExceeded(kind);
@@ -102,6 +115,9 @@ Response SnapsService::RunRequest(RequestKind kind, const Deadline& deadline,
   ExitInflight();
   metrics_.RecordCompleted(kind, response.status.ok(), truncated,
                            response.latency_ms / 1000.0);
+  if (kind == RequestKind::kSearch) {
+    overload_.RecordLatency(response.latency_ms);
+  }
   return response;
 }
 
@@ -110,6 +126,9 @@ SearchResponse SnapsService::Search(const SearchRequest& request) {
       RequestKind::kSearch, request.deadline,
       [&request](const SearchArtifacts& art, const Deadline& deadline,
                  SearchResponse* out, bool* truncated) {
+        if (SNAPS_FAULT_POINT("serve.search.run")) {
+          return FaultInjection::InjectedError("serve.search.run");
+        }
         SearchOutcome outcome = art.processor().Search(request.query, deadline);
         out->results = std::move(outcome.results);
         out->truncated = outcome.truncated;
@@ -165,9 +184,36 @@ bool SnapsService::SearchAsync(SearchRequest request,
     if (callback) callback(std::move(response));
     return false;
   }
+  // The default timeout is applied at submission so it covers queue
+  // wait, and the queueing delay is measured from here.
+  request.deadline = EffectiveDeadline(request.deadline);
+  Timer queued_timer;
   exec_.pool().Submit([this, request = std::move(request),
-                       callback = std::move(callback)]() mutable {
+                       callback = std::move(callback),
+                       queued_timer]() mutable {
     queued_.fetch_sub(1, std::memory_order_release);
+    const double queue_delay_ms = queued_timer.ElapsedSeconds() * 1000.0;
+    if (request.deadline.expired()) {
+      // Expired while queued: answered without running, under the
+      // dedicated queue_timeout counter (distinct from dead-on-arrival
+      // deadline_exceeded) so a slow worker pool is diagnosable.
+      metrics_.RecordStarted(RequestKind::kSearch);
+      metrics_.RecordQueueTimeout();
+      SearchResponse response;
+      response.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      if (callback) callback(std::move(response));
+      return;
+    }
+    if (overload_.ShouldShed(queue_delay_ms)) {
+      metrics_.RecordStarted(RequestKind::kSearch);
+      metrics_.RecordShed();
+      SearchResponse response;
+      response.status = Status::Unavailable(
+          "shed: async queueing delay above the overload target");
+      if (callback) callback(std::move(response));
+      return;
+    }
     SearchResponse response = Search(request);
     if (callback) callback(std::move(response));
   });
@@ -183,9 +229,32 @@ Status SnapsService::Reload() {
         "Reload(std::unique_ptr<SearchArtifacts>)");
   }
   std::unique_lock<std::mutex> lock(reload_mutex_);
-  Result<std::unique_ptr<SearchArtifacts>> loaded = loader_();
+  if (!health_.AllowReload()) {
+    // Breaker open: the last good generation keeps serving and the
+    // failing loader is left alone until the cooldown's half-open
+    // probe.
+    return Status::Unavailable(
+        "reload breaker open after " +
+        std::to_string(health_.consecutive_failures()) +
+        " consecutive loader failure(s); still serving the last good "
+        "generation");
+  }
+  int attempts = 0;
+  Result<std::unique_ptr<SearchArtifacts>> loaded =
+      reload_retry_.RunResult<std::unique_ptr<SearchArtifacts>>(
+          [this]() -> Result<std::unique_ptr<SearchArtifacts>> {
+            if (SNAPS_FAULT_POINT("serve.reload.load")) {
+              return FaultInjection::InjectedError("serve.reload.load");
+            }
+            return loader_();
+          },
+          Deadline(), &attempts);
+  if (attempts > 1) {
+    metrics_.RecordReloadRetries(static_cast<uint64_t>(attempts - 1));
+  }
   if (!loaded.ok()) {
     metrics_.RecordReload(false);
+    health_.RecordReloadFailure();
     return loaded.status();
   }
   std::unique_ptr<SearchArtifacts> art = std::move(loaded).value();
@@ -193,6 +262,7 @@ Status SnapsService::Reload() {
       generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   Publish(ArtifactsPtr(std::move(art)));
   metrics_.RecordReload(true);
+  health_.RecordReloadSuccess();
   return Status::Ok();
 }
 
@@ -205,6 +275,7 @@ Status SnapsService::Reload(std::unique_ptr<SearchArtifacts> artifacts) {
       generation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   Publish(ArtifactsPtr(std::move(artifacts)));
   metrics_.RecordReload(true);
+  health_.RecordReloadSuccess();
   return Status::Ok();
 }
 
@@ -220,12 +291,44 @@ void SnapsService::Publish(ArtifactsPtr artifacts) {
 }
 
 MetricsSnapshot SnapsService::Metrics() const {
-  return metrics_.Snapshot(generation(),
-                           inflight_.load(std::memory_order_relaxed));
+  MetricsSnapshot snap = metrics_.Snapshot(
+      generation(), inflight_.load(std::memory_order_relaxed));
+  snap.health = Health();
+  snap.breaker_trips = health_.trips();
+  snap.breaker_short_circuits = health_.short_circuits();
+  snap.consecutive_reload_failures =
+      static_cast<uint64_t>(health_.consecutive_failures());
+  snap.degraded_mode = overload_.degraded();
+  snap.degraded_entries = overload_.degraded_entries();
+  return snap;
 }
 
 std::string SnapsService::MetricsText() const {
   return FormatMetricsText(Metrics());
+}
+
+HealthState SnapsService::Health() const {
+  HealthState state = health_.state();
+  if (state == HealthState::kServing && overload_.degraded()) {
+    return HealthState::kDegraded;
+  }
+  return state;
+}
+
+std::string SnapsService::HealthText() const {
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "%s | breaker %s: %d consecutive failure(s), %llu trip(s), %llu "
+      "short-circuit(s) | overload: %llu shed, ewma %.3f ms%s",
+      HealthStateName(Health()), health_.breaker_open() ? "open" : "closed",
+      health_.consecutive_failures(),
+      static_cast<unsigned long long>(health_.trips()),
+      static_cast<unsigned long long>(health_.short_circuits()),
+      static_cast<unsigned long long>(overload_.sheds()),
+      overload_.latency_ewma_ms(),
+      overload_.degraded() ? " (degraded)" : "");
+  return std::string(line);
 }
 
 }  // namespace snaps

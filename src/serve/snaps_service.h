@@ -12,9 +12,12 @@
 #include "pedigree/extraction.h"
 #include "query/query_processor.h"
 #include "serve/artifacts.h"
+#include "serve/health.h"
 #include "serve/metrics.h"
+#include "serve/overload.h"
 #include "util/deadline.h"
 #include "util/execution_context.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace snaps {
@@ -34,10 +37,28 @@ struct ServiceConfig {
   /// gate turns excess arrivals away with Unavailable.
   size_t max_inflight = 128;
   /// Deadline applied to requests that arrive without one, in
-  /// milliseconds. 0 leaves such requests unbounded.
+  /// milliseconds. 0 leaves such requests unbounded. Applied at
+  /// submission for async requests, so the timeout covers queue wait.
   double default_timeout_ms = 0.0;
+  /// Retry policy for loader-based Reload(): how hard one Reload()
+  /// call tries before reporting failure. The default (1 attempt)
+  /// keeps Reload() single-shot; services behind flaky storage raise
+  /// max_attempts. Only transient failures are retried — a corrupt
+  /// SNAPSFILE (ParseError) fails immediately (see RetryPolicy).
+  RetryConfig reload_retry;
+  /// Reload circuit breaker: after `failure_threshold` consecutive
+  /// failed Reload() calls (each already retried per `reload_retry`),
+  /// further reloads are short-circuited with Unavailable — the last
+  /// good generation keeps serving, the loader stops being hammered —
+  /// until a half-open probe succeeds (see serve/health.h).
+  BreakerConfig breaker;
+  /// Adaptive overload control layered on max_inflight/max_queue:
+  /// queue-delay shedding and graceful degradation of the effective
+  /// search deadline (see serve/overload.h).
+  OverloadConfig overload;
 
-  /// max_inflight >= 1, default_timeout_ms finite and >= 0.
+  /// max_inflight >= 1, default_timeout_ms finite and >= 0, and the
+  /// nested reload_retry / breaker / overload configs valid.
   Result<void> Validate() const;
 };
 
@@ -174,6 +195,15 @@ class SnapsService {
   /// FormatMetricsText(Metrics()) — the REPL's `metrics` command.
   std::string MetricsText() const;
 
+  /// Current health: Starting until the first generation is published,
+  /// Serving in steady state, Degraded while the reload breaker is
+  /// open or the overload controller is degrading requests, Draining
+  /// during teardown.
+  HealthState Health() const;
+  /// One-line human-readable health summary (the REPL's `health`
+  /// command).
+  std::string HealthText() const;
+
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -207,6 +237,9 @@ class SnapsService {
   std::atomic<uint64_t> queued_{0};
   std::mutex reload_mutex_;  // Serialises Reload(), not readers.
   ServiceMetrics metrics_;
+  RetryPolicy reload_retry_;
+  HealthTracker health_;
+  OverloadController overload_;
   /// The async worker pool (exact ServiceConfig::num_threads workers;
   /// 0 = inline). Declared last: destroyed first, so queued tasks
   /// still see every other member alive while the pool drains.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 namespace snaps {
@@ -13,6 +15,7 @@ struct PointState {
   int countdown = 0;     // >0: fail when it reaches 0.
   bool always = false;   // Fail on every hit.
   bool armed = false;
+  double delay_ms = 0.0;  // Injected latency per hit (0 = none).
   uint64_t hits = 0;
 };
 
@@ -51,6 +54,13 @@ void FaultInjection::ArmFailAlways(const std::string& point) {
   g_any_armed.store(1, std::memory_order_relaxed);
 }
 
+void FaultInjection::ArmDelay(const std::string& point, double delay_ms) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.points[point].delay_ms = delay_ms < 0.0 ? 0.0 : delay_ms;
+  g_any_armed.store(1, std::memory_order_relaxed);
+}
+
 void FaultInjection::Clear(const std::string& point) {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mutex);
@@ -59,6 +69,7 @@ void FaultInjection::Clear(const std::string& point) {
     it->second.armed = false;
     it->second.always = false;
     it->second.countdown = 0;
+    it->second.delay_ms = 0.0;
   }
 }
 
@@ -72,14 +83,28 @@ void FaultInjection::Reset() {
 bool FaultInjection::ShouldFail(const std::string& point) {
   if (g_any_armed.load(std::memory_order_relaxed) == 0) return false;
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  PointState& st = r.points[point];
-  st.hits++;
-  if (!st.armed) return false;
-  if (st.always) return true;
-  if (--st.countdown > 0) return false;
-  st.armed = false;
-  return true;
+  double delay_ms = 0.0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    PointState& st = r.points[point];
+    st.hits++;
+    delay_ms = st.delay_ms;
+    if (st.armed) {
+      if (st.always) {
+        fail = true;
+      } else if (--st.countdown <= 0) {
+        st.armed = false;
+        fail = true;
+      }
+    }
+  }
+  if (delay_ms > 0.0) {
+    // Outside the lock: a slow point must not slow every other point.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return fail;
 }
 
 uint64_t FaultInjection::HitCount(const std::string& point) {

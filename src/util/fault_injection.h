@@ -33,6 +33,15 @@ class FaultInjection {
   /// Arms `point` to fail on every hit until cleared.
   static void ArmFailAlways(const std::string& point);
 
+  /// Arms `point` to inject `delay_ms` of latency on every hit until
+  /// cleared (a slow dependency rather than a failing one). Delay and
+  /// failure arming are independent: a point can be slow, failing, or
+  /// both — ArmDelay after ArmFailOnce/ArmFailAlways (or vice versa)
+  /// composes, it does not replace. The sleep happens outside the
+  /// registry lock, so concurrent hits on other points never queue
+  /// behind an injected delay.
+  static void ArmDelay(const std::string& point, double delay_ms);
+
   static void Clear(const std::string& point);
 
   /// Disarms everything and resets hit counts.

@@ -1,0 +1,108 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace snaps {
+
+namespace {
+
+/// splitmix64 finaliser: a cheap, well-mixed hash of (seed, attempt)
+/// for the deterministic jitter factor.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Result<void> RetryConfig::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument(
+        "retry.max_attempts must be >= 1 (1 means no retry); got " +
+        std::to_string(max_attempts));
+  }
+  if (!std::isfinite(initial_backoff_ms) || initial_backoff_ms < 0.0) {
+    return Status::InvalidArgument(
+        "retry.initial_backoff_ms must be finite and >= 0");
+  }
+  if (!std::isfinite(max_backoff_ms) || max_backoff_ms < initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "retry.max_backoff_ms must be finite and >= initial_backoff_ms");
+  }
+  if (!std::isfinite(backoff_multiplier) || backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "retry.backoff_multiplier must be finite and >= 1 "
+        "(backoff never shrinks between attempts)");
+  }
+  return Result<void>::Ok();
+}
+
+RetryPolicy::RetryPolicy(RetryConfig config) : config_(config) {}
+
+bool RetryPolicy::IsTransient(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIoError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInternal:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kParseError:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+      return false;
+  }
+  return false;
+}
+
+double RetryPolicy::BackoffMillis(int attempts) const {
+  const int exponent = std::max(0, attempts - 1);
+  double base = config_.initial_backoff_ms *
+                std::pow(config_.backoff_multiplier, exponent);
+  base = std::min(base, config_.max_backoff_ms);
+  // Jitter factor in [0.5, 1.0]: 53 uniform bits from the mixed hash.
+  const uint64_t h = Mix(config_.jitter_seed +
+                         0x9E3779B97F4A7C15ULL *
+                             static_cast<uint64_t>(attempts));
+  const double unit =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return base * (0.5 + 0.5 * unit);
+}
+
+bool RetryPolicy::SleepBeforeRetry(int attempts,
+                                   const Deadline& deadline) const {
+  const double backoff_ms = BackoffMillis(attempts);
+  if (!deadline.infinite()) {
+    // No room for the sleep plus any useful work: stop retrying.
+    if (deadline.RemainingSeconds() * 1000.0 <= backoff_ms) return false;
+  }
+  if (backoff_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        backoff_ms));  // NOLINT(snaps-naked-sleep): the sanctioned backoff.
+  }
+  return !deadline.expired();
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        const Deadline& deadline, int* attempts_out) const {
+  Status status = op();
+  int attempts = 1;
+  while (!status.ok() && attempts < config_.max_attempts &&
+         IsTransient(status) && SleepBeforeRetry(attempts, deadline)) {
+    status = op();
+    ++attempts;
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return status;
+}
+
+}  // namespace snaps

@@ -1,0 +1,100 @@
+#ifndef SNAPS_UTIL_RETRY_H_
+#define SNAPS_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace snaps {
+
+/// Parameters of a bounded exponential-backoff retry loop.
+///
+/// Backoff for attempt i (1-based count of *completed* attempts) is
+///   min(max_backoff_ms, initial_backoff_ms * multiplier^(i-1))
+/// scaled by a deterministic jitter factor in [0.5, 1.0] derived from
+/// `jitter_seed` and the attempt number — runs with the same seed
+/// back off identically, so retry timing is reproducible in tests and
+/// distinct seeds decorrelate callers that fail together.
+struct RetryConfig {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 1;
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  uint64_t jitter_seed = 0;
+
+  /// max_attempts >= 1; backoffs finite, >= 0, initial <= max;
+  /// multiplier finite and >= 1.
+  Result<void> Validate() const;
+};
+
+/// A deadline-aware retry loop over fallible operations.
+///
+/// Only *transient* failures are retried (see IsTransient): overload
+/// and I/O flakes may heal, but a corrupt artifact (ParseError) or a
+/// caller bug (InvalidArgument) fails the same way every time and
+/// retrying would just hammer the failing dependency. The loop also
+/// never starts a sleep that the deadline cannot accommodate — a
+/// bounded caller gets its last error back instead of oversleeping.
+///
+/// This is the only sanctioned way to wait-and-retry outside
+/// src/util/ (the snaps-naked-sleep lint rule bans raw sleeps);
+/// backoff sleeps live here so waiting policy stays in one place.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryConfig config = RetryConfig());
+
+  /// Status codes worth retrying: Unavailable (overload), IoError
+  /// (flaky storage), DeadlineExceeded (slow dependency) and Internal
+  /// (unclassified, includes injected faults). InvalidArgument,
+  /// NotFound, ParseError (corruption), FailedPrecondition and
+  /// OutOfRange are permanent.
+  static bool IsTransient(const Status& status);
+
+  /// Jittered backoff before attempt `attempts + 1`, in milliseconds
+  /// (`attempts` >= 1 completed attempts). Deterministic in
+  /// (jitter_seed, attempts).
+  double BackoffMillis(int attempts) const;
+
+  /// Runs `op` up to max_attempts times, sleeping the jittered
+  /// backoff between attempts, while the failure stays transient and
+  /// the deadline has room. Returns the last status; `attempts_out`
+  /// (optional) reports how many attempts ran.
+  Status Run(const std::function<Status()>& op,
+             const Deadline& deadline = Deadline(),
+             int* attempts_out = nullptr) const;
+
+  /// Run() for value-returning operations.
+  template <typename T>
+  Result<T> RunResult(const std::function<Result<T>()>& op,
+                      const Deadline& deadline = Deadline(),
+                      int* attempts_out = nullptr) const {
+    Result<T> result = op();
+    int attempts = 1;
+    while (!result.ok() && attempts < config_.max_attempts &&
+           IsTransient(result.status()) &&
+           SleepBeforeRetry(attempts, deadline)) {
+      result = op();
+      ++attempts;
+    }
+    if (attempts_out != nullptr) *attempts_out = attempts;
+    return result;
+  }
+
+  const RetryConfig& config() const { return config_; }
+
+ private:
+  /// Sleeps the backoff due after `attempts` completed attempts,
+  /// capped by the deadline. False when the deadline has no room for
+  /// the sleep plus another attempt — the loop stops instead of
+  /// oversleeping.
+  bool SleepBeforeRetry(int attempts, const Deadline& deadline) const;
+
+  RetryConfig config_;
+};
+
+}  // namespace snaps
+
+#endif  // SNAPS_UTIL_RETRY_H_

@@ -19,6 +19,7 @@
 #include "util/fault_injection.h"
 #include "util/snapshot.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace snaps {
 namespace {
@@ -67,6 +68,80 @@ TEST_F(FaultInjectionTest, SeenPointsRecordsCoverageOnceArmed) {
   FaultInjection::Reset();
   EXPECT_TRUE(FaultInjection::SeenPoints().empty());
   EXPECT_FALSE(FaultInjection::ShouldFail("test.armed"));
+}
+
+TEST_F(FaultInjectionTest, HitCountsAndSeenPointsRestartAcrossReset) {
+  FaultInjection::ArmFailOnce("test.reset");
+  FaultInjection::ShouldFail("test.reset");
+  FaultInjection::ShouldFail("test.reset");
+  EXPECT_EQ(FaultInjection::HitCount("test.reset"), 2u);
+
+  FaultInjection::Reset();
+  EXPECT_EQ(FaultInjection::HitCount("test.reset"), 0u);
+  EXPECT_TRUE(FaultInjection::SeenPoints().empty());
+  // Counting stays off after Reset (the disarmed fast path) until
+  // some point is armed again.
+  FaultInjection::ShouldFail("test.reset");
+  EXPECT_EQ(FaultInjection::HitCount("test.reset"), 0u);
+  FaultInjection::ArmFailOnce("test.other");
+  FaultInjection::ShouldFail("test.reset");
+  EXPECT_EQ(FaultInjection::HitCount("test.reset"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ReArmingAnArmedPointReplacesTheSetting) {
+  // A fresh ArmFailOnce replaces the pending countdown entirely.
+  FaultInjection::ArmFailOnce("test.rearm", 1);
+  FaultInjection::ArmFailOnce("test.rearm", 3);
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.rearm"));
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.rearm"));
+  EXPECT_TRUE(FaultInjection::ShouldFail("test.rearm"));
+
+  // Downgrading always -> once works the same way.
+  FaultInjection::ArmFailAlways("test.rearm");
+  FaultInjection::ArmFailOnce("test.rearm", 2);
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.rearm"));
+  EXPECT_TRUE(FaultInjection::ShouldFail("test.rearm"));
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.rearm"));
+}
+
+TEST_F(FaultInjectionTest, ArmDelayInjectsLatencyWithoutFailing) {
+  FaultInjection::ArmDelay("test.slow", 20.0);
+  Timer timer;
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.slow"));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.019);
+  EXPECT_EQ(FaultInjection::HitCount("test.slow"), 1u);
+
+  FaultInjection::Clear("test.slow");
+  Timer cleared;
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.slow"));
+  EXPECT_LT(cleared.ElapsedSeconds(), 0.019);
+}
+
+TEST_F(FaultInjectionTest, ArmDelayComposesWithFailureArming) {
+  // Delay + fail-once: the hit is both slow and failing; the delay
+  // outlives the one-shot failure.
+  FaultInjection::ArmDelay("test.slowfail", 10.0);
+  FaultInjection::ArmFailOnce("test.slowfail");
+  Timer timer;
+  EXPECT_TRUE(FaultInjection::ShouldFail("test.slowfail"));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.009);
+  Timer second;
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.slowfail"));
+  EXPECT_GE(second.ElapsedSeconds(), 0.009);  // Still slow, not failing.
+
+  // Arming order does not matter: fail first, then slow.
+  FaultInjection::ArmFailAlways("test.failslow");
+  FaultInjection::ArmDelay("test.failslow", 10.0);
+  Timer third;
+  EXPECT_TRUE(FaultInjection::ShouldFail("test.failslow"));
+  EXPECT_GE(third.ElapsedSeconds(), 0.009);
+}
+
+TEST_F(FaultInjectionTest, NegativeDelayIsClampedToZero) {
+  FaultInjection::ArmDelay("test.negative", -5.0);
+  Timer timer;
+  EXPECT_FALSE(FaultInjection::ShouldFail("test.negative"));
+  EXPECT_LT(timer.ElapsedSeconds(), 0.005);
 }
 
 TEST_F(FaultInjectionTest, InjectedErrorNamesThePoint) {

@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serve/health.h"
+#include "serve/overload.h"
+#include "serve/snaps_service.h"
+#include "util/retry.h"
+
+namespace snaps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RetryConfig validation.
+
+TEST(RetryConfigTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(RetryConfig().Validate().ok());
+}
+
+TEST(RetryConfigTest, ValidateRejectsZeroAttempts) {
+  RetryConfig c;
+  c.max_attempts = 0;
+  Result<void> v = c.Validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("max_attempts"), std::string::npos);
+}
+
+TEST(RetryConfigTest, ValidateRejectsNegativeBackoff) {
+  RetryConfig c;
+  c.initial_backoff_ms = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(RetryConfigTest, ValidateRejectsMaxBelowInitial) {
+  RetryConfig c;
+  c.initial_backoff_ms = 100.0;
+  c.max_backoff_ms = 10.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(RetryConfigTest, ValidateRejectsShrinkingMultiplier) {
+  RetryConfig c;
+  c.backoff_multiplier = 0.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c.backoff_multiplier = std::nan("");
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transient-vs-permanent classification.
+
+TEST(RetryPolicyTest, ClassifiesTransientCodes) {
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::Unavailable("x")));
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::IoError("x")));
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(RetryPolicy::IsTransient(Status::Internal("x")));
+}
+
+TEST(RetryPolicyTest, ClassifiesPermanentCodes) {
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::Ok()));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::InvalidArgument("x")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::NotFound("x")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::ParseError("x")));
+  EXPECT_FALSE(RetryPolicy::IsTransient(Status::FailedPrecondition("x")));
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule.
+
+TEST(RetryPolicyTest, BackoffGrowsGeometricallyWithinJitterBand) {
+  RetryConfig c;
+  c.initial_backoff_ms = 10.0;
+  c.backoff_multiplier = 2.0;
+  c.max_backoff_ms = 1000.0;
+  RetryPolicy policy(c);
+  // Attempt i's base is 10 * 2^(i-1); jitter scales it into
+  // [0.5, 1.0] * base.
+  for (int i = 1; i <= 5; ++i) {
+    const double base = 10.0 * std::pow(2.0, i - 1);
+    const double b = policy.BackoffMillis(i);
+    EXPECT_GE(b, 0.5 * base) << "attempt " << i;
+    EXPECT_LE(b, base) << "attempt " << i;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedAtMax) {
+  RetryConfig c;
+  c.initial_backoff_ms = 10.0;
+  c.backoff_multiplier = 10.0;
+  c.max_backoff_ms = 50.0;
+  RetryPolicy policy(c);
+  EXPECT_LE(policy.BackoffMillis(10), 50.0);
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicInSeedAndAttempt) {
+  RetryConfig c;
+  c.jitter_seed = 42;
+  RetryPolicy a(c);
+  RetryPolicy b(c);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.BackoffMillis(i), b.BackoffMillis(i));
+  }
+  c.jitter_seed = 43;
+  RetryPolicy other(c);
+  // Different seeds decorrelate (equal jitter would be a 1-in-2^53
+  // coincidence).
+  EXPECT_NE(a.BackoffMillis(1), other.BackoffMillis(1));
+}
+
+// ---------------------------------------------------------------------------
+// The retry loop.
+
+RetryConfig FastRetries(int max_attempts) {
+  RetryConfig c;
+  c.max_attempts = max_attempts;
+  c.initial_backoff_ms = 0.0;
+  c.max_backoff_ms = 0.0;
+  return c;
+}
+
+TEST(RetryPolicyTest, RunRetriesTransientUntilSuccess) {
+  RetryPolicy policy(FastRetries(5));
+  int calls = 0;
+  int attempts = 0;
+  Status s = policy.Run(
+      [&calls]() {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+      },
+      Deadline(), &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryPolicyTest, RunStopsAtMaxAttempts) {
+  RetryPolicy policy(FastRetries(3));
+  int calls = 0;
+  Status s = policy.Run([&calls]() {
+    ++calls;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, RunDoesNotRetryPermanentFailures) {
+  RetryPolicy policy(FastRetries(5));
+  int calls = 0;
+  int attempts = 0;
+  Status s = policy.Run(
+      [&calls]() {
+        ++calls;
+        return Status::ParseError("corrupt artifact");
+      },
+      Deadline(), &attempts);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryPolicyTest, RunStopsWhenDeadlineCannotFitBackoff) {
+  RetryConfig c;
+  c.max_attempts = 10;
+  c.initial_backoff_ms = 200.0;  // Far beyond the deadline's room.
+  c.max_backoff_ms = 200.0;
+  RetryPolicy policy(c);
+  int calls = 0;
+  Status s = policy.Run([&calls]() {
+    ++calls;
+    return Status::Unavailable("down");
+  }, Deadline::AfterMillis(20));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);  // No second attempt: the sleep would overshoot.
+}
+
+TEST(RetryPolicyTest, RunResultReturnsValueAfterRetries) {
+  RetryPolicy policy(FastRetries(4));
+  int calls = 0;
+  int attempts = 0;
+  Result<int> r = policy.RunResult<int>(
+      [&calls]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::IoError("flaky read");
+        return 7;
+      },
+      Deadline(), &attempts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(attempts, 2);
+}
+
+// ---------------------------------------------------------------------------
+// BreakerConfig validation + HealthTracker state machine.
+
+TEST(BreakerConfigTest, ValidateAcceptsDefaultsRejectsBadFields) {
+  EXPECT_TRUE(BreakerConfig().Validate().ok());
+  BreakerConfig c;
+  c.failure_threshold = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BreakerConfig();
+  c.open_duration_ms = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(HealthTrackerTest, StartsInStartingAndServesAfterFirstSuccess) {
+  HealthTracker t;
+  EXPECT_EQ(t.state(), HealthState::kStarting);
+  t.RecordReloadSuccess();
+  EXPECT_EQ(t.state(), HealthState::kServing);
+}
+
+TEST(HealthTrackerTest, OpensAtThresholdAndShortCircuits) {
+  BreakerConfig c;
+  c.failure_threshold = 2;
+  c.open_duration_ms = 60000.0;  // Long cooldown: no probe in-test.
+  HealthTracker t(c);
+  t.RecordReloadSuccess();
+
+  EXPECT_TRUE(t.AllowReload());
+  t.RecordReloadFailure();
+  EXPECT_FALSE(t.breaker_open());  // One failure below the threshold.
+  EXPECT_TRUE(t.AllowReload());
+  t.RecordReloadFailure();
+  EXPECT_TRUE(t.breaker_open());
+  EXPECT_EQ(t.trips(), 1u);
+  EXPECT_EQ(t.state(), HealthState::kDegraded);
+
+  EXPECT_FALSE(t.AllowReload());
+  EXPECT_FALSE(t.AllowReload());
+  EXPECT_EQ(t.short_circuits(), 2u);
+}
+
+TEST(HealthTrackerTest, HalfOpenProbeClosesBreakerOnSuccess) {
+  BreakerConfig c;
+  c.failure_threshold = 1;
+  c.open_duration_ms = 0.0;  // Probe allowed immediately.
+  HealthTracker t(c);
+  t.RecordReloadSuccess();
+  t.RecordReloadFailure();
+  EXPECT_TRUE(t.breaker_open());
+  EXPECT_TRUE(t.AllowReload());  // Half-open probe.
+  t.RecordReloadSuccess();
+  EXPECT_FALSE(t.breaker_open());
+  EXPECT_EQ(t.consecutive_failures(), 0);
+  EXPECT_EQ(t.state(), HealthState::kServing);
+  EXPECT_EQ(t.short_circuits(), 0u);
+}
+
+TEST(HealthTrackerTest, FailedProbeKeepsBreakerOpen) {
+  BreakerConfig c;
+  c.failure_threshold = 1;
+  c.open_duration_ms = 0.0;
+  HealthTracker t(c);
+  t.RecordReloadSuccess();
+  t.RecordReloadFailure();
+  EXPECT_TRUE(t.AllowReload());  // Probe…
+  t.RecordReloadFailure();       // …fails.
+  EXPECT_TRUE(t.breaker_open());
+  EXPECT_EQ(t.trips(), 1u);  // A failed probe is not a new trip.
+  EXPECT_EQ(t.consecutive_failures(), 2);
+}
+
+TEST(HealthTrackerTest, DrainingIsTerminalAndWinsOverEverything) {
+  HealthTracker t;
+  t.RecordReloadSuccess();
+  t.MarkDraining();
+  EXPECT_EQ(t.state(), HealthState::kDraining);
+  t.RecordReloadSuccess();
+  EXPECT_EQ(t.state(), HealthState::kDraining);
+}
+
+TEST(HealthStateTest, NamesAreStable) {
+  EXPECT_STREQ(HealthStateName(HealthState::kStarting), "Starting");
+  EXPECT_STREQ(HealthStateName(HealthState::kServing), "Serving");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "Degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kDraining), "Draining");
+}
+
+// ---------------------------------------------------------------------------
+// OverloadConfig validation + controller behaviour.
+
+TEST(OverloadConfigTest, ValidateAcceptsDefaultsRejectsBadFields) {
+  EXPECT_TRUE(OverloadConfig().Validate().ok());
+  OverloadConfig c;
+  c.target_delay_ms = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = OverloadConfig();
+  c.interval_ms = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = OverloadConfig();
+  c.ewma_alpha = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.ewma_alpha = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+OverloadConfig ImmediateShedding() {
+  OverloadConfig c;
+  c.target_delay_ms = 1.0;
+  c.interval_ms = 0.0;  // Shed on the first above-target delay.
+  return c;
+}
+
+TEST(OverloadControllerTest, BelowTargetNeverSheds) {
+  OverloadController ctl(ImmediateShedding());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ctl.ShouldShed(0.5));
+  }
+  EXPECT_EQ(ctl.sheds(), 0u);
+  EXPECT_FALSE(ctl.degraded());
+}
+
+TEST(OverloadControllerTest, ZeroIntervalShedsImmediatelyAboveTarget) {
+  OverloadController ctl(ImmediateShedding());
+  EXPECT_TRUE(ctl.ShouldShed(5.0));
+  EXPECT_EQ(ctl.sheds(), 1u);
+  EXPECT_TRUE(ctl.degraded());  // Actively dropping.
+}
+
+TEST(OverloadControllerTest, RecoveryResetsTheDropState) {
+  OverloadController ctl(ImmediateShedding());
+  EXPECT_TRUE(ctl.ShouldShed(5.0));
+  EXPECT_FALSE(ctl.ShouldShed(0.1));  // Queue drained: overload over.
+  EXPECT_FALSE(ctl.degraded());
+  EXPECT_TRUE(ctl.ShouldShed(5.0));  // A new episode sheds afresh.
+  EXPECT_EQ(ctl.sheds(), 2u);
+}
+
+TEST(OverloadControllerTest, BurstWithinIntervalIsTolerated) {
+  OverloadConfig c;
+  c.target_delay_ms = 1.0;
+  c.interval_ms = 60000.0;  // A minute of grace: never reached here.
+  OverloadController ctl(c);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ctl.ShouldShed(100.0));
+  }
+  EXPECT_EQ(ctl.sheds(), 0u);
+}
+
+TEST(OverloadControllerTest, LatencyEwmaEntersAndExitsDegradedMode) {
+  OverloadConfig c;
+  c.degrade_latency_ms = 10.0;
+  c.ewma_alpha = 1.0;  // EWMA == last sample: deterministic test.
+  OverloadController ctl(c);
+  EXPECT_FALSE(ctl.degraded());
+  ctl.RecordLatency(50.0);
+  EXPECT_TRUE(ctl.degraded());
+  EXPECT_EQ(ctl.degraded_entries(), 1u);
+  // Hysteresis: above half the threshold is not yet recovered.
+  ctl.RecordLatency(7.0);
+  EXPECT_TRUE(ctl.degraded());
+  ctl.RecordLatency(2.0);
+  EXPECT_FALSE(ctl.degraded());
+  // Re-entry counts again.
+  ctl.RecordLatency(50.0);
+  EXPECT_EQ(ctl.degraded_entries(), 2u);
+}
+
+TEST(OverloadControllerTest, DegradationDisabledLeavesEwmaUntouched) {
+  OverloadController ctl;  // degrade_latency_ms == 0: disabled.
+  ctl.RecordLatency(1e9);
+  EXPECT_FALSE(ctl.degraded());
+  EXPECT_EQ(ctl.degraded_entries(), 0u);
+}
+
+TEST(OverloadControllerTest, MaybeShrinkOnlyTightensWhileDegraded) {
+  OverloadConfig c;
+  c.degrade_latency_ms = 10.0;
+  c.ewma_alpha = 1.0;
+  c.degraded_timeout_ms = 25.0;
+  OverloadController ctl(c);
+
+  // Healthy: unbounded stays unbounded.
+  EXPECT_TRUE(ctl.MaybeShrink(Deadline()).infinite());
+
+  ctl.RecordLatency(100.0);  // Degraded now.
+  Deadline shrunk = ctl.MaybeShrink(Deadline());
+  EXPECT_FALSE(shrunk.infinite());
+  EXPECT_LE(shrunk.RemainingSeconds(), 0.025 + 1e-3);
+
+  // A request deadline already tighter than the degraded timeout is
+  // never loosened.
+  Deadline tight = Deadline::AfterMillis(5);
+  EXPECT_LE(ctl.MaybeShrink(tight).RemainingSeconds(),
+            tight.RemainingSeconds() + 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceConfig::Validate covers the nested resilience configs.
+
+TEST(ServiceConfigResilienceTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(ServiceConfig().Validate().ok());
+}
+
+TEST(ServiceConfigResilienceTest, ValidatePropagatesNestedErrors) {
+  ServiceConfig c;
+  c.reload_retry.max_attempts = 0;
+  Result<void> v = c.Validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("max_attempts"), std::string::npos);
+
+  c = ServiceConfig();
+  c.breaker.failure_threshold = -1;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = ServiceConfig();
+  c.overload.ewma_alpha = 2.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace snaps

@@ -1,0 +1,342 @@
+// Chaos-style robustness tests for the serving layer (run under TSan
+// by the sanitize-thread CI job): concurrent search load while reload
+// failures, slow loaders and overload spikes are injected through the
+// deterministic FaultInjection registry. The invariants checked:
+//   - no crash, and readers never observe a bad status or generation —
+//     the last good generation keeps serving through every fault;
+//   - the reload circuit breaker opens after the configured failure
+//     streak and stops hammering the loader (hit counts stay flat);
+//   - the service reports Degraded while broken and recovers to
+//     Serving once faults clear;
+//   - every async arrival is answered exactly once: started ==
+//     ok + failed + rejected + deadline_exceeded + queue_timeouts +
+//     shed (MetricsSnapshot::total_responses).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/er_engine.h"
+#include "pedigree/pedigree_graph.h"
+#include "serve/snaps_service.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
+
+namespace snaps {
+namespace {
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  ServeChaosTest() {
+    FaultInjection::Reset();
+    AddBirth(1862, "flora", "mackinnon", "f", "portree");
+    AddBirth(1866, "kenneth", "mackinnon", "m", "portree");
+    AddBirth(1871, "flora", "nicolson", "f", "snizort");
+    AddBirth(1875, "morag", "beaton", "f", "duirinish");
+    // Filler population with distinct names: wildcard searches then
+    // cross enough work units (the deadline is polled every 64) for
+    // truncation to trigger deterministically.
+    for (int i = 0; i < 96; ++i) {
+      AddBirth(1840 + (i % 40), "name" + std::to_string(i),
+               "mac" + std::to_string(i), (i % 2) != 0 ? "m" : "f",
+               "portree");
+    }
+    result_ = std::make_unique<ErResult>(ErEngine().Resolve(ds_));
+    graph_ = std::make_unique<PedigreeGraph>(
+        PedigreeGraph::Build(ds_, *result_));
+  }
+
+  ~ServeChaosTest() override { FaultInjection::Reset(); }
+
+  void AddBirth(int year, const std::string& first,
+                const std::string& surname, const std::string& gender,
+                const std::string& parish) {
+    const CertId c = ds_.AddCertificate(CertType::kBirth, year);
+    Record baby;
+    baby.set_value(Attr::kFirstName, first);
+    baby.set_value(Attr::kSurname, surname);
+    baby.set_value(Attr::kGender, gender);
+    baby.set_value(Attr::kParish, parish);
+    ds_.AddRecord(c, Role::kBb, baby);
+    Record mother;
+    mother.set_value(Attr::kFirstName, "mairi");
+    mother.set_value(Attr::kSurname, surname);
+    mother.set_value(Attr::kGender, "f");
+    ds_.AddRecord(c, Role::kBm, mother);
+  }
+
+  /// A service whose loader rebuilds artifacts from the test graph —
+  /// the path the reload fault points and the breaker sit on.
+  std::unique_ptr<SnapsService> MakeLoaderService(ServiceConfig config) {
+    Result<std::unique_ptr<SnapsService>> r = SnapsService::Create(
+        config, [this]() { return SearchArtifacts::Build(*graph_); });
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+ public:
+  static SearchRequest MatchingRequest() {
+    SearchRequest req;
+    req.query.first_name = "flora";
+    req.query.surname = "mackinnon";
+    return req;
+  }
+
+ protected:
+
+  Dataset ds_;
+  std::unique_ptr<ErResult> result_;
+  std::unique_ptr<PedigreeGraph> graph_;
+};
+
+/// Search load issued continuously until `stop`; any response that is
+/// neither OK (valid generation) nor Unavailable (admission gate) is
+/// counted as bad.
+void ChaosReaderLoop(SnapsService* service, uint64_t max_generation,
+                     std::atomic<bool>* stop, std::atomic<uint64_t>* bad) {
+  const SearchRequest req = ServeChaosTest::MatchingRequest();
+  while (!stop->load(std::memory_order_acquire)) {
+    const SearchResponse resp = service->Search(req);
+    if (resp.status.ok()) {
+      if (resp.generation < 1 || resp.generation > max_generation ||
+          resp.results.empty()) {
+        bad->fetch_add(1);
+      }
+    } else if (resp.status.code() != StatusCode::kUnavailable) {
+      bad->fetch_add(1);
+    }
+  }
+}
+
+TEST_F(ServeChaosTest, BreakerOpensUnderReloadFaultsAndRecovers) {
+  ServiceConfig config;
+  config.reload_retry.max_attempts = 2;
+  config.reload_retry.initial_backoff_ms = 1.0;
+  config.reload_retry.max_backoff_ms = 1.0;
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_duration_ms = 200.0;
+  std::unique_ptr<SnapsService> service = MakeLoaderService(config);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->Health(), HealthState::kServing);
+  EXPECT_EQ(service->generation(), 1u);
+
+  // Concurrent load for the whole fault episode: the last good
+  // generation must keep serving throughout.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> readers;  // NOLINT(snaps-raw-thread): TSan hammer.
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back(ChaosReaderLoop, service.get(),
+                         /*max_generation=*/2u, &stop, &bad);
+  }
+
+  FaultInjection::ArmFailAlways("serve.reload.load");
+
+  // Two failed reloads (each retried once) trip the breaker.
+  EXPECT_FALSE(service->Reload().ok());
+  EXPECT_FALSE(service->Reload().ok());
+  EXPECT_EQ(FaultInjection::HitCount("serve.reload.load"), 4u);
+  EXPECT_EQ(service->Health(), HealthState::kDegraded);
+
+  // Breaker open: reloads are short-circuited without touching the
+  // loader — the fault point's hit count stays flat.
+  const Status short_circuited = service->Reload();
+  EXPECT_EQ(short_circuited.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjection::HitCount("serve.reload.load"), 4u);
+
+  {
+    const MetricsSnapshot m = service->Metrics();
+    EXPECT_EQ(m.reloads_failed, 2u);
+    EXPECT_EQ(m.reload_retries, 2u);  // One extra attempt per reload.
+    EXPECT_EQ(m.breaker_trips, 1u);
+    EXPECT_GE(m.breaker_short_circuits, 1u);
+    EXPECT_EQ(m.health, HealthState::kDegraded);
+    EXPECT_EQ(m.generation, 1u);  // Still the last good generation.
+  }
+
+  // Faults clear; poll Reload through a RetryPolicy (the sanctioned
+  // wait) until the cooldown elapses and the half-open probe closes
+  // the breaker.
+  FaultInjection::Reset();
+  RetryConfig poll;
+  poll.max_attempts = 1000;
+  poll.initial_backoff_ms = 5.0;
+  poll.backoff_multiplier = 1.0;
+  poll.max_backoff_ms = 5.0;
+  const Status recovered = RetryPolicy(poll).Run(
+      [&service]() { return service->Reload(); }, Deadline::After(60.0));
+  EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+  EXPECT_EQ(service->Health(), HealthState::kServing);
+  EXPECT_EQ(service->generation(), 2u);
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  const MetricsSnapshot m = service->Metrics();
+  EXPECT_EQ(m.inflight, 0u);
+  EXPECT_EQ(m.kinds[size_t(RequestKind::kSearch)].failed, 0u);
+  EXPECT_EQ(m.consecutive_reload_failures, 0u);
+}
+
+TEST_F(ServeChaosTest, SlowLoaderNeverBlocksServing) {
+  std::unique_ptr<SnapsService> service = MakeLoaderService(ServiceConfig());
+  ASSERT_NE(service, nullptr);
+
+  FaultInjection::ArmDelay("serve.reload.load", 30.0);
+  std::thread reloader([&service] {  // NOLINT(snaps-raw-thread): TSan hammer.
+    EXPECT_TRUE(service->Reload().ok());
+  });
+  // Searches keep being answered from generation 1 while the loader
+  // sleeps; none may block on the reload or fail.
+  const SearchRequest req = MatchingRequest();
+  for (int i = 0; i < 50; ++i) {
+    const SearchResponse resp = service->Search(req);
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    EXPECT_GE(resp.generation, 1u);
+    EXPECT_LE(resp.generation, 2u);
+  }
+  reloader.join();
+  EXPECT_EQ(service->generation(), 2u);
+  EXPECT_EQ(service->Health(), HealthState::kServing);
+}
+
+TEST_F(ServeChaosTest, ArtifactValidationFaultFailsReloadCleanly) {
+  std::unique_ptr<SnapsService> service = MakeLoaderService(ServiceConfig());
+  ASSERT_NE(service, nullptr);
+
+  // The fault fires inside SearchArtifacts::Build — the reload fails
+  // before anything is published and generation 1 keeps serving.
+  FaultInjection::ArmFailOnce("serve.artifacts.validate");
+  const Status failed = service->Reload();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.ToString().find("serve.artifacts.validate"),
+            std::string::npos);
+  EXPECT_EQ(service->generation(), 1u);
+  EXPECT_TRUE(service->Search(MatchingRequest()).status.ok());
+
+  EXPECT_TRUE(service->Reload().ok());  // Disarmed again: back to normal.
+  EXPECT_EQ(service->generation(), 2u);
+  EXPECT_EQ(service->Health(), HealthState::kServing);
+}
+
+TEST_F(ServeChaosTest, OverloadSpikeCountersReconcile) {
+  constexpr int kBurst = 100;
+  ServiceConfig config;
+  config.num_threads = 2;  // Two slow workers: the queue backs up.
+  config.max_queue = 64;
+  config.max_inflight = 8;
+  config.overload.target_delay_ms = 0.5;
+  config.overload.interval_ms = 0.0;  // Shed on the first standing delay.
+  std::unique_ptr<SnapsService> service = MakeLoaderService(config);
+  ASSERT_NE(service, nullptr);
+
+  FaultInjection::ArmDelay("serve.search.run", 2.0);
+
+  std::atomic<int> callbacks{0};
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kBurst; ++i) {
+    service->SearchAsync(MatchingRequest(), [&](SearchResponse resp) {
+      callbacks.fetch_add(1);
+      if (resp.status.ok()) ok.fetch_add(1);
+    });
+  }
+  service->Drain();
+
+  // Every arrival was answered exactly once — accepted, shed, or
+  // rejected — and the counters reconcile.
+  EXPECT_EQ(callbacks.load(), kBurst);
+  const MetricsSnapshot m = service->Metrics();
+  const MetricsSnapshot::PerKind& search =
+      m.kinds[size_t(RequestKind::kSearch)];
+  EXPECT_EQ(search.started, uint64_t{kBurst});
+  EXPECT_EQ(m.total_responses(RequestKind::kSearch), uint64_t{kBurst});
+  EXPECT_EQ(search.ok + search.rejected + m.shed, uint64_t{kBurst});
+  EXPECT_EQ(search.ok, static_cast<uint64_t>(ok.load()));
+  EXPECT_GE(m.shed, 1u);  // The controller did step in.
+  EXPECT_EQ(m.inflight, 0u);
+
+  // The spike degraded service, it did not kill it: with the queue
+  // drained the service still answers.
+  FaultInjection::Clear("serve.search.run");
+  EXPECT_TRUE(service->Search(MatchingRequest()).status.ok());
+}
+
+TEST_F(ServeChaosTest, DeadlineExpiredInQueueCountsAsQueueTimeout) {
+  ServiceConfig config;
+  config.num_threads = 2;  // 0/1 would execute inline, queue-less.
+  std::unique_ptr<SnapsService> service = MakeLoaderService(config);
+  ASSERT_NE(service, nullptr);
+
+  // Two unbounded requests hold both workers for ~50ms; the third has
+  // a 1ms deadline and expires while queued behind them.
+  FaultInjection::ArmDelay("serve.search.run", 50.0);
+  std::atomic<int> timeouts{0};
+  ASSERT_TRUE(service->SearchAsync(MatchingRequest(),
+                                   [](SearchResponse) {}));
+  ASSERT_TRUE(service->SearchAsync(MatchingRequest(),
+                                   [](SearchResponse) {}));
+  SearchRequest bounded = MatchingRequest();
+  bounded.deadline = Deadline::AfterMillis(1);
+  ASSERT_TRUE(service->SearchAsync(
+      std::move(bounded), [&timeouts](SearchResponse resp) {
+        if (resp.status.code() == StatusCode::kDeadlineExceeded) {
+          timeouts.fetch_add(1);
+        }
+      }));
+  service->Drain();
+
+  EXPECT_EQ(timeouts.load(), 1);
+  const MetricsSnapshot m = service->Metrics();
+  EXPECT_EQ(m.queue_timeouts, 1u);
+  // Distinct from dead-on-arrival accounting.
+  EXPECT_EQ(m.kinds[size_t(RequestKind::kSearch)].deadline_exceeded, 0u);
+  EXPECT_EQ(m.total_responses(RequestKind::kSearch), 3u);
+}
+
+TEST_F(ServeChaosTest, LatencyDegradationTruncatesInsteadOfRejecting) {
+  ServiceConfig config;
+  config.overload.degrade_latency_ms = 5.0;
+  config.overload.ewma_alpha = 1.0;  // EWMA == last sample.
+  config.overload.degraded_timeout_ms = 5.0;
+  std::unique_ptr<SnapsService> service = MakeLoaderService(config);
+  ASSERT_NE(service, nullptr);
+
+  // Slow searches push the latency EWMA over the degrade threshold.
+  FaultInjection::ArmDelay("serve.search.run", 20.0);
+  EXPECT_TRUE(service->Search(MatchingRequest()).status.ok());
+  EXPECT_EQ(service->Health(), HealthState::kDegraded);
+  {
+    const MetricsSnapshot m = service->Metrics();
+    EXPECT_TRUE(m.degraded_mode);
+    EXPECT_GE(m.degraded_entries, 1u);
+  }
+
+  // While degraded, an unbounded search is shrunk to the degraded
+  // timeout (5ms, spent inside the injected 20ms stall) and returns a
+  // truncated best-effort answer — not an error. The double wildcard
+  // scans the whole index, guaranteeing enough work for the deadline
+  // poll to fire.
+  SearchRequest wide;
+  wide.query.first_name = "*";
+  wide.query.surname = "*";
+  const SearchResponse degraded = service->Search(wide);
+  EXPECT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_TRUE(degraded.truncated);
+
+  // Faults clear; fast searches bring the EWMA back down (below half
+  // the threshold) and the service recovers to Serving. A few rounds
+  // give sanitizer-slowed builds room.
+  FaultInjection::Clear("serve.search.run");
+  for (int i = 0; i < 50 && service->Metrics().degraded_mode; ++i) {
+    EXPECT_TRUE(service->Search(MatchingRequest()).status.ok());
+  }
+  EXPECT_EQ(service->Health(), HealthState::kServing);
+  EXPECT_FALSE(service->Metrics().degraded_mode);
+}
+
+}  // namespace
+}  // namespace snaps

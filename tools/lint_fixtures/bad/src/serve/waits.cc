@@ -1,0 +1,15 @@
+// Fixture: hand-rolled waiting outside src/util/.
+#include <chrono>
+#include <thread>
+
+namespace snaps {
+
+extern bool Ready();
+
+void WaitsTheWrongWay() {
+  std::this_thread::sleep_for(  // expect-lint: naked-sleep
+      std::chrono::milliseconds(50));
+  while (!Ready()) {}  // expect-lint: naked-sleep
+}
+
+}  // namespace snaps

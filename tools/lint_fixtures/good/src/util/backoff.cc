@@ -1,0 +1,14 @@
+// Fixture: src/util/ is where sanctioned waiting lives — sleeps here
+// (the RetryPolicy backoff, FaultInjection delays) are exempt from
+// snaps-naked-sleep.
+#include <chrono>
+#include <thread>
+
+namespace snaps {
+
+void SanctionedBackoff(double millis) {
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(millis));
+}
+
+}  // namespace snaps

@@ -22,6 +22,12 @@ the SNAPS source tree for project rules:
   banned-fn       strcpy / strcat / sprintf / gets / rand / srand are
                   never acceptable (bounds-unsafe or hidden global
                   state; use snaps::Rng and std::snprintf).
+  naked-sleep     No std::this_thread::sleep_for / sleep_until /
+                  usleep / nanosleep and no empty-body spin loops
+                  outside src/util/ — waiting policy lives in
+                  util/retry.h (RetryPolicy backoff) and the
+                  deterministic FaultInjection delays, so tests and
+                  serving code never hand-roll timing.
   discard         Guards the class-level [[nodiscard]] on Status and
                   Result in src/util/status.h (the compiler then
                   enforces "no discarded fallible result" everywhere),
@@ -66,6 +72,17 @@ POOL_RE = re.compile(r"\bThreadPool\b")
 POOL_INCLUDE_RE = re.compile(r'#\s*include\s*"util/thread_pool\.h"')
 BANNED_FN_RE = re.compile(
     r"(?<![\w:.])(?:std::)?(strcpy|strcat|sprintf|gets|rand|srand)\s*\(")
+# Hand-rolled waiting: raw sleeps and single-line empty-body spin
+# loops. Waiting belongs in src/util/ (RetryPolicy backoff,
+# FaultInjection delays); everywhere else it hides timing assumptions
+# that flake under sanitizers.
+SLEEP_RE = re.compile(
+    r"std::this_thread::sleep_(for|until)\b"
+    r"|(?<![\w:.])(?:u|nano)?sleep\s*\(")
+# The condition allows one level of nested parens (function calls);
+# the body must be empty — `while (cond) DoWork();` is a normal loop.
+BUSY_WAIT_RE = re.compile(
+    r"^\s*while\s*\((?:[^()]|\([^()]*\))*\)\s*(\{\s*\}|;)\s*$")
 VOID_DISCARD_RE = re.compile(r"\(void\)\s*[A-Za-z_][\w.:]*(->\w+)*\s*\(")
 GUARD_RE = re.compile(r"^#ifndef\s+(\w+)\s*$")
 
@@ -175,6 +192,12 @@ def check_file(path, rel, findings):
             report(i, raw, "banned-fn",
                    f"banned function {m.group(1)}() — bounds-unsafe or "
                    "hidden global state")
+        if (not in_util and
+                (SLEEP_RE.search(code) or BUSY_WAIT_RE.match(code))):
+            report(i, raw, "naked-sleep",
+                   "raw sleep / busy-wait outside src/util/ — wait "
+                   "through RetryPolicy backoff or a FaultInjection "
+                   "delay instead of hand-rolled timing")
         if in_src and VOID_DISCARD_RE.search(code):
             report(i, raw, "discard",
                    "(void)-discard of a call result in src/ — handle "
